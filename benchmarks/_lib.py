@@ -1,0 +1,155 @@
+"""Shared experiment drivers for the reproduction benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster import paper_cluster
+from repro.compiler import compile_program
+from repro.optimizer import ResourceAdapter, ResourceOptimizer
+from repro.runtime import Interpreter, SimulatedHDFS
+from repro.scripts import load_script
+from repro.workloads import paper_baselines, prepare_inputs
+
+#: sample cap used by all benchmarks (fast, conformable with 1000 cols
+#: via symmetric capping)
+SAMPLE_CAP = 256
+
+
+@dataclass
+class RunRecord:
+    """One end-to-end execution."""
+
+    time: float = 0.0
+    mr_jobs: int = 0
+    migrations: int = 0
+    resource: object = None
+
+
+def fresh_compiled(script, scn, glm_family=2, seed=7):
+    """Generate inputs and compile a script for one scenario."""
+    hdfs = SimulatedHDFS(sample_cap=SAMPLE_CAP)
+    args = prepare_inputs(hdfs, script, scn, glm_family=glm_family,
+                          seed=seed)
+    compiled = compile_program(load_script(script), args, hdfs.input_meta())
+    return compiled, hdfs, args
+
+
+def execute(script, scn, resource, adapt=False, cluster=None,
+            glm_family=2, compiled=None, hdfs=None):
+    """Execute ``script`` on ``scn`` under ``resource``; returns a
+    :class:`RunRecord`.
+
+    Pass the (compiled, hdfs) pair the resource was optimized for when
+    ``resource`` carries per-block MR entries — block ids are specific
+    to one compiled program.
+    """
+    cluster = cluster or paper_cluster()
+    if compiled is None:
+        compiled, hdfs, _ = fresh_compiled(script, scn, glm_family)
+    adapter = (
+        ResourceAdapter(ResourceOptimizer(cluster)) if adapt else None
+    )
+    interp = Interpreter(cluster, hdfs=hdfs, sample_cap=SAMPLE_CAP,
+                         adapter=adapter)
+    result = interp.run(compiled, resource)
+    return RunRecord(
+        time=result.total_time,
+        mr_jobs=result.mr_jobs,
+        migrations=result.migrations,
+        resource=result.final_resource,
+    )
+
+
+def optimize(script, scn, cluster=None, glm_family=2, **opt_kwargs):
+    """Run initial resource optimization; returns (OptimizerResult,
+    compiled)."""
+    cluster = cluster or paper_cluster()
+    compiled, _, _ = fresh_compiled(script, scn, glm_family)
+    optimizer = ResourceOptimizer(cluster, **opt_kwargs)
+    return optimizer.optimize(compiled), compiled
+
+
+def compare_configs(script, scn, cluster=None, adapt=False, glm_family=2):
+    """Execute under the four baselines plus Opt; returns dict of
+    RunRecords keyed by configuration name."""
+    cluster = cluster or paper_cluster()
+    records = {}
+    for name, rc in paper_baselines(cluster).items():
+        records[name] = execute(script, scn, rc, cluster=cluster,
+                                glm_family=glm_family)
+    compiled, hdfs, _ = fresh_compiled(script, scn, glm_family)
+    opt_result = ResourceOptimizer(cluster).optimize(compiled)
+    records["Opt"] = execute(
+        script, scn, opt_result.resource, adapt=adapt, cluster=cluster,
+        glm_family=glm_family, compiled=compiled, hdfs=hdfs,
+    )
+    records["Opt"].resource = opt_result.resource
+    return records
+
+
+def format_table(headers, rows, title=""):
+    """Fixed-width table rendering for reports."""
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(str(c).ljust(w) for c, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def gb(mb):
+    return f"{mb / 1024:.1f}GB"
+
+
+def end_to_end_figure(script, sizes=("XS", "S", "M", "L"), adapt=False,
+                      glm_family=2):
+    """Drive one of Figures 7-11: all four data shapes x sizes x the
+    four baselines + Opt.  Returns {shape: {size: {config: RunRecord}}}."""
+    from repro.workloads import scenario
+
+    shapes = [
+        ("dense1000", 1000, False),
+        ("sparse1000", 1000, True),
+        ("dense100", 100, False),
+        ("sparse100", 100, True),
+    ]
+    results = {}
+    for label, cols, sparse in shapes:
+        results[label] = {}
+        for size in sizes:
+            scn = scenario(size, cols=cols, sparse=sparse)
+            results[label][size] = compare_configs(
+                script, scn, adapt=adapt, glm_family=glm_family
+            )
+    return results
+
+
+def render_figure(results, title):
+    """Render an end_to_end_figure result as per-shape tables."""
+    sections = [title]
+    for label, by_size in results.items():
+        rows = []
+        for size, records in by_size.items():
+            row = [size]
+            for config in ("B-SS", "B-LS", "B-SL", "B-LL", "Opt"):
+                row.append(f"{records[config].time:.0f}s")
+            row.append(records["Opt"].resource.describe())
+            rows.append(row)
+        sections.append(
+            format_table(
+                ["size", "B-SS", "B-LS", "B-SL", "B-LL", "Opt",
+                 "Opt config"],
+                rows,
+                title=f"-- {label} --",
+            )
+        )
+    return "\n\n".join(sections)

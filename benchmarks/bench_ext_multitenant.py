@@ -1,0 +1,90 @@
+"""Extension experiment: heterogeneous multi-tenancy.
+
+The paper's opening argument: "a static cluster configuration is always
+a compromise, especially in multi-tenancy scenarios where the same
+cluster is shared" (Section 1).  This bench quantifies it end to end: a
+mixed population of users — direct-solve regressions, iterative CG, and
+SVMs on different data sizes — runs under (a) one static B-LL
+configuration for everyone, and (b) per-program configurations from the
+resource optimizer.  Expected: per-program elasticity wins twice over —
+each application runs at (or near) its best configuration *and* the
+right-sized containers multiply admission parallelism.
+"""
+
+import pytest
+
+from _lib import execute, format_table, fresh_compiled, optimize
+from repro.cluster import paper_cluster
+from repro.cluster.events import simulate_mixed_throughput
+from repro.workloads import paper_baselines, scenario
+
+#: the tenant mix: (script, scenario, #users of this kind)
+MIX = [
+    ("LinregDS", scenario("S", cols=1000), 6),
+    ("LinregCG", scenario("M", cols=1000), 6),
+    ("L2SVM", scenario("S", cols=100), 6),
+]
+
+
+def measure_profiles():
+    """Per-tenant (duration, container) under B-LL and under Opt."""
+    cluster = paper_cluster()
+    bll = paper_baselines(cluster)["B-LL"]
+    bll_container = cluster.container_mb_for_heap(bll.cp_heap_mb)
+    profiles = {"B-LL": [], "Opt": []}
+    rows = []
+    for script, scn, count in MIX:
+        bll_time = execute(script, scn, bll).time
+        opt_result, compiled_hdfs = None, None
+        compiled, hdfs, _ = fresh_compiled(script, scn)
+        from repro.optimizer import ResourceOptimizer
+
+        opt_result = ResourceOptimizer(cluster).optimize(compiled)
+        opt_time = execute(
+            script, scn, opt_result.resource, compiled=compiled, hdfs=hdfs
+        ).time
+        opt_container = cluster.container_mb_for_heap(
+            opt_result.resource.cp_heap_mb
+        )
+        profiles["B-LL"].extend([(bll_time, bll_container)] * count)
+        profiles["Opt"].extend([(opt_time, opt_container)] * count)
+        rows.append([
+            f"{script} {scn.size}", count,
+            f"{bll_time:.0f}s @ {bll_container}MB",
+            f"{opt_time:.0f}s @ {opt_container}MB",
+        ])
+    return profiles, rows
+
+
+@pytest.mark.repro
+def test_ext_multitenant_mix(benchmark, report):
+    def run():
+        cluster = paper_cluster()
+        profiles, rows = measure_profiles()
+        outcomes = {
+            name: simulate_mixed_throughput(cluster, specs, apps_per_user=8)
+            for name, specs in profiles.items()
+        }
+        return rows, outcomes
+
+    rows, outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    bll = outcomes["B-LL"]
+    opt = outcomes["Opt"]
+    summary = (
+        f"aggregate throughput: B-LL {bll.apps_per_minute:.1f} app/min "
+        f"(max {bll.max_concurrency} concurrent) vs Opt "
+        f"{opt.apps_per_minute:.1f} app/min (max {opt.max_concurrency}); "
+        f"speedup {opt.apps_per_minute / bll.apps_per_minute:.1f}x"
+    )
+    report(
+        "ext_multitenant",
+        format_table(
+            ["tenant", "#users", "B-LL per app", "Opt per app"],
+            rows,
+            title="Extension: heterogeneous multi-tenant mix "
+                  "(18 users x 8 apps)\n" + summary,
+        ),
+    )
+    # elasticity wins on both axes: per-app times and admission
+    assert opt.apps_per_minute > 2 * bll.apps_per_minute
+    assert opt.max_concurrency > bll.max_concurrency

@@ -1,0 +1,57 @@
+"""Figure 1: estimated runtime of LinregDS / LinregCG over the
+CP x MR memory grid (X 8 GB dense with 1,000 features, y 8 MB).
+
+Expected shape: DS is compute-bound and prefers small CP with
+distributed plans (cost rises once plans move into the single-threaded
+CP); CG is IO-bound and drops sharply once X fits the CP budget.
+"""
+
+import pytest
+
+from _lib import fresh_compiled, format_table
+from repro.cluster import paper_cluster
+from repro.tools import what_if_heatmap
+from repro.workloads import scenario
+
+GRID_GB = [1, 2, 5, 10, 15, 20]
+
+
+def heatmap(script):
+    cluster = paper_cluster()
+    compiled, _, _ = fresh_compiled(script, scenario("M", cols=1000))
+    result = what_if_heatmap(
+        cluster, compiled,
+        [g * 1024 for g in GRID_GB], [g * 1024 for g in GRID_GB],
+    )
+    return {
+        mr_gb: result.costs[i] for i, mr_gb in enumerate(GRID_GB)
+    }
+
+
+def render(script, table):
+    rows = [
+        [f"MR {mr}GB"] + [f"{v:.0f}" for v in row]
+        for mr, row in table.items()
+    ]
+    return format_table(
+        ["[s]"] + [f"CP {g}GB" for g in GRID_GB],
+        rows,
+        title=f"Estimated runtime heatmap: {script}, X(8GB)/y(8MB)",
+    )
+
+
+@pytest.mark.repro
+def test_fig01_heatmap(benchmark, report):
+    tables = benchmark.pedantic(
+        lambda: {s: heatmap(s) for s in ("LinregDS", "LinregCG")},
+        rounds=1, iterations=1,
+    )
+    text = "\n\n".join(render(s, t) for s, t in tables.items())
+    report("fig01_heatmap", text)
+
+    ds = tables["LinregDS"]
+    cg = tables["LinregCG"]
+    # DS: small CP at least as good as large CP (distributed wins)
+    assert ds[2][0] <= ds[2][-1]
+    # CG: large CP strictly better than small CP (in-memory wins)
+    assert cg[2][-1] < cg[2][0] / 2

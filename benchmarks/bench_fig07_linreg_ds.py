@@ -1,0 +1,71 @@
+"""Figure 7: LinregDS end-to-end baseline comparison, scenarios XS-XL.
+
+Expected shapes (paper Section 5.2): on dense1000, small-CP distributed
+plans win from M upwards (large CP pays single-threaded compute); on
+sparse shapes in-memory execution wins; Opt tracks the best baseline in
+every scenario without knowing it in advance; on XL the right plan
+matters most.
+"""
+
+import pytest
+
+from _lib import compare_configs, end_to_end_figure, format_table, render_figure
+from repro.workloads import scenario
+
+
+@pytest.mark.repro
+def test_fig07_linreg_ds(benchmark, report):
+    results = benchmark.pedantic(
+        lambda: end_to_end_figure("LinregDS"), rounds=1, iterations=1
+    )
+    report("fig07_linreg_ds", render_figure(
+        results, "Figure 7(a-d): LinregDS, scenarios XS-L"
+    ))
+    for label, by_size in results.items():
+        for size, records in by_size.items():
+            best = min(
+                rec.time for name, rec in records.items() if name != "Opt"
+            )
+            # Opt close to the best baseline everywhere (paper: "in all
+            # scenarios an execution time close to the best baseline");
+            # sparse scenarios run slightly worse "due to more buffer
+            # pool evictions because of the smaller heap size" (5.2)
+            slack = 2.0 if label.startswith("sparse") else 1.35
+            assert records["Opt"].time <= best * slack, (label, size)
+
+
+@pytest.mark.repro
+def test_fig07e_scenario_xl(benchmark, report):
+    """Figure 7(e): the 800 GB scenario across all shapes."""
+
+    def run():
+        out = {}
+        for label, cols, sparse in [
+            ("dense1000", 1000, False), ("sparse1000", 1000, True),
+            ("dense100", 100, False), ("sparse100", 100, True),
+        ]:
+            out[label] = compare_configs(
+                "LinregDS", scenario("XL", cols=cols, sparse=sparse)
+            )
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for label, records in results.items():
+        rows.append(
+            [label]
+            + [f"{records[c].time:.0f}s"
+               for c in ("B-SS", "B-LS", "B-SL", "B-LL", "Opt")]
+        )
+    report(
+        "fig07e_xl",
+        format_table(
+            ["shape", "B-SS", "B-LS", "B-SL", "B-LL", "Opt"],
+            rows,
+            title="Figure 7(e): LinregDS, scenario XL (800GB dense)",
+        ),
+    )
+    # dense1000 XL: distributed plans essential; Opt within reach of best
+    dense = results["dense1000"]
+    best = min(rec.time for name, rec in dense.items() if name != "Opt")
+    assert dense["Opt"].time <= best * 1.35

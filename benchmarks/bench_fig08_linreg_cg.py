@@ -1,0 +1,33 @@
+"""Figure 8: LinregCG end-to-end baseline comparison, scenarios XS-L.
+
+Expected shape: the iterative, IO-bound CG benefits from large CP
+memory on S and M (read X once, multiply in memory); Opt finds those
+configurations automatically.
+"""
+
+import pytest
+
+from _lib import end_to_end_figure, render_figure
+
+
+@pytest.mark.repro
+def test_fig08_linreg_cg(benchmark, report):
+    results = benchmark.pedantic(
+        lambda: end_to_end_figure("LinregCG"), rounds=1, iterations=1
+    )
+    report("fig08_linreg_cg", render_figure(
+        results, "Figure 8(a-d): LinregCG, scenarios XS-L"
+    ))
+    for label, by_size in results.items():
+        for size, records in by_size.items():
+            best = min(
+                rec.time for name, rec in records.items() if name != "Opt"
+            )
+            # sparse slack: buffer-pool evictions at smaller heaps (5.2)
+            slack = 2.0 if label.startswith("sparse") else 1.35
+            assert records["Opt"].time <= best * slack, (label, size)
+    # the large-CP advantage on M dense1000 (paper: "a larger CP memory
+    # usually leads to significant improvements")
+    m_records = results["dense1000"]["M"]
+    assert m_records["B-LS"].time < m_records["B-SS"].time
+    assert m_records["Opt"].resource.cp_heap_mb > 8 * 1024

@@ -1,0 +1,31 @@
+"""Figure 9: L2SVM end-to-end baseline comparison, scenarios XS-L.
+
+Same expected shape as LinregCG: the nested-loop SVM reads X every
+outer iteration, so large CP memory wins from S upward and Opt tracks
+the best baseline.
+"""
+
+import pytest
+
+from _lib import end_to_end_figure, render_figure
+
+
+@pytest.mark.repro
+def test_fig09_l2svm(benchmark, report):
+    results = benchmark.pedantic(
+        lambda: end_to_end_figure("L2SVM"), rounds=1, iterations=1
+    )
+    report("fig09_l2svm", render_figure(
+        results, "Figure 9(a-d): L2SVM, scenarios XS-L"
+    ))
+    for label, by_size in results.items():
+        for size, records in by_size.items():
+            best = min(
+                rec.time for name, rec in records.items() if name != "Opt"
+            )
+            # sparse slack: buffer-pool evictions at smaller heaps (5.2)
+            slack = 2.0 if label.startswith("sparse") else 1.35
+            assert records["Opt"].time <= best * slack, (label, size)
+    # iterative MR plans at small CP are dramatically worse on M
+    m_records = results["dense1000"]["M"]
+    assert m_records["B-SS"].time > 1.5 * m_records["B-LS"].time

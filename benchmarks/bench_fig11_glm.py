@@ -1,0 +1,33 @@
+"""Figure 11: GLM (Poisson/log) end-to-end baseline comparison,
+scenarios XS-L.
+
+Expected shape: like MLogreg, GLM faces unknowns during initial
+compilation, but a few *known* operations act as guards that pull the
+initial CP size up (paper Section 5.5) — so initial optimization fares
+better than MLogreg's, while still benefiting from adaptation on some
+scenarios (Figure 15).
+"""
+
+import pytest
+
+from _lib import end_to_end_figure, render_figure
+
+
+@pytest.mark.repro
+def test_fig11_glm(benchmark, report):
+    results = benchmark.pedantic(
+        lambda: end_to_end_figure("GLM"), rounds=1, iterations=1
+    )
+    report("fig11_glm", render_figure(
+        results, "Figure 11(a-d): GLM poisson/log, scenarios XS-L "
+                 "(runtime adaptation disabled)"
+    ))
+    # known guard operations push GLM's initial CP above the minimum on
+    # the larger dense scenarios
+    m_records = results["dense1000"]["M"]
+    assert m_records["Opt"].resource.cp_heap_mb > 512
+    # and Opt lands close to the best baseline there
+    best = min(
+        rec.time for name, rec in m_records.items() if name != "Opt"
+    )
+    assert m_records["Opt"].time <= best * 1.35

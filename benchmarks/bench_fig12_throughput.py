@@ -1,0 +1,89 @@
+"""Figure 12: end-to-end throughput, Opt vs B-LL, 1-128 users x 8 apps.
+
+The per-application duration is the measured single-application
+execution time from the runtime simulator; the event simulator then
+drives the multi-user driver against YARN container accounting.
+
+Expected shape: identical throughput up to ~4 users; B-LL saturates at 6
+concurrent applications (80 GB containers), Opt at 36/78 (right-sized
+containers) — 5.6x/7.1x improvements in the paper.
+"""
+
+import pytest
+
+from _lib import execute, format_table, optimize
+from repro.cluster import paper_cluster
+from repro.cluster.events import io_saturation_contention, simulate_throughput
+from repro.workloads import paper_baselines, scenario
+
+USERS = [1, 2, 4, 8, 16, 32, 64, 128]
+
+
+def throughput_curves(script, scn):
+    cluster = paper_cluster()
+    opt_result, compiled = optimize(script, scn)
+    opt_rc = opt_result.resource
+    bll_rc = paper_baselines(cluster)["B-LL"]
+    durations = {
+        "Opt": execute(script, scn, opt_rc).time,
+        "B-LL": execute(script, scn, bll_rc).time,
+    }
+    containers = {
+        "Opt": cluster.container_mb_for_heap(opt_rc.cp_heap_mb),
+        "B-LL": cluster.container_mb_for_heap(bll_rc.cp_heap_mb),
+    }
+    curves = {}
+    for config in ("Opt", "B-LL"):
+        curves[config] = [
+            simulate_throughput(
+                cluster, users, 8, durations[config], containers[config],
+                contention=io_saturation_contention(),
+            )
+            for users in USERS
+        ]
+    return curves, containers
+
+
+@pytest.mark.repro
+def test_fig12_throughput(benchmark, report):
+    def run():
+        return {
+            "LinregDS S dense1000": throughput_curves(
+                "LinregDS", scenario("S", cols=1000)
+            ),
+            "L2SVM M sparse100": throughput_curves(
+                "L2SVM", scenario("M", cols=100, sparse=True)
+            ),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    sections = []
+    for title, (curves, containers) in results.items():
+        rows = [
+            [users]
+            + [f"{curves[c][i].apps_per_minute:.1f}" for c in ("Opt", "B-LL")]
+            for i, users in enumerate(USERS)
+        ]
+        speedup = (
+            curves["Opt"][-1].apps_per_minute
+            / curves["B-LL"][-1].apps_per_minute
+        )
+        sections.append(
+            format_table(
+                ["#users", "Opt [app/min]", "B-LL [app/min]"],
+                rows,
+                title=(
+                    f"Figure 12: {title} "
+                    f"(Opt container {containers['Opt']}MB; "
+                    f"speedup at 128 users: {speedup:.1f}x)"
+                ),
+            )
+        )
+        # shapes: equal at low concurrency, large gap at saturation
+        assert curves["Opt"][0].apps_per_minute == pytest.approx(
+            curves["B-LL"][0].apps_per_minute, rel=0.6
+        ) or curves["Opt"][0].apps_per_minute > curves["B-LL"][0].apps_per_minute
+        assert curves["B-LL"][-1].max_concurrency == 6
+        assert curves["Opt"][-1].max_concurrency >= 30
+        assert speedup > 3.0
+    report("fig12_throughput", "\n\n".join(sections))

@@ -1,0 +1,62 @@
+"""Figure 13: number of generated grid points per strategy, LinregDS
+dense1000, scenarios XS-XL, base grids m=15 and m=45.
+
+Expected shape: Equi and Exp are data-independent (constant 15/45 and
+~8 points); Mem (and Hybrid) adapt to the data — one point for tiny
+data (all estimates below min_cc), more points around 8 GB, fewer again
+when estimates exceed max_cc.
+"""
+
+import pytest
+
+from _lib import format_table, fresh_compiled
+from repro.cluster import paper_cluster
+from repro.optimizer.grids import collect_memory_estimates_mb, generate_grid
+from repro.workloads import scenario
+
+SIZES = ["XS", "S", "M", "L", "XL"]
+
+
+def count_points(m):
+    cluster = paper_cluster()
+    lo, hi = cluster.min_heap_mb, cluster.max_heap_mb
+    counts = {kind: [] for kind in ("equi", "exp", "mem", "hybrid")}
+    for size in SIZES:
+        compiled, _, _ = fresh_compiled("LinregDS", scenario(size, cols=1000))
+        estimates = collect_memory_estimates_mb(compiled)
+        for kind in counts:
+            counts[kind].append(
+                len(generate_grid(kind, lo, hi, estimates, m=m))
+            )
+    return counts
+
+
+@pytest.mark.repro
+@pytest.mark.parametrize("m", [15, 45])
+def test_fig13_grid_generators(benchmark, report, m):
+    counts = benchmark.pedantic(lambda: count_points(m), rounds=1,
+                                iterations=1)
+    rows = [
+        [size] + [counts[kind][i] for kind in ("equi", "exp", "mem", "hybrid")]
+        for i, size in enumerate(SIZES)
+    ]
+    report(
+        f"fig13_grids_m{m}",
+        format_table(
+            ["scenario", "Equi", "Exp", "Mem", "Hybrid"],
+            rows,
+            title=f"Figure 13: # of generated grid points (base grid m={m})",
+        ),
+    )
+    # Equi/Exp independent of the data
+    assert len(set(counts["equi"])) == 1
+    assert len(set(counts["exp"])) == 1
+    assert counts["equi"][0] == m
+    # Exp needs only logarithmically many points
+    assert counts["exp"][0] < m
+    # Mem adapts: few points at XS (everything below min_cc), more at M
+    assert counts["mem"][SIZES.index("XS")] <= 2
+    assert counts["mem"][SIZES.index("M")] > counts["mem"][SIZES.index("XS")]
+    # Hybrid covers at least the Exp points
+    for i in range(len(SIZES)):
+        assert counts["hybrid"][i] >= counts["exp"][i]

@@ -1,0 +1,70 @@
+"""Figure 14: percentage of remaining program blocks after pruning,
+all five ML programs, dense1000 scenarios XS-XL.
+
+Expected shape: pruning of blocks of small operations is highly
+effective (0% remaining at XS where everything fits a minimal CP);
+larger data leaves more blocks; pruning of unknowns keeps MLogreg/GLM
+from paying a constant overhead regardless of data size.
+"""
+
+import pytest
+
+from _lib import format_table, fresh_compiled
+from repro.cluster import ResourceConfig, paper_cluster
+from repro.compiler.pipeline import compile_plans
+from repro.optimizer.pruning import prune_program_blocks
+from repro.workloads import scenario
+
+SIZES = ["XS", "S", "M", "L", "XL"]
+SCRIPTS = ["LinregDS", "LinregCG", "L2SVM", "MLogreg", "GLM"]
+
+
+def remaining_fractions():
+    cluster = paper_cluster()
+    baseline = ResourceConfig(cluster.min_heap_mb, cluster.min_heap_mb)
+    table = {}
+    for script in SCRIPTS:
+        for size in SIZES:
+            compiled, _, _ = fresh_compiled(script, scenario(size, cols=1000))
+            compile_plans(compiled, baseline)
+            blocks = list(compiled.last_level_blocks())
+            remaining, small, unknown = prune_program_blocks(blocks)
+            table[(script, size)] = (
+                len(remaining), len(small), len(unknown), len(blocks),
+            )
+    return table
+
+
+@pytest.mark.repro
+def test_fig14_pruning(benchmark, report):
+    table = benchmark.pedantic(remaining_fractions, rounds=1, iterations=1)
+    rows = []
+    for script in SCRIPTS:
+        total = table[(script, "XS")][3]
+        row = [f"{script} (|B|={total})"]
+        for size in SIZES:
+            remaining, _, unknown, blocks = table[(script, size)]
+            row.append(f"{100 * remaining / blocks:.0f}%")
+        rows.append(row)
+    report(
+        "fig14_pruning",
+        format_table(
+            ["program"] + SIZES,
+            rows,
+            title="Figure 14: remaining blocks after pruning "
+                  "(dense1000; % of last-level blocks)",
+        ),
+    )
+    for script in SCRIPTS:
+        # XS: everything fits minimal CP -> all blocks pruned
+        remaining, _, _, _ = table[(script, "XS")]
+        assert remaining == 0, script
+        # pruning never leaves more blocks for smaller data
+        fractions = [
+            table[(script, size)][0] / table[(script, size)][3]
+            for size in SIZES
+        ]
+        assert fractions[0] <= fractions[2] + 1e-9
+    # pruning of unknowns engages for MLogreg and GLM on larger data
+    for script in ("MLogreg", "GLM"):
+        assert any(table[(script, size)][2] > 0 for size in ("M", "L")), script

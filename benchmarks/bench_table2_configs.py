@@ -1,0 +1,61 @@
+"""Table 2: resource configurations chosen by Opt for LinregDS across
+scenarios XS-XL and the four data shapes (CP / max MR heap in GB).
+
+Expected shape: small scenarios pick minimal configurations (no
+over-provisioning, contrast with B-LL's constant 53.3/4.4); larger
+scenarios grow CP or MR memory only when the plans benefit.
+"""
+
+import pytest
+
+from _lib import format_table, gb, optimize
+from repro.workloads import scenario
+
+SHAPES = [
+    ("dense1000", 1000, False),
+    ("sparse1000", 1000, True),
+    ("dense100", 100, False),
+    ("sparse100", 100, True),
+]
+SIZES = ["XS", "S", "M", "L", "XL"]
+
+
+def chosen_configs():
+    table = {}
+    for label, cols, sparse in SHAPES:
+        for size in SIZES:
+            result, _ = optimize(
+                "LinregDS", scenario(size, cols=cols, sparse=sparse)
+            )
+            table[(label, size)] = result.resource
+    return table
+
+
+@pytest.mark.repro
+def test_table2_opt_configs(benchmark, report):
+    table = benchmark.pedantic(chosen_configs, rounds=1, iterations=1)
+    rows = []
+    for size in SIZES:
+        row = [size]
+        for label, _, _ in SHAPES:
+            rc = table[(label, size)]
+            row.append(f"{gb(rc.cp_heap_mb)}/{gb(rc.max_mr_heap_mb)}")
+        rows.append(row)
+    report(
+        "table2_configs",
+        format_table(
+            ["Scenario"] + [s[0] for s in SHAPES],
+            rows,
+            title="Table 2: Opt resource configs, LinregDS "
+                  "(CP/max-MR heap; paper B-LL is 53.3GB/4.4GB)",
+        ),
+    )
+    # no over-provisioning: XS picks (near-)minimal resources everywhere
+    for label, _, _ in SHAPES:
+        rc = table[(label, "XS")]
+        assert rc.cp_heap_mb <= 2048
+    # XL dense needs more resources than XS dense
+    assert (
+        table[("dense1000", "XL")].footprint()
+        > table[("dense1000", "XS")].footprint()
+    )

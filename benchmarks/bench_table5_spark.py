@@ -1,0 +1,76 @@
+"""Table 5: SystemML+Opt on MR vs the SystemML runtime on Spark
+(hand-coded Plan 1 Hybrid / Plan 2 Full), L2SVM, scenarios XS-XL.
+
+Expected shapes (paper Appendix D): single-node CP dominates XS-M (the
+static Spark executors are underutilized); Spark has a cache sweet spot
+at L (data exceeds single-node memory but fits aggregate executor
+memory); at XL (~2x aggregate memory) the advantage disappears; Hybrid
+beats Full everywhere.
+"""
+
+import pytest
+
+from _lib import execute, format_table, fresh_compiled, optimize
+from repro.cluster.spark import SparkRuntime
+from repro.workloads import scenario
+
+SIZES = ["XS", "S", "M", "L", "XL"]
+
+PAPER = {  # seconds, from Table 5
+    "XS": (6, 25, 59),
+    "S": (12, 31, 126),
+    "M": (40, 43, 184),
+    "L": (836, 167, 347),
+    "XL": (12376, 10119, 13661),
+}
+
+
+def spark_comparison():
+    spark = SparkRuntime()
+    rows = []
+    raw = {}
+    for size in SIZES:
+        scn = scenario(size, cols=1000)
+        opt_result, compiled = optimize("L2SVM", scn)
+        hdfs = None
+        mr_rec = execute("L2SVM", scn, opt_result.resource)
+        hybrid = spark.run_l2svm(scn, "hybrid")
+        full = spark.run_l2svm(scn, "full")
+        raw[size] = (mr_rec.time, hybrid.total_time, full.total_time)
+        p_mr, p_h, p_f = PAPER[size]
+        rows.append([
+            size,
+            f"{mr_rec.time:.0f}s", f"{hybrid.total_time:.0f}s",
+            f"{full.total_time:.0f}s",
+            f"{p_mr}s", f"{p_h}s", f"{p_f}s",
+        ])
+    return rows, raw
+
+
+@pytest.mark.repro
+def test_table5_spark_comparison(benchmark, report):
+    rows, raw = benchmark.pedantic(spark_comparison, rounds=1, iterations=1)
+    report(
+        "table5_spark",
+        format_table(
+            ["Scen.", "MR+Opt", "Spark Hyb.", "Spark Full",
+             "paper MR", "paper Hyb.", "paper Full"],
+            rows,
+            title="Table 5: L2SVM on MR with Opt vs SystemML runtime on "
+                  "Spark (ours vs paper)",
+        ),
+    )
+    # shape checks
+    for size in SIZES:
+        mr, hybrid, full = raw[size]
+        assert hybrid < full, size  # Plan 1 always beats Plan 2
+    # CP-only SystemML wins for small data; M is a near-tie in the
+    # paper (40s vs 43s) — allow either side within a small factor
+    for size in ("XS", "S"):
+        assert raw[size][0] < raw[size][1], size
+    assert raw["M"][0] < raw["M"][1] * 2.5
+    # Spark's cache sweet spot at L
+    assert raw["L"][1] < raw["L"][0]
+    # at XL the cache advantage largely collapses (paper: "no
+    # significant differences"; both runtimes within a few x)
+    assert raw["XL"][1] > 0.25 * raw["XL"][0]

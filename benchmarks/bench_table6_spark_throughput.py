@@ -1,0 +1,82 @@
+"""Table 6: multi-user throughput, SystemML+Opt on MR vs the Spark
+runtime (Plan 2 Full), L2SVM scenario S.
+
+Expected shape (paper Appendix D): SystemML's moderate resource
+requests (one ~12 GB container, no MR jobs) scale to tens of parallel
+applications (13.7x at 32 users in the paper), while a single Spark
+application occupies the entire cluster and throughput stays flat.
+"""
+
+import pytest
+
+from _lib import execute, format_table, optimize
+from repro.cluster import paper_cluster
+from repro.cluster.events import io_saturation_contention, simulate_throughput
+from repro.cluster.spark import SparkConfig, SparkRuntime
+from repro.workloads import scenario
+
+USERS = [1, 8, 32]
+
+PAPER = {  # app/min from Table 6
+    1: (5.1, 0.48),
+    8: (35.6, 0.84),
+    32: (69.8, 0.83),
+}
+
+
+def spark_throughput():
+    cluster = paper_cluster()
+    scn = scenario("S", cols=1000)
+    opt_result, _ = optimize("L2SVM", scn)
+    mr_duration = execute("L2SVM", scn, opt_result.resource).time
+    mr_container = cluster.container_mb_for_heap(
+        opt_result.resource.cp_heap_mb
+    )
+    spark = SparkRuntime()
+    spark_duration = spark.run_l2svm(scn, "full").total_time
+    # one Spark application allocates 6 standing 55 GB executor
+    # containers (plus a small driver): it occupies the whole cluster
+    spark_config = SparkConfig()
+    executor_container = int(
+        spark_config.executor_memory_mb * spark_config.overhead_factor
+    )
+    rows = []
+    raw = {}
+    for users in USERS:
+        mr_out = simulate_throughput(
+            cluster, users, 8, mr_duration, mr_container,
+            contention=io_saturation_contention(),
+        )
+        spark_out = simulate_throughput(
+            cluster, users, 8, spark_duration, executor_container,
+            containers_per_app=spark_config.num_executors,
+        )
+        raw[users] = (mr_out.apps_per_minute, spark_out.apps_per_minute)
+        p_mr, p_spark = PAPER[users]
+        rows.append([
+            users,
+            f"{mr_out.apps_per_minute:.1f}",
+            f"{spark_out.apps_per_minute:.2f}",
+            f"{p_mr}", f"{p_spark}",
+        ])
+    return rows, raw
+
+
+@pytest.mark.repro
+def test_table6_spark_throughput(benchmark, report):
+    rows, raw = benchmark.pedantic(spark_throughput, rounds=1, iterations=1)
+    report(
+        "table6_spark_throughput",
+        format_table(
+            ["#users", "MR+Opt [app/min]", "Spark Full [app/min]",
+             "paper MR", "paper Spark"],
+            rows,
+            title="Table 6: throughput vs #users, L2SVM scenario S "
+                  "(ours vs paper)",
+        ),
+    )
+    # MR+Opt throughput scales with users; Spark stays flat
+    assert raw[32][0] > 5 * raw[1][0]
+    assert raw[32][1] < 2.5 * raw[1][1]
+    # and the gap at 32 users is an order of magnitude
+    assert raw[32][0] > 10 * raw[32][1]

@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark/reproduction harness.
+
+Each benchmark regenerates one table or figure of the paper: it runs the
+experiment (on the simulated cluster), prints the same rows/series the
+paper reports, and writes them to ``benchmarks/results/<name>.txt``.
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Callable report(name, text): persist and display one table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _report(name, text):
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n===== {name} =====\n{text}\n")
+        return path
+
+    return _report
+
+
+def pytest_configure(config):
+    # heavy experiment functions run once; pytest-benchmark defaults to
+    # many rounds, so benches use benchmark.pedantic(rounds=1)
+    config.addinivalue_line("markers", "repro: paper-reproduction bench")

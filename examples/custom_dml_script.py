@@ -1,0 +1,73 @@
+"""Writing your own DML script: ridge regression with standardization
+and a what-if cost comparison.
+
+Shows the declarative workflow the paper argues for: write linear
+algebra once, let the compiler pick hybrid in-memory/distributed plans,
+and let the resource optimizer pick the memory configuration — then
+inspect what-if costs for configurations you might have picked by hand.
+
+    python examples/custom_dml_script.py
+"""
+
+from repro import ElasticMLSession, ResourceConfig
+from repro.workloads import scenario
+
+RIDGE = """
+# ridge regression with feature standardization
+X = read($X)
+y = read($Y)
+lambda = ifdef($reg, 0.1)
+
+n = nrow(X)
+m = ncol(X)
+
+# standardize features: zero mean, unit variance
+col_means = colSums(X) / n
+col_var = colSums(X ^ 2) / n - col_means ^ 2
+col_sd = sqrt(max(col_var, 0.0000001))
+X = (X - col_means) / col_sd
+
+# closed-form ridge solve
+A = t(X) %*% X + diag(matrix(lambda * n, rows=m, cols=1))
+b = t(X) %*% y
+beta = solve(A, b)
+
+# report fit
+resid = y - X %*% beta
+r2 = 1 - sum(resid ^ 2) / sum((y - sum(y) / n) ^ 2)
+print("RIDGE: n=" + n + " m=" + m + " lambda=" + lambda)
+print("R2=" + r2)
+write(beta, $B, format="binary")
+"""
+
+
+def main():
+    session = ElasticMLSession()
+    scn = scenario("M", cols=1000)
+    session.hdfs.create_dense_input("ridge/X", scn.rows, scn.cols, seed=42)
+    session.hdfs.create_regression_target("ridge/y", scn.rows, seed=43)
+    args = {"X": "ridge/X", "Y": "ridge/y", "B": "ridge/beta", "reg": 0.05}
+
+    compiled = session.compile_script(RIDGE, args)
+    print(f"compiled into {compiled.num_blocks()} program blocks")
+
+    # what-if analysis over hand-picked configurations
+    print(f"\n{'configuration':24} {'estimated cost':>15}")
+    for cp_gb, mr_gb in [(0.5, 0.5), (2, 2), (8, 2), (16, 4), (53, 4.4)]:
+        rc = ResourceConfig(cp_gb * 1024, mr_gb * 1024)
+        cost = session.estimate_cost(compiled, rc)
+        print(f"{rc.describe():24} {cost:>14.0f}s")
+
+    # the optimizer's pick
+    opt = session.optimize(compiled)
+    print(f"\noptimizer: {opt.resource.describe()} "
+          f"(estimated {opt.cost:.0f}s)")
+
+    result = session.execute(compiled, opt.resource)
+    print(f"executed in {result.total_time:.0f}s simulated")
+    for line in result.prints:
+        print("  |", line)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Multi-tenancy throughput (paper Section 5.3): why avoiding
+over-provisioning matters even when a single run is no faster.
+
+The allocated resources per application bound the number of parallel
+applications: B-LL's 80 GB containers admit 6 concurrent applications on
+the paper cluster, while the optimizer's right-sized requests admit 36.
+
+    python examples/multi_tenant_throughput.py
+"""
+
+from repro import ElasticMLSession
+from repro.cluster.events import io_saturation_contention, simulate_throughput
+from repro.workloads import paper_baselines, prepare_inputs, scenario
+
+
+def main():
+    session = ElasticMLSession()
+    cluster = session.cluster
+    scn = scenario("S", cols=1000)  # 800 MB dense
+
+    # measure single-application durations under each configuration
+    args = prepare_inputs(session.hdfs, "LinregDS", scn)
+    compiled = session.compile_registered("LinregDS", args)
+    opt = session.optimize(compiled)
+    opt_time = session.execute(compiled, opt.resource).total_time
+    bll = paper_baselines(cluster)["B-LL"]
+    bll_time = session.execute(compiled, bll).total_time
+
+    print(f"single application: Opt {opt_time:.0f}s "
+          f"({opt.resource.describe()}), B-LL {bll_time:.0f}s "
+          f"({bll.describe()})")
+
+    opt_container = cluster.container_mb_for_heap(opt.resource.cp_heap_mb)
+    bll_container = cluster.container_mb_for_heap(bll.cp_heap_mb)
+    print(f"container requests: Opt {opt_container} MB -> "
+          f"{cluster.num_nodes * (cluster.node_memory_mb // opt_container)} "
+          f"parallel apps; B-LL {bll_container} MB -> "
+          f"{cluster.num_nodes * (cluster.node_memory_mb // bll_container)}")
+
+    print(f"\n{'#users':>7} {'Opt [app/min]':>14} {'B-LL [app/min]':>15}")
+    for users in (1, 2, 4, 8, 16, 32, 64, 128):
+        opt_out = simulate_throughput(
+            cluster, users, 8, opt_time, opt_container,
+            contention=io_saturation_contention(),
+        )
+        bll_out = simulate_throughput(
+            cluster, users, 8, bll_time, bll_container,
+            contention=io_saturation_contention(),
+        )
+        print(f"{users:>7} {opt_out.apps_per_minute:>14.1f} "
+              f"{bll_out.apps_per_minute:>15.1f}")
+
+
+if __name__ == "__main__":
+    main()

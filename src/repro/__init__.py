@@ -1,0 +1,49 @@
+"""repro — a reproduction of "Resource Elasticity for Large-Scale
+Machine Learning" (Huang et al., SIGMOD 2015).
+
+The package implements the full SystemML-style stack the paper builds
+on — a DML compiler producing memory-sensitive hybrid CP/MR runtime
+plans, a simulated YARN/MapReduce/HDFS cluster substrate, and a white-box
+cost model — plus the paper's contributions: the grid-enumeration
+resource optimizer with program-aware pruning (Section 3), its
+task-parallel variant (Appendix C), and runtime resource adaptation with
+CP application-master migration (Section 4).
+
+Entry points:
+
+* :class:`repro.api.ElasticMLSession` — compile/optimize/execute DML
+  scripts against a simulated cluster;
+* :mod:`repro.scripts` — the five bundled ML programs of Table 1;
+* :mod:`repro.workloads` — data scenarios XS-XL and static baselines;
+* :mod:`repro.optimizer` — the resource optimizer itself.
+"""
+
+from repro.api import ElasticMLSession, RunOutcome
+from repro.cluster import ClusterConfig, ResourceConfig, paper_cluster, small_cluster
+from repro.common import MatrixCharacteristics
+from repro.compiler import compile_program
+from repro.errors import ReproError
+from repro.optimizer import ResourceAdapter, ResourceOptimizer
+from repro.runtime import Interpreter, SimulatedHDFS
+from repro.scripts import SCRIPTS, load_script
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ElasticMLSession",
+    "RunOutcome",
+    "ClusterConfig",
+    "ResourceConfig",
+    "paper_cluster",
+    "small_cluster",
+    "MatrixCharacteristics",
+    "compile_program",
+    "ReproError",
+    "ResourceOptimizer",
+    "ResourceAdapter",
+    "Interpreter",
+    "SimulatedHDFS",
+    "SCRIPTS",
+    "load_script",
+    "__version__",
+]

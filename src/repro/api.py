@@ -1,0 +1,140 @@
+"""High-level public API.
+
+:class:`ElasticMLSession` ties the pieces together the way SystemML's
+YARN client does (paper Figure 2(b)): it owns a simulated cluster and
+HDFS, compiles DML scripts against the HDFS input metadata, runs the
+resource optimizer to decide the initial CP/MR configuration, and
+executes programs with optional runtime resource adaptation.
+
+Typical use::
+
+    from repro import ElasticMLSession
+    from repro.workloads import prepare_inputs, scenario
+
+    session = ElasticMLSession()
+    args = prepare_inputs(session.hdfs, "LinregCG", scenario("M"))
+    outcome = session.run_registered("LinregCG", args)
+    print(outcome.resource.describe(), outcome.result.total_time)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster import ResourceConfig, paper_cluster
+from repro.compiler.pipeline import CompiledProgram, compile_program
+from repro.cost import CostModel
+from repro.cost.constants import DEFAULT_PARAMETERS
+from repro.optimizer import ResourceAdapter, ResourceOptimizer
+from repro.runtime import Interpreter, SimulatedHDFS
+from repro.runtime.matrix import DEFAULT_SAMPLE_CAP
+from repro.scripts import load_script
+
+
+@dataclass
+class RunOutcome:
+    """Everything produced by one end-to-end run."""
+
+    result: object = None  # ExecutionResult
+    resource: ResourceConfig = None
+    optimizer_result: object = None  # OptimizerResult or None
+    compiled: CompiledProgram = None
+
+    @property
+    def total_time(self):
+        return self.result.total_time
+
+    @property
+    def prints(self):
+        return self.result.prints
+
+
+@dataclass
+class ElasticMLSession:
+    """A client session against one simulated cluster."""
+
+    cluster: object = field(default_factory=paper_cluster)
+    params: object = field(default_factory=lambda: DEFAULT_PARAMETERS)
+    hdfs: SimulatedHDFS = None
+    sample_cap: int = DEFAULT_SAMPLE_CAP
+    seed: int = 0
+    # optimizer defaults (Section 5.1: Hybrid, m = 15)
+    grid_cp: str = "hybrid"
+    grid_mr: str = "hybrid"
+    grid_m: int = 15
+
+    def __post_init__(self):
+        if self.hdfs is None:
+            self.hdfs = SimulatedHDFS(sample_cap=self.sample_cap)
+
+    # -- compilation -----------------------------------------------------
+
+    def compile_script(self, source, args, resource=None):
+        """Compile DML source against the session's HDFS metadata."""
+        return compile_program(source, args, self.hdfs.input_meta(), resource)
+
+    def compile_registered(self, name, args, resource=None):
+        """Compile one of the bundled scripts (LinregDS, ..., GLM)."""
+        return self.compile_script(load_script(name), args, resource)
+
+    # -- optimization ----------------------------------------------------
+
+    def make_optimizer(self, **kwargs):
+        options = {
+            "grid_cp": self.grid_cp,
+            "grid_mr": self.grid_mr,
+            "m": self.grid_m,
+        }
+        options.update(kwargs)
+        return ResourceOptimizer(self.cluster, self.params, **options)
+
+    def optimize(self, compiled, **kwargs):
+        """Run initial resource optimization on a compiled program."""
+        return self.make_optimizer(**kwargs).optimize(compiled)
+
+    # -- execution ---------------------------------------------------------
+
+    def execute(self, compiled, resource, adapt=True):
+        """Execute under an explicit configuration."""
+        adapter = (
+            ResourceAdapter(self.make_optimizer()) if adapt else None
+        )
+        interpreter = Interpreter(
+            self.cluster,
+            params=self.params,
+            hdfs=self.hdfs,
+            sample_cap=self.sample_cap,
+            adapter=adapter,
+            seed=self.seed,
+        )
+        return interpreter.run(compiled, resource)
+
+    def run_script(self, source, args, resource=None, adapt=True):
+        """Compile, optimize (unless ``resource`` given), and execute."""
+        compiled = self.compile_script(source, args)
+        optimizer_result = None
+        if resource is None:
+            optimizer_result = self.optimize(compiled)
+            resource = optimizer_result.resource
+        result = self.execute(compiled, resource, adapt=adapt)
+        return RunOutcome(
+            result=result,
+            resource=result.final_resource,
+            optimizer_result=optimizer_result,
+            compiled=compiled,
+        )
+
+    def run_registered(self, name, args, resource=None, adapt=True):
+        """Like :meth:`run_script` for a bundled script name."""
+        return self.run_script(load_script(name), args, resource, adapt)
+
+    # -- analysis helpers --------------------------------------------------
+
+    def estimate_cost(self, compiled, resource):
+        """What-if cost of a program under a configuration (seconds)."""
+        from repro.compiler.pipeline import compile_plans
+
+        compile_plans(compiled, resource)
+        return CostModel(self.cluster, self.params).estimate_program(
+            compiled, resource
+        )

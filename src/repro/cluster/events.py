@@ -1,0 +1,213 @@
+"""Discrete-event multi-application throughput simulator (Section 5.3).
+
+Reproduces the paper's throughput methodology: a multi-threaded driver
+spawns |U| users, each running ``apps_per_user`` applications back to
+back.  Each application requests an AM container (1.5x its CP heap) from
+the YARN RM; applications queue FIFO when the cluster lacks capacity.
+Throughput is total applications divided by total driver time.
+
+The per-application duration is supplied by the caller (typically the
+measured single-application execution time from the runtime simulator);
+an optional ``contention`` function can model slowdown under
+concurrency (e.g. IO-bandwidth saturation at the head node, which the
+paper observes as sub-linear speedup).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+
+from repro.cluster.yarn import ResourceManager
+
+
+@dataclass
+class ThroughputOutcome:
+    total_apps: int
+    makespan_seconds: float
+    max_concurrency: int
+
+    @property
+    def apps_per_minute(self):
+        if self.makespan_seconds <= 0:
+            return 0.0
+        return self.total_apps * 60.0 / self.makespan_seconds
+
+
+def simulate_throughput(cluster, num_users, apps_per_user, app_duration,
+                        container_mb, contention=None,
+                        containers_per_app=1):
+    """Event-driven simulation of the multi-user driver.
+
+    ``app_duration`` is the base execution time of one application;
+    ``container_mb`` the AM container request per application;
+    ``contention(concurrency)`` optionally returns a slowdown factor
+    (>= 1) applied at application start; ``containers_per_app`` models
+    applications with standing worker containers (e.g. Spark executors)
+    allocated all-or-nothing.
+    """
+    rm = ResourceManager(cluster)
+    sequence = itertools.count()
+    events = []  # (time, seq, kind, payload)
+    waiting = []  # FIFO queue of user ids whose next app awaits capacity
+    remaining = {u: apps_per_user for u in range(num_users)}
+    running = {}  # user -> container
+    clock = 0.0
+    completed = 0
+    concurrency = 0
+    max_concurrency = 0
+
+    def allocate_app():
+        granted = []
+        for _ in range(containers_per_app):
+            container = rm.try_allocate(container_mb)
+            if container is None:
+                for c in granted:
+                    rm.release(c)
+                return None
+            granted.append(container)
+        return granted
+
+    def try_start(user, now):
+        nonlocal concurrency, max_concurrency
+        containers = allocate_app()
+        if containers is None:
+            waiting.append(user)
+            return False
+        running[user] = containers
+        concurrency += 1
+        max_concurrency = max(max_concurrency, concurrency)
+        factor = contention(concurrency) if contention is not None else 1.0
+        heapq.heappush(
+            events, (now + app_duration * max(factor, 1.0), next(sequence),
+                     "finish", user)
+        )
+        return True
+
+    for user in range(num_users):
+        try_start(user, 0.0)
+
+    while events:
+        clock, _, kind, user = heapq.heappop(events)
+        if kind != "finish":
+            continue
+        concurrency -= 1
+        for container in running.pop(user):
+            rm.release(container)
+        completed += 1
+        remaining[user] -= 1
+        # the finished user's next app joins the queue
+        if remaining[user] > 0:
+            waiting.append(user)
+        # admit queued users while capacity lasts
+        admitted = []
+        for queued in list(waiting):
+            containers = allocate_app()
+            if containers is None:
+                break
+            waiting.remove(queued)
+            running[queued] = containers
+            concurrency += 1
+            max_concurrency = max(max_concurrency, concurrency)
+            factor = contention(concurrency) if contention is not None else 1.0
+            heapq.heappush(
+                events,
+                (clock + app_duration * max(factor, 1.0), next(sequence),
+                 "finish", queued),
+            )
+            admitted.append(queued)
+
+    return ThroughputOutcome(
+        total_apps=num_users * apps_per_user,
+        makespan_seconds=clock,
+        max_concurrency=max_concurrency,
+    )
+
+
+def simulate_mixed_throughput(cluster, user_specs, apps_per_user=8,
+                              contention=None):
+    """Heterogeneous multi-tenancy: each user runs its own application
+    type, with its own duration and container request — the "variety of
+    ML programs" setting that makes static cluster configurations a
+    compromise (paper Section 1).
+
+    ``user_specs`` is a list of (app_duration, container_mb) tuples, one
+    per user.  Returns a :class:`ThroughputOutcome`.
+    """
+    rm = ResourceManager(cluster)
+    sequence = itertools.count()
+    events = []
+    waiting = []
+    remaining = {u: apps_per_user for u in range(len(user_specs))}
+    running = {}
+    clock = 0.0
+    concurrency = 0
+    max_concurrency = 0
+
+    def try_start(user, now):
+        nonlocal concurrency, max_concurrency
+        duration, container_mb = user_specs[user]
+        container = rm.try_allocate(container_mb)
+        if container is None:
+            waiting.append(user)
+            return False
+        running[user] = [container]
+        concurrency += 1
+        max_concurrency = max(max_concurrency, concurrency)
+        factor = contention(concurrency) if contention is not None else 1.0
+        heapq.heappush(
+            events,
+            (now + duration * max(factor, 1.0), next(sequence), "finish",
+             user),
+        )
+        return True
+
+    for user in range(len(user_specs)):
+        try_start(user, 0.0)
+
+    while events:
+        clock, _, kind, user = heapq.heappop(events)
+        concurrency -= 1
+        for container in running.pop(user):
+            rm.release(container)
+        remaining[user] -= 1
+        if remaining[user] > 0:
+            waiting.append(user)
+        for queued in list(waiting):
+            duration, container_mb = user_specs[queued]
+            container = rm.try_allocate(container_mb)
+            if container is None:
+                continue  # other queued users may still fit
+            waiting.remove(queued)
+            running[queued] = [container]
+            concurrency += 1
+            max_concurrency = max(max_concurrency, concurrency)
+            factor = (
+                contention(concurrency) if contention is not None else 1.0
+            )
+            heapq.heappush(
+                events,
+                (clock + duration * max(factor, 1.0), next(sequence),
+                 "finish", queued),
+            )
+
+    return ThroughputOutcome(
+        total_apps=len(user_specs) * apps_per_user,
+        makespan_seconds=clock,
+        max_concurrency=max_concurrency,
+    )
+
+
+def io_saturation_contention(saturation_point=8, exponent=0.35):
+    """A contention model for shared head-node IO: no slowdown up to
+    ``saturation_point`` concurrent applications, then a gentle
+    power-law slowdown (the paper reports suboptimal speedup 'due to IO
+    bandwidth saturation')."""
+
+    def factor(concurrency):
+        if concurrency <= saturation_point:
+            return 1.0
+        return (concurrency / saturation_point) ** exponent
+
+    return factor

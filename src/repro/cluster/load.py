@@ -1,0 +1,58 @@
+"""Cluster background-load model (paper Section 6, "Cluster-Utilization-
+Based Adaptation").
+
+Models time-varying background utilization of the shared cluster and
+the resulting slowdown of distributed jobs: at utilization u, only a
+(1 - u) fraction of the map/reduce slots is effectively available, so
+MR phases stretch by ``1 / (1 - u)`` (capped).  CP execution inside the
+application's own container is unaffected — which is exactly why a
+fallback to single-node in-memory plans becomes attractive on a loaded
+cluster.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+#: utilization is capped so slowdown stays finite
+MAX_UTILIZATION = 0.9
+
+
+def mr_slowdown(utilization):
+    """Multiplicative slowdown of MR phases at a given utilization."""
+    u = min(max(float(utilization), 0.0), MAX_UTILIZATION)
+    return 1.0 / (1.0 - u)
+
+
+@dataclass
+class ClusterLoad:
+    """Piecewise-constant background utilization over (virtual) time.
+
+    ``schedule`` is a list of (start_time, utilization) steps, sorted by
+    start time; utilization before the first step is ``baseline``.
+    """
+
+    schedule: list = field(default_factory=list)
+    baseline: float = 0.0
+
+    def __post_init__(self):
+        self.schedule = sorted(self.schedule)
+        self._times = [t for t, _ in self.schedule]
+
+    def utilization(self, time):
+        idx = bisect.bisect_right(self._times, time) - 1
+        if idx < 0:
+            return self.baseline
+        return self.schedule[idx][1]
+
+    def slowdown(self, time):
+        return mr_slowdown(self.utilization(time))
+
+    @classmethod
+    def constant(cls, utilization):
+        return cls(schedule=[(0.0, utilization)], baseline=utilization)
+
+    @classmethod
+    def idle(cls):
+        return cls()

@@ -1,0 +1,172 @@
+"""Offer-based resource allocation (paper Section 2.3, "Problem
+Instantiations").
+
+YARN lets the client *request* the optimal configuration R*_P directly;
+Mesos-style frameworks instead receive resource *offers* and must decide
+per offer whether to accept (launch the control program at the offered
+size) or decline and keep waiting.  The paper notes this instantiation
+"has additional optimization decisions in case of non-matching offers".
+
+:class:`OfferBasedAllocator` implements those decisions on top of the
+resource optimizer's CP cost profile: a container of size h can run any
+enumerated configuration that fits h, so the *value* of an offer is the
+best cost among grid points at or below the offered heap.  The
+acceptance policy is a decaying reservation price — initially only
+near-optimal offers are accepted; the tolerated regret grows linearly
+with waiting time (waiting itself costs ``wait_cost_per_second``), which
+guarantees acceptance once the tolerated regret covers the worst grid
+point.
+
+:class:`OfferStream` simulates the offers a framework sees on a shared
+cluster: free memory fluctuates with background load, and each offer
+exposes one node's currently free capacity.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ClusterError
+
+_offer_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class ResourceOffer:
+    """One Mesos-style offer: free memory on one node at some time."""
+
+    offer_id: int
+    node_id: int
+    memory_mb: float
+    timestamp: float
+
+
+class OfferDecision(enum.Enum):
+    ACCEPT = "accept"
+    DECLINE = "decline"
+
+
+@dataclass
+class AllocationOutcome:
+    """Result of driving an allocator over an offer stream."""
+
+    offer: ResourceOffer = None
+    heap_mb: float = 0.0
+    cost: float = float("inf")
+    regret: float = float("inf")
+    waited: float = 0.0
+    declined: int = 0
+
+    @property
+    def accepted(self):
+        return self.offer is not None
+
+
+class OfferBasedAllocator:
+    """Accept/decline decisions over the optimizer's CP cost profile."""
+
+    def __init__(self, cp_profile, cluster, wait_cost_per_second=1.0,
+                 start_time=0.0):
+        """``cp_profile`` is the optimizer's list of
+        (cp_heap_mb, program_cost) samples (OptimizerResult.cp_profile).
+        """
+        if not cp_profile:
+            raise ClusterError("empty CP cost profile")
+        self.profile = sorted(cp_profile)
+        self.cluster = cluster
+        self.wait_cost_per_second = wait_cost_per_second
+        self.start_time = start_time
+        finite = [c for _, c in self.profile if c != float("inf")]
+        if not finite:
+            raise ClusterError("cost profile has no feasible point")
+        self.best_cost = min(finite)
+
+    # -- offer valuation ---------------------------------------------------
+
+    def cost_at(self, heap_mb):
+        """Best achievable program cost within an offered heap, or None
+        when even the smallest enumerated configuration does not fit."""
+        candidates = [c for h, c in self.profile if h <= heap_mb]
+        if not candidates:
+            return None
+        return min(candidates)
+
+    def config_at(self, heap_mb):
+        """The enumerated CP heap realizing :meth:`cost_at`."""
+        candidates = [(c, h) for h, c in self.profile if h <= heap_mb]
+        if not candidates:
+            return None
+        cost, heap = min(candidates)
+        return heap
+
+    def tolerated_regret(self, now):
+        """The decaying reservation price: the longer we wait, the more
+        cost regret we accept (waiting has already cost us)."""
+        waited = max(0.0, now - self.start_time)
+        return self.wait_cost_per_second * waited
+
+    # -- decisions ---------------------------------------------------------
+
+    def evaluate(self, offer):
+        """Return (decision, cost, regret) for one offer."""
+        heap = self.cluster.heap_mb_for_container(offer.memory_mb)
+        cost = self.cost_at(heap)
+        if cost is None:
+            return OfferDecision.DECLINE, None, None
+        regret = cost - self.best_cost
+        if regret <= self.tolerated_regret(offer.timestamp):
+            return OfferDecision.ACCEPT, cost, regret
+        return OfferDecision.DECLINE, cost, regret
+
+    def allocate(self, offers):
+        """Drive the policy over an iterable of offers; returns the
+        :class:`AllocationOutcome` of the first acceptance (or a
+        non-accepted outcome if the stream ends first)."""
+        outcome = AllocationOutcome()
+        for offer in offers:
+            decision, cost, regret = self.evaluate(offer)
+            if decision is OfferDecision.ACCEPT:
+                heap = self.cluster.heap_mb_for_container(offer.memory_mb)
+                outcome.offer = offer
+                outcome.heap_mb = self.config_at(heap)
+                outcome.cost = cost
+                outcome.regret = regret
+                outcome.waited = offer.timestamp - self.start_time
+                return outcome
+            outcome.declined += 1
+        return outcome
+
+
+@dataclass
+class OfferStream:
+    """Deterministic simulated offer stream on a loaded cluster.
+
+    Background load occupies a Beta-distributed fraction of each node's
+    memory; one node's free capacity is offered every
+    ``interarrival_seconds``.
+    """
+
+    cluster: object
+    interarrival_seconds: float = 2.0
+    load_mean: float = 0.6
+    seed: int = 0
+    max_offers: int = 1000
+
+    def __iter__(self):
+        rng = np.random.default_rng(self.seed)
+        a = max(self.load_mean * 8, 0.2)
+        b = max((1 - self.load_mean) * 8, 0.2)
+        for i in range(self.max_offers):
+            node = int(rng.integers(0, self.cluster.num_nodes))
+            load = float(rng.beta(a, b))
+            free = self.cluster.node_memory_mb * (1.0 - load)
+            yield ResourceOffer(
+                offer_id=next(_offer_ids),
+                node_id=node,
+                memory_mb=max(free, 0.0),
+                timestamp=(i + 1) * self.interarrival_seconds,
+            )

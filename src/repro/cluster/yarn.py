@@ -1,0 +1,110 @@
+"""Simulated YARN resource management: container accounting.
+
+Models the Resource Manager / Node Manager split of the paper's Figure
+2(b) at the level relevant for resource elasticity: request-based
+container allocation with per-node capacity, min/max allocation
+constraints, and first-fit placement.  The throughput experiments
+(Section 5.3) are driven by this accounting — the allocated resources
+per application directly bound the number of parallel applications.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import ClusterError
+
+_container_ids = itertools.count(1)
+
+
+@dataclass
+class Container:
+    """One granted resource container."""
+
+    container_id: int
+    node_id: int
+    memory_mb: int
+
+
+@dataclass
+class NodeManager:
+    """Per-node resource tracking."""
+
+    node_id: int
+    capacity_mb: int
+    used_mb: int = 0
+    containers: dict = field(default_factory=dict)
+
+    @property
+    def available_mb(self):
+        return self.capacity_mb - self.used_mb
+
+    def can_allocate(self, memory_mb):
+        return memory_mb <= self.available_mb
+
+    def allocate(self, memory_mb):
+        if not self.can_allocate(memory_mb):
+            raise ClusterError(
+                f"node {self.node_id} cannot allocate {memory_mb} MB "
+                f"({self.available_mb} MB free)"
+            )
+        container = Container(next(_container_ids), self.node_id, memory_mb)
+        self.used_mb += memory_mb
+        self.containers[container.container_id] = container
+        return container
+
+    def release(self, container):
+        if container.container_id not in self.containers:
+            raise ClusterError(
+                f"container {container.container_id} not on node {self.node_id}"
+            )
+        del self.containers[container.container_id]
+        self.used_mb -= container.memory_mb
+
+
+class ResourceManager:
+    """Cluster-wide container allocation with min/max constraints."""
+
+    def __init__(self, cluster):
+        self.cluster = cluster
+        self.nodes = [
+            NodeManager(node_id=i, capacity_mb=cluster.node_memory_mb)
+            for i in range(cluster.num_nodes)
+        ]
+
+    @property
+    def available_mb(self):
+        return sum(node.available_mb for node in self.nodes)
+
+    @property
+    def used_mb(self):
+        return sum(node.used_mb for node in self.nodes)
+
+    def normalize_request(self, memory_mb):
+        """Clamp a request to the min constraint; reject above max."""
+        request = max(int(memory_mb), self.cluster.min_allocation_mb)
+        if request > self.cluster.max_allocation_mb:
+            raise ClusterError(
+                f"container request {request} MB exceeds the maximum "
+                f"allocation {self.cluster.max_allocation_mb} MB"
+            )
+        return request
+
+    def try_allocate(self, memory_mb):
+        """First-fit allocation; returns a Container or None if the
+        cluster currently lacks capacity."""
+        request = self.normalize_request(memory_mb)
+        for node in self.nodes:
+            if node.can_allocate(request):
+                return node.allocate(request)
+        return None
+
+    def release(self, container):
+        self.nodes[container.node_id].release(container)
+
+    def max_concurrent(self, memory_mb):
+        """How many containers of this size fit an empty cluster."""
+        request = self.normalize_request(memory_mb)
+        per_node = self.cluster.node_memory_mb // request
+        return per_node * self.cluster.num_nodes

@@ -1,0 +1,30 @@
+"""SystemML-style compilation chain.
+
+The pipeline mirrors the paper's description of SystemML (Section 2.1 and
+Appendix B):
+
+1. :mod:`repro.compiler.statement_blocks` — split the AST into a hierarchy
+   of statement blocks given by control structure;
+2. :mod:`repro.compiler.hop_builder` — construct one HOP DAG per block
+   (transient reads/writes at block boundaries);
+3. :mod:`repro.compiler.rewrites` — constant folding, branch removal,
+   common subexpression elimination, algebraic simplifications, and
+   matrix-multiplication chain optimization;
+4. :mod:`repro.compiler.size_propagation` — intra/inter-procedural
+   propagation of dimensions, sparsity, and scalar constants;
+5. :mod:`repro.compiler.memory_estimates` — per-operator memory estimates;
+6. :mod:`repro.compiler.operator_selection` — CP/MR execution-type and
+   physical-operator decisions under given memory budgets;
+7. :mod:`repro.compiler.piggybacking` — packing of MR operators into a
+   minimal number of MR jobs;
+8. :mod:`repro.compiler.runtime_prog` — executable instruction generation;
+9. :mod:`repro.compiler.recompile` — dynamic (re-)compilation used both by
+   the runtime (unknown sizes) and by the resource optimizer's what-if
+   enumeration.
+
+The main entry point is :func:`repro.compiler.pipeline.compile_program`.
+"""
+
+from repro.compiler.pipeline import compile_program
+
+__all__ = ["compile_program"]

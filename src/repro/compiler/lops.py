@@ -1,0 +1,109 @@
+"""Low-level (physical) operator metadata.
+
+Operator selection annotates each HOP with an execution type and — for MR
+operators — a physical *method*.  This module is the registry of those
+methods: which MR phase they can run in, whether they need cross-block
+aggregation in the reduce phase, whether they occupy the single shuffle
+slot of a job, and which inputs they broadcast to every map task.  The
+piggybacking algorithm packs annotated hops into MR jobs based on these
+properties (paper Appendix B, Table 4).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class JobType(enum.Enum):
+    GMR = "GMR"  # generic MR job: map ops (+ shuffle) (+ reduce/agg ops)
+    MMCJ = "MMCJ"  # cross-product matrix multiplication (cpmm)
+    DATAGEN = "DATAGEN"  # data generation job
+
+
+class Phase(enum.Enum):
+    MAP = "map"
+    SHUFFLE = "shuffle"
+    REDUCE = "reduce"
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """Physical properties of one MR method."""
+
+    name: str
+    #: can execute inside the map phase
+    map_capable: bool = True
+    #: can execute inside the reduce phase (after a shuffle/agg)
+    reduce_capable: bool = False
+    #: requires the job's single shuffle slot (data re-grouping)
+    uses_shuffle: bool = False
+    #: requires cross-block aggregation of partial results in reduce
+    needs_aggregation: bool = False
+    #: indices of inputs shipped to every task via distributed cache
+    broadcast_inputs: tuple = ()
+    #: required job type (None = any GMR-compatible job)
+    job_type: JobType = JobType.GMR
+    #: additional whole-job latencies charged (e.g. cpmm's follow-up
+    #: aggregation job)
+    extra_job_latency: int = 0
+
+
+_SPECS = [
+    # -- matrix multiplication -------------------------------------------
+    # broadcast one side, map-side multiply; partial aggregation needed
+    # when the non-broadcast side is split along the common dimension
+    MethodSpec("mapmm", broadcast_inputs=(1,), needs_aggregation=False),
+    MethodSpec("mapmm_agg", broadcast_inputs=(1,), needs_aggregation=True),
+    # fused t(X) %*% (w * (X %*% v)): single pass over X, vector broadcast
+    MethodSpec("mapmmchain", broadcast_inputs=(1, 2), needs_aggregation=True),
+    # transpose-self t(X) %*% X: map-side outer products + aggregation
+    MethodSpec("tsmm", needs_aggregation=True),
+    # cross-product join on the common dimension: own MMCJ job plus an
+    # aggregation job (modelled as extra latency)
+    MethodSpec(
+        "cpmm",
+        map_capable=False,
+        uses_shuffle=True,
+        needs_aggregation=True,
+        job_type=JobType.MMCJ,
+        extra_job_latency=1,
+    ),
+    # replication-based matrix multiply: one GMR job with shuffle
+    MethodSpec("rmm", map_capable=False, uses_shuffle=True),
+    # -- elementwise -------------------------------------------------------
+    MethodSpec("map_binary", reduce_capable=True, broadcast_inputs=(1,)),
+    MethodSpec("shuffle_binary", map_capable=False, uses_shuffle=True),
+    MethodSpec("scalar_binary", reduce_capable=True),
+    MethodSpec("unary", reduce_capable=True),
+    # -- aggregates --------------------------------------------------------
+    MethodSpec("uagg", needs_aggregation=True),
+    MethodSpec("uagg_row", reduce_capable=True),  # per-row-block, no shuffle
+    MethodSpec("tak", broadcast_inputs=(1, 2), needs_aggregation=True),
+    MethodSpec("tak_shuffle", map_capable=False, uses_shuffle=True,
+               needs_aggregation=True),
+    # -- reorg / indexing / data ------------------------------------------
+    MethodSpec("reorg_t", map_capable=False, uses_shuffle=True),
+    MethodSpec("diag", reduce_capable=True),
+    MethodSpec("rix", reduce_capable=False),
+    MethodSpec("lix", map_capable=False, uses_shuffle=True),
+    MethodSpec("ctable", map_capable=False, uses_shuffle=True),
+    MethodSpec("append_map", broadcast_inputs=(1,), reduce_capable=True),
+    MethodSpec("append_shuffle", map_capable=False, uses_shuffle=True),
+    MethodSpec("rmempty", map_capable=False, uses_shuffle=True),
+    # SystemML's MR cumsum is a multi-pass forward/backward cascade;
+    # modelled as a shuffle job with an extra job latency
+    MethodSpec("cumsum_mr", map_capable=False, uses_shuffle=True,
+               extra_job_latency=1),
+    MethodSpec("datagen", job_type=JobType.DATAGEN),
+    MethodSpec("seq", job_type=JobType.DATAGEN),
+]
+
+METHODS = {spec.name: spec for spec in _SPECS}
+
+
+def method_spec(name):
+    spec = METHODS.get(name)
+    if spec is None:
+        raise KeyError(f"unknown MR method {name!r}")
+    return spec

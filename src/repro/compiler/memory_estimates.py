@@ -1,0 +1,94 @@
+"""Per-operator memory estimation.
+
+SystemML's in-memory runtime pins operation inputs and outputs in memory
+(paper Section 2.1), so the estimate of an operation is the sum of its
+input sizes, its output size, and any operation-specific intermediate.
+Unknown dimensions yield infinite estimates, which drives both the
+MR fallback in operator selection and the "pruning blocks of unknowns"
+optimizer technique.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.compiler import hops as H
+from repro.compiler import statement_blocks as SB
+
+#: memory charged for a scalar value (boxed double + object overhead)
+SCALAR_MEM = 64.0
+
+
+def _output_mem(hop):
+    if hop.is_scalar:
+        return SCALAR_MEM
+    return hop.mc.memory_estimate()
+
+
+def estimate_hop_memory(hop):
+    """Fill ``hop.output_mem`` and ``hop.mem_estimate`` (bytes)."""
+    hop.output_mem = _output_mem(hop)
+
+    if isinstance(hop, H.LiteralOp):
+        hop.mem_estimate = SCALAR_MEM
+        return
+    if isinstance(hop, H.DataOp):
+        if hop.is_read:
+            hop.mem_estimate = hop.output_mem
+        else:
+            hop.mem_estimate = hop.inputs[0].output_mem
+        return
+    if isinstance(hop, H.FunctionOp):
+        # opaque call: inputs are passed by reference; body is costed via
+        # its own blocks
+        hop.mem_estimate = sum(inp.output_mem for inp in hop.inputs)
+        return
+    if isinstance(hop, H.FunctionOutput):
+        hop.mem_estimate = hop.output_mem
+        return
+
+    input_mem = 0.0
+    for inp in hop.inputs:
+        input_mem += inp.output_mem
+    intermediate = 0.0
+    if isinstance(hop, H.LeftIndexingOp):
+        # copy-on-write update of the target
+        intermediate = hop.inputs[0].output_mem
+    elif isinstance(hop, H.BinaryOp) and hop.op is H.OpCode.SOLVE:
+        # LU factorization workspace of the coefficient matrix
+        intermediate = hop.inputs[0].output_mem
+    hop.mem_estimate = input_mem + hop.output_mem + intermediate
+    if math.isnan(hop.mem_estimate):
+        hop.mem_estimate = math.inf
+
+
+def estimate_dag_memory(roots):
+    """Estimate memory for every hop in a DAG; returns True if the DAG
+    contains a matrix operation with unknown output size."""
+    has_unknown = False
+    for hop in H.iter_dag(roots):
+        estimate_hop_memory(hop)
+        if hop.is_matrix and not isinstance(hop, (H.FunctionOp,)):
+            if not hop.mc.dims_known:
+                has_unknown = True
+    return has_unknown
+
+
+def estimate_program_memory(block_program):
+    """Estimate memory program-wide and mark blocks needing dynamic
+    recompilation (any matrix operator with unknown output size)."""
+    for block in block_program.all_blocks():
+        if isinstance(block, SB.GenericBlock):
+            unknown = estimate_dag_memory(block.hop_roots)
+            block.requires_recompile = unknown
+            for hop in H.iter_dag(block.hop_roots):
+                hop.requires_recompile = unknown
+        elif isinstance(block, SB.IfBlock):
+            estimate_dag_memory([block.predicate.hop_root])
+        elif isinstance(block, SB.WhileBlock):
+            estimate_dag_memory([block.predicate.hop_root])
+        elif isinstance(block, SB.ForBlock):
+            for holder in (block.from_holder, block.to_holder, block.incr_holder):
+                if holder is not None:
+                    estimate_dag_memory([holder.hop_root])
+    return block_program

@@ -1,0 +1,293 @@
+"""Operator selection: CP/MR execution types and MR physical methods.
+
+Implements the paper's memory-sensitive compilation decisions (Section
+2.1, Appendix B Table 4):
+
+* an operator executes in CP iff its memory estimate fits the CP budget
+  (70% of the CP heap) — the simple-yet-effective SystemML heuristic;
+* map-side MR operators (mapmm, mapmmchain, map-binary, map-append)
+  require their broadcast input to fit the MR task budget;
+* fused patterns: ``t(X) %*% X`` -> tsmm; ``t(X) %*% (w * (X %*% v))`` ->
+  mapmmchain; ``t(X) %*% v`` with an MR transpose -> the transpose-mm
+  rewrite ``(t(v) %*% X)^T``;
+* general matrix multiplication falls back to rmm (one shuffle job) or
+  cpmm (cross-product join + aggregation job).
+
+Only ``exec_type``, ``method``, and a few decision flags are written to
+hops, so the resource optimizer can re-run selection for thousands of
+candidate configurations without rebuilding DAGs.
+"""
+
+from __future__ import annotations
+
+from repro.common import DataType, ExecType
+from repro.compiler import hops as H
+
+
+def _fits(mem_bytes, budget_bytes):
+    return mem_bytes <= budget_bytes
+
+
+def _reset_decisions(hop):
+    hop.exec_type = None
+    hop.method = None
+    if isinstance(hop, H.AggBinaryOp):
+        hop.transpose_rewrite = False
+
+
+def _is_cp_only(hop):
+    if isinstance(hop, (H.LiteralOp, H.FunctionOp, H.FunctionOutput)):
+        return True
+    if isinstance(hop, H.DataOp) and hop.kind in (
+        H.DataOpKind.TRANSIENT_READ,
+        H.DataOpKind.TRANSIENT_WRITE,
+    ):
+        return True
+    if isinstance(hop, H.UnaryOp) and hop.op in (
+        H.OpCode.PRINT,
+        H.OpCode.STOP,
+        H.OpCode.NROW,
+        H.OpCode.NCOL,
+        H.OpCode.LENGTH,
+        H.OpCode.CAST_AS_SCALAR,
+        H.OpCode.CAST_AS_DOUBLE,
+        H.OpCode.CAST_AS_INT,
+        H.OpCode.CAST_AS_BOOLEAN,
+    ):
+        return True
+    # solve() is a CP-only builtin in SystemML
+    if isinstance(hop, H.BinaryOp) and hop.op is H.OpCode.SOLVE:
+        return True
+    # pure scalar computation
+    if hop.is_scalar and all(inp.is_scalar for inp in hop.inputs):
+        return True
+    return False
+
+
+def _select_matmult(hop, parents, cp_budget, mr_budget):
+    """Physical method for an MR matrix multiplication."""
+    left, right = hop.inputs
+    left_mem = left.output_mem
+    right_mem = right.output_mem
+
+    # tsmm: t(X) %*% X over the same X (post-CSE object identity)
+    if (
+        isinstance(left, H.ReorgOp)
+        and left.op is H.OpCode.TRANSPOSE
+        and left.inputs[0] is right
+    ):
+        hop.method = "tsmm"
+        return
+
+    # mapmmchain: t(X) %*% (X %*% v) or t(X) %*% (w * (X %*% v))
+    if isinstance(left, H.ReorgOp) and left.op is H.OpCode.TRANSPOSE:
+        x = left.inputs[0]
+        chain = _match_mmchain(x, right, parents)
+        if chain is not None:
+            vectors_mem = sum(v.output_mem for v in chain)
+            if _fits(vectors_mem, mr_budget):
+                hop.method = "mapmmchain"
+                hop.mmchain_vectors = chain
+                return
+
+    # transpose-mm rewrite: t(X) %*% v with MR-sized X and broadcastable v
+    if (
+        isinstance(left, H.ReorgOp)
+        and left.op is H.OpCode.TRANSPOSE
+        and left.mem_estimate > cp_budget
+        and right.mc.cols == 1
+        and _fits(right.output_mem, mr_budget)
+    ):
+        hop.transpose_rewrite = True
+        hop.method = "mapmm_agg"  # broadcast of t(v); agg over row blocks
+        return
+
+    # mapmm: broadcast the smaller side if it fits the task budget;
+    # broadcasting the right side keeps row-blocked independence (no agg),
+    # broadcasting the left side requires aggregation over the common dim
+    right_fits = _fits(right_mem, mr_budget)
+    left_fits = _fits(left_mem, mr_budget)
+    if right_fits and (not left_fits or right_mem <= left_mem):
+        hop.method = "mapmm"
+        return
+    if left_fits:
+        hop.method = "mapmm_agg"
+        hop.broadcast_left = True
+        return
+
+    # shuffle-based fallback: rmm for small outputs, cpmm otherwise
+    out_cells = hop.mc.cells
+    left_cells = left.mc.cells
+    right_cells = right.mc.cells
+    if (
+        out_cells is not None
+        and left_cells is not None
+        and right_cells is not None
+        and out_cells <= min(left_cells, right_cells)
+    ):
+        hop.method = "rmm"
+    else:
+        hop.method = "cpmm"
+
+
+def _match_mmchain(x, right, parents):
+    """Match ``right`` against (X %*% v) or (w * (X %*% v)); returns the
+    broadcast vector hops [v] or [v, w], or None."""
+
+    def single_consumer(hop):
+        return len(parents.get(hop.hop_id, [])) <= 1
+
+    if (
+        isinstance(right, H.AggBinaryOp)
+        and right.inputs[0] is x
+        and right.inputs[1].mc.cols == 1
+        and single_consumer(right)
+    ):
+        return [right.inputs[1]]
+    if (
+        isinstance(right, H.BinaryOp)
+        and right.op is H.OpCode.MULT
+        and single_consumer(right)
+    ):
+        for w, inner in (right.inputs, reversed(right.inputs)):
+            if (
+                isinstance(inner, H.AggBinaryOp)
+                and inner.inputs[0] is x
+                and inner.inputs[1].mc.cols == 1
+                and w.is_matrix
+                and w.mc.cols == 1
+                and single_consumer(inner)
+            ):
+                return [inner.inputs[1], w]
+    return None
+
+
+def _is_broadcast_vector(hop, mr_budget):
+    return (
+        hop.mc.rows == 1 or hop.mc.cols == 1
+    ) and _fits(hop.output_mem, mr_budget)
+
+
+def _select_binary(hop, mr_budget):
+    left, right = hop.inputs
+    if hop.op is H.OpCode.CBIND or hop.op is H.OpCode.RBIND:
+        if _fits(right.output_mem, mr_budget):
+            hop.method = "append_map"
+        else:
+            hop.method = "append_shuffle"
+        return
+    if not (left.is_matrix and right.is_matrix):
+        hop.method = "scalar_binary"
+        return
+    # matrix-matrix: broadcast a vector side when possible
+    if _is_broadcast_vector(right, mr_budget):
+        hop.method = "map_binary"
+        return
+    if _is_broadcast_vector(left, mr_budget):
+        hop.method = "map_binary"
+        hop.broadcast_left = True
+        return
+    if right.mc.same_dims(left.mc) and _fits(right.output_mem, mr_budget):
+        # small equal-sized matrix: still broadcastable
+        hop.method = "map_binary"
+        return
+    hop.method = "shuffle_binary"
+
+
+def _select_method(hop, parents, cp_budget, mr_budget):
+    if isinstance(hop, H.AggBinaryOp):
+        _select_matmult(hop, parents, cp_budget, mr_budget)
+        return
+    if isinstance(hop, H.BinaryOp):
+        _select_binary(hop, mr_budget)
+        return
+    if isinstance(hop, H.UnaryOp):
+        if hop.op is H.OpCode.REMOVE_EMPTY:
+            hop.method = "rmempty"  # global compaction needs a shuffle
+        elif hop.op is H.OpCode.CUMSUM:
+            hop.method = "cumsum_mr"  # multi-pass prefix aggregation
+        else:
+            hop.method = "unary"
+        return
+    if isinstance(hop, H.AggUnaryOp):
+        hop.method = (
+            "uagg_row" if hop.direction is H.AggDirection.ROW else "uagg"
+        )
+        return
+    if isinstance(hop, H.TernaryAggOp):
+        vec_mem = hop.inputs[1].output_mem + hop.inputs[2].output_mem
+        hop.method = "tak" if _fits(vec_mem, mr_budget) else "tak_shuffle"
+        return
+    if isinstance(hop, H.ReorgOp):
+        hop.method = "reorg_t" if hop.op is H.OpCode.TRANSPOSE else "diag"
+        return
+    if isinstance(hop, H.IndexingOp):
+        hop.method = "rix"
+        return
+    if isinstance(hop, H.LeftIndexingOp):
+        hop.method = "lix"
+        return
+    if isinstance(hop, H.TernaryOp):
+        hop.method = "ctable"
+        return
+    if isinstance(hop, H.DataGenOp):
+        hop.method = "seq" if hop.gen_method is H.OpCode.SEQ else "datagen"
+        return
+    if isinstance(hop, H.DataOp):
+        hop.method = "data"
+        return
+    raise TypeError(f"no MR method for {type(hop).__name__}")
+
+
+def select_operators(roots, cp_budget_bytes, mr_budget_bytes):
+    """Assign exec types and methods to all hops of one DAG in place."""
+    parents = H.build_parent_map(roots)
+    for hop in H.iter_dag(roots):
+        _reset_decisions(hop)
+        hop.broadcast_left = False
+        if _is_cp_only(hop):
+            hop.exec_type = ExecType.CP
+            continue
+        if isinstance(hop, H.DataOp):
+            if hop.kind is H.DataOpKind.PERSISTENT_READ:
+                hop.exec_type = (
+                    ExecType.CP
+                    if _fits(hop.output_mem, cp_budget_bytes)
+                    else ExecType.MR
+                )
+            else:  # persistent write follows its producer
+                producer = hop.inputs[0]
+                hop.exec_type = producer.exec_type or ExecType.CP
+            continue
+        if hop.data_type is DataType.SCALAR and all(
+            (inp.exec_type is ExecType.CP or inp.is_scalar)
+            for inp in hop.inputs
+        ) and _fits(hop.mem_estimate, cp_budget_bytes):
+            hop.exec_type = ExecType.CP
+            continue
+        if _fits(hop.mem_estimate, cp_budget_bytes):
+            hop.exec_type = ExecType.CP
+            if isinstance(hop, H.AggBinaryOp):
+                _select_cp_matmult(hop)
+            continue
+        hop.exec_type = ExecType.MR
+        _select_method(hop, parents, cp_budget_bytes, mr_budget_bytes)
+    return roots
+
+
+def _select_cp_matmult(hop):
+    """CP fused matrix-multiply variants.
+
+    ``t(X) %*% X`` uses the CP tsmm kernel (single pass, no transpose
+    materialization); ``t(X) %*% v`` uses the transpose-mm rewrite
+    ``(t(v) %*% X)^T`` so the large transpose is never materialized —
+    this is what keeps iterative scripts fully in-memory once X fits the
+    CP budget (paper Appendix B, Table 4).
+    """
+    left, right = hop.inputs
+    if not (isinstance(left, H.ReorgOp) and left.op is H.OpCode.TRANSPOSE):
+        return
+    if left.inputs[0] is right:
+        hop.method = "tsmm"
+    else:
+        hop.transpose_rewrite = True

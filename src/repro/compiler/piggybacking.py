@@ -1,0 +1,286 @@
+"""Piggybacking: packing MR operators of a DAG into a minimal number of
+MR jobs.
+
+Implements the paper's bin-packing step (Appendix B, Table 4) with the
+job-composition constraints of SystemML:
+
+* a job has a map phase, at most one shuffle group, and a reduce phase;
+* map-capable operators chain in the map phase while their producers are
+  job inputs or other map-phase operators;
+* aggregation operators (tsmm, mapmmchain, uagg, ...) place their final
+  aggregation in the reduce phase; several can share a job;
+* shuffle operators (transpose, ctable, cpmm, rmm, ...) occupy the single
+  shuffle slot;
+* the *sum* of all broadcast inputs of a job must fit in the MR task
+  budget — this is exactly the scan-sharing memory constraint the paper
+  uses to motivate memory-based grid enumeration (two ``X %*% v`` /
+  ``X %*% w`` map multiplies share one job only if v and w fit together);
+* cpmm requires its own MMCJ job; datagen operators start DATAGEN jobs.
+
+The algorithm is greedy over topological order, opening a new job
+whenever no remaining operator fits the current one, which yields the
+minimal job count for series-parallel DAGs and a good approximation in
+general (same spirit as SystemML's level-wise bin packing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common import ExecType
+from repro.compiler import hops as H
+from repro.compiler.lops import JobType, Phase, method_spec
+
+
+@dataclass
+class JobGroup:
+    """One MR job: its members (hops) with assigned phases."""
+
+    job_type: JobType = None
+    members: list = field(default_factory=list)  # hops in topo order
+    phases: dict = field(default_factory=dict)  # hop_id -> Phase
+    shuffle_used: bool = False
+    broadcast_mem: float = 0.0
+    #: extra whole-job latencies (cpmm aggregation job)
+    extra_job_latency: int = 0
+
+    def phase_of(self, hop):
+        return self.phases.get(hop.hop_id)
+
+
+def _effective_inputs(hop):
+    """Data inputs actually scanned/broadcast by a (possibly fused)
+    operator.
+
+    Fused MR matrix multiplications reference the *underlying* data
+    instead of folded intermediate hops:
+
+    * tsmm ``t(X) %*% X`` scans X once (the transpose is implicit);
+    * mapmmchain ``t(X) %*% (w * (X %*% v))`` scans X and broadcasts
+      v (and w);
+    * the transpose-mm rewrite ``t(X) %*% v -> t(t(v) %*% X)`` scans X
+      and broadcasts v, never materializing t(X).
+    """
+    if isinstance(hop, H.AggBinaryOp):
+        left, right = hop.inputs
+        if hop.method == "mapmmchain":
+            x = left.inputs[0]  # matcher guarantees left = t(X)
+            vectors = getattr(hop, "mmchain_vectors", [])
+            return [x] + list(vectors)
+        if hop.method == "tsmm":
+            return [right]  # tsmm(X) = t(X) %*% X, single scan of X
+        if hop.transpose_rewrite:
+            return [left.inputs[0], right]
+    return list(hop.inputs)
+
+
+def collect_skipped_hops(roots):
+    """Hops folded into fused operators (mapmmchain inner ops, rewritten
+    transposes): they produce no step/instruction of their own.
+
+    A hop is skipped when it is not a DAG root and *every* effective
+    consumer (a hop referencing it in its effective inputs) is itself
+    skipped — or it has no effective consumer at all.  Consumers are
+    processed before producers so chains of folded hops collapse
+    transitively.
+    """
+    order = H.iter_dag(roots)
+    eparents = {}
+    raw_parents = H.build_parent_map(roots)
+    for hop in order:
+        for inp in _effective_inputs(hop):
+            eparents.setdefault(inp.hop_id, []).append(hop)
+    skipped = set()
+    for hop in reversed(order):
+        if not raw_parents.get(hop.hop_id):
+            continue  # DAG root (transient/persistent write or side effect)
+        hop_eparents = eparents.get(hop.hop_id, [])
+        if all(p.hop_id in skipped for p in hop_eparents):
+            skipped.add(hop.hop_id)
+    return skipped
+
+
+def _broadcast_input_hops(hop, skipped=None):
+    """Input hops shipped via distributed cache for this operator."""
+    spec = method_spec(hop.method)
+    inputs = _effective_inputs(hop)
+    out = []
+    for idx in spec.broadcast_inputs:
+        if getattr(hop, "broadcast_left", False):
+            idx = 0 if idx == 1 else idx
+        if idx < len(inputs) and inputs[idx].is_matrix:
+            out.append(inputs[idx])
+    return out
+
+
+def _depends_on_group_via_outside(hop, group_ids):
+    """True if ``hop`` transitively depends on a member of the job
+    (``group_ids``: hop_id -> phase) through at least one hop *outside*
+    the job.  Such an assignment would make the job depend on its own
+    output."""
+    stack = [inp for inp in hop.inputs if inp.hop_id not in group_ids]
+    seen = set()
+    while stack:
+        node = stack.pop()
+        if node.hop_id in seen:
+            continue
+        seen.add(node.hop_id)
+        for inp in node.inputs:
+            if inp.hop_id in group_ids:
+                return True
+            stack.append(inp)
+    return False
+
+
+class _JobBuilder:
+    def __init__(self, mr_budget_bytes, in_current_job):
+        self.group = JobGroup()
+        self.mr_budget = mr_budget_bytes
+        #: hop_id -> JobGroup for hops assigned to previous jobs
+        self.in_current_job = in_current_job
+
+    def try_assign(self, hop, assigned_elsewhere):
+        spec = method_spec(hop.method)
+        group = self.group
+        # job type compatibility
+        target_type = spec.job_type
+        if group.job_type is None:
+            new_type = target_type
+        elif group.job_type is target_type:
+            new_type = group.job_type
+        elif group.job_type is JobType.DATAGEN and target_type is JobType.GMR:
+            # map ops may chain onto a datagen job
+            new_type = JobType.DATAGEN
+        else:
+            return False
+        if target_type is JobType.MMCJ and group.members:
+            return False  # cpmm runs alone
+        if group.job_type is JobType.MMCJ:
+            return False
+
+        inputs = _effective_inputs(hop)
+        broadcasts = _broadcast_input_hops(hop)
+        broadcast_ids = {b.hop_id for b in broadcasts}
+
+        # reject assignments that would create a cycle between this job
+        # and operators outside it: the candidate must not depend on a
+        # current member through any hop outside the job (e.g. an MR
+        # multiply whose CP-computed vector derives from this job's own
+        # output must go to a later job)
+        if group.members and _depends_on_group_via_outside(hop, group.phases):
+            return False
+
+        # broadcast inputs must be materialized before the job starts
+        for b in broadcasts:
+            if b.hop_id in group.phases:
+                return False
+            if (
+                b.exec_type is ExecType.MR
+                and not isinstance(b, H.DataOp)
+                and b.hop_id not in assigned_elsewhere
+            ):
+                return False
+        extra_broadcast = sum(
+            b.output_mem for b in broadcasts
+        )
+        if group.broadcast_mem + extra_broadcast > self.mr_budget:
+            return False
+
+        # classify producers
+        producer_phases = []
+        for inp in inputs:
+            if inp.hop_id in broadcast_ids or inp.is_scalar:
+                continue
+            if inp.hop_id in group.phases:
+                producer_phases.append(group.phases[inp.hop_id])
+            elif (
+                inp.exec_type is ExecType.MR
+                and not isinstance(inp, H.DataOp)
+                and inp.hop_id not in assigned_elsewhere
+            ):
+                return False  # MR producer not yet materialized anywhere
+            else:
+                producer_phases.append(Phase.MAP)  # job input (HDFS var)
+
+        all_map = all(p is Phase.MAP for p in producer_phases)
+        any_reduce = any(p is not Phase.MAP for p in producer_phases)
+
+        if spec.uses_shuffle:
+            if group.shuffle_used or not all_map:
+                return False
+            phase = Phase.SHUFFLE
+            group.shuffle_used = True
+        elif spec.needs_aggregation:
+            if not all_map:
+                return False
+            phase = Phase.REDUCE
+        elif spec.map_capable and all_map:
+            phase = Phase.MAP
+        elif spec.reduce_capable and not all_map:
+            # consumers of reduce-phase results: every non-broadcast
+            # producer must itself be reduce-phase in this job
+            in_job_ok = all(
+                p in (Phase.REDUCE, Phase.SHUFFLE) for p in producer_phases
+            )
+            boundary_inputs = [
+                inp
+                for inp in inputs
+                if inp.hop_id not in group.phases
+                and inp.hop_id not in broadcast_ids
+                and not inp.is_scalar
+            ]
+            # boundary matrices in reduce must be broadcastable
+            extra = sum(b.output_mem for b in boundary_inputs)
+            if not in_job_ok:
+                return False
+            if boundary_inputs:
+                if group.broadcast_mem + extra_broadcast + extra > self.mr_budget:
+                    return False
+                extra_broadcast += extra
+            phase = Phase.REDUCE
+        else:
+            return False
+
+        group.job_type = new_type
+        group.members.append(hop)
+        group.phases[hop.hop_id] = phase
+        group.broadcast_mem += extra_broadcast
+        group.extra_job_latency += spec.extra_job_latency
+        return True
+
+
+def pack_jobs(roots, mr_budget_bytes):
+    """Pack the MR operators of one DAG into jobs.
+
+    Returns ``(jobs, skipped)`` where ``jobs`` is a list of
+    :class:`JobGroup` in dependency order and ``skipped`` is the set of
+    hop ids folded into fused operators.
+    """
+    skipped = collect_skipped_hops(roots)
+    mr_hops = [
+        hop
+        for hop in H.iter_dag(roots)
+        if hop.exec_type is ExecType.MR and hop.hop_id not in skipped
+        and not (isinstance(hop, H.DataOp))
+    ]
+    jobs = []
+    assigned_elsewhere = {}
+    remaining = list(mr_hops)
+    while remaining:
+        builder = _JobBuilder(mr_budget_bytes, assigned_elsewhere)
+        taken = []
+        for hop in remaining:
+            if builder.try_assign(hop, assigned_elsewhere):
+                taken.append(hop)
+        if not taken:
+            # should not happen: force-open a dedicated job for the head
+            head = remaining[0]
+            builder = _JobBuilder(float("inf"), assigned_elsewhere)
+            builder.try_assign(head, assigned_elsewhere)
+            taken = [head]
+        for hop in taken:
+            assigned_elsewhere[hop.hop_id] = builder.group
+        jobs.append(builder.group)
+        taken_ids = {hop.hop_id for hop in taken}
+        remaining = [hop for hop in remaining if hop.hop_id not in taken_ids]
+    return jobs, skipped

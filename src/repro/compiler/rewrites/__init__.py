@@ -1,0 +1,74 @@
+"""HOP-level program rewrites.
+
+Split into *static* rewrites (size-independent: constant folding, common
+subexpression elimination, ``X*X -> X^2``, double-transpose elimination,
+branch removal) and *dynamic* rewrites (size-dependent: ``sum(X^2)`` on a
+column vector to ``t(X) %*% X``, fused ternary aggregates, matrix-multiply
+chain reordering).  Dynamic rewrites are re-applied during dynamic
+recompilation once sizes become known, mirroring SystemML (Appendix B).
+"""
+
+from repro.compiler.rewrites.branch_removal import remove_constant_branches
+from repro.compiler.rewrites.constant_folding import fold_constants
+from repro.compiler.rewrites.cse import eliminate_common_subexpressions
+from repro.compiler.rewrites.algebraic import (
+    apply_dynamic_simplifications,
+    apply_static_simplifications,
+)
+from repro.compiler.rewrites.mmchain import optimize_matmult_chains
+
+
+def _dag_holders(block_program):
+    """Yield (container, attr, roots) handles for every HOP DAG."""
+    from repro.compiler import statement_blocks as SB
+
+    for block in block_program.all_blocks():
+        if isinstance(block, SB.GenericBlock):
+            yield block, "hop_roots", block.hop_roots
+        elif isinstance(block, SB.IfBlock):
+            yield block.predicate, "hop_root", [block.predicate.hop_root]
+        elif isinstance(block, SB.WhileBlock):
+            yield block.predicate, "hop_root", [block.predicate.hop_root]
+        elif isinstance(block, SB.ForBlock):
+            for holder in (block.from_holder, block.to_holder, block.incr_holder):
+                if holder is not None:
+                    yield holder, "hop_root", [holder.hop_root]
+
+
+def apply_static_rewrites(block_program):
+    """Apply all size-independent rewrites in place."""
+    remove_constant_branches(block_program)
+    for holder, attr, roots in _dag_holders(block_program):
+        roots = fold_constants(roots)
+        roots = apply_static_simplifications(roots)
+        roots = eliminate_common_subexpressions(roots)
+        _store(holder, attr, roots)
+
+
+def apply_dynamic_rewrites(block_program):
+    """Apply all size-dependent rewrites in place (requires propagated
+    sizes)."""
+    for holder, attr, roots in _dag_holders(block_program):
+        roots = apply_dynamic_simplifications(roots)
+        roots = optimize_matmult_chains(roots)
+        roots = eliminate_common_subexpressions(roots)
+        _store(holder, attr, roots)
+
+
+def _store(holder, attr, roots):
+    if attr == "hop_roots":
+        holder.hop_roots = roots
+    else:
+        holder.hop_root = roots[0]
+
+
+__all__ = [
+    "apply_static_rewrites",
+    "apply_dynamic_rewrites",
+    "fold_constants",
+    "remove_constant_branches",
+    "eliminate_common_subexpressions",
+    "apply_static_simplifications",
+    "apply_dynamic_simplifications",
+    "optimize_matmult_chains",
+]

@@ -1,0 +1,145 @@
+"""Algebraic simplification rewrites.
+
+*Static* (size independent):
+
+* ``X * X``  ->  ``X ^ 2``            (unary ops parallelize better)
+* ``t(t(X))`` ->  ``X``
+* ``X * 1`` / ``1 * X`` -> ``X``; ``X + 0`` / ``0 + X`` -> ``X``
+* ``sum(t(X))`` -> ``sum(X)``
+
+*Dynamic* (require propagated sizes — re-applied during recompilation):
+
+* ``sum(X ^ 2)`` on a column vector -> ``as.scalar(t(X) %*% X)``
+  (the paper's Appendix B example for ``sum(s * s)``)
+* ``sum(a * b * c)`` with conforming vectors -> fused ternary aggregate
+  ``tak+*`` (paper's tertiary-aggregate example for lines 29/30 of L2SVM)
+* ``colSums(X)`` on a row vector -> ``X`` (no-op aggregate)
+"""
+
+from __future__ import annotations
+
+from repro.compiler import hops as H
+
+
+def _iter_with_parents(roots):
+    parents = H.build_parent_map(roots)
+    return H.iter_dag(roots), parents
+
+
+def _replace(roots, parents, old, new):
+    for parent in parents.get(old.hop_id, []):
+        parent.replace_input(old, new)
+        parents.setdefault(new.hop_id, []).append(parent)
+    return [new if root is old else root for root in roots]
+
+
+# -- static rules --------------------------------------------------------
+
+
+def apply_static_simplifications(roots):
+    hops_order, parents = _iter_with_parents(roots)
+    for hop in hops_order:
+        new = _static_rule(hop)
+        if new is not None:
+            roots = _replace(roots, parents, hop, new)
+    return roots
+
+
+def _static_rule(hop):
+    # X * X -> X^2
+    if (
+        isinstance(hop, H.BinaryOp)
+        and hop.op is H.OpCode.MULT
+        and hop.inputs[0] is hop.inputs[1]
+        and hop.is_matrix
+    ):
+        return H.BinaryOp(H.OpCode.POW, hop.inputs[0], H.LiteralOp(2),
+                          data_type=hop.data_type)
+    # t(t(X)) -> X
+    if (
+        isinstance(hop, H.ReorgOp)
+        and hop.op is H.OpCode.TRANSPOSE
+        and isinstance(hop.inputs[0], H.ReorgOp)
+        and hop.inputs[0].op is H.OpCode.TRANSPOSE
+    ):
+        return hop.inputs[0].inputs[0]
+    # X * 1 -> X ; X + 0 -> X (and mirrored)
+    if isinstance(hop, H.BinaryOp) and hop.is_matrix:
+        left, right = hop.inputs
+        for matrix, scalar in ((left, right), (right, left)):
+            if not (matrix.is_matrix and isinstance(scalar, H.LiteralOp)):
+                continue
+            if hop.op is H.OpCode.MULT and scalar.value == 1:
+                return matrix
+            if hop.op is H.OpCode.PLUS and scalar.value == 0:
+                return matrix
+            if (
+                hop.op is H.OpCode.MINUS
+                and scalar.value == 0
+                and scalar is right
+            ):
+                return matrix
+            if hop.op is H.OpCode.DIV and scalar.value == 1 and scalar is right:
+                return matrix
+    # sum(t(X)) -> sum(X)
+    if (
+        isinstance(hop, H.AggUnaryOp)
+        and hop.direction is H.AggDirection.ALL
+        and isinstance(hop.inputs[0], H.ReorgOp)
+        and hop.inputs[0].op is H.OpCode.TRANSPOSE
+    ):
+        return H.AggUnaryOp(hop.op, H.AggDirection.ALL, hop.inputs[0].inputs[0])
+    return None
+
+
+# -- dynamic rules -------------------------------------------------------
+
+
+def apply_dynamic_simplifications(roots):
+    hops_order, parents = _iter_with_parents(roots)
+    for hop in hops_order:
+        new = _dynamic_rule(hop)
+        if new is not None:
+            roots = _replace(roots, parents, hop, new)
+    return roots
+
+
+def _flatten_mult_chain(hop):
+    """Flatten nested elementwise multiplications into factor list."""
+    if isinstance(hop, H.BinaryOp) and hop.op is H.OpCode.MULT and hop.is_matrix_matrix:
+        return _flatten_mult_chain(hop.inputs[0]) + _flatten_mult_chain(hop.inputs[1])
+    return [hop]
+
+
+def _dynamic_rule(hop):
+    if not isinstance(hop, H.AggUnaryOp) or hop.op is not H.OpCode.SUM:
+        return None
+    if hop.direction is not H.AggDirection.ALL:
+        return None
+    inner = hop.inputs[0]
+    # sum(X^2) on column vector -> as.scalar(t(X) %*% X)
+    if (
+        isinstance(inner, H.BinaryOp)
+        and inner.op is H.OpCode.POW
+        and isinstance(inner.inputs[1], H.LiteralOp)
+        and inner.inputs[1].value == 2
+        and inner.inputs[0].mc.cols == 1
+        and inner.inputs[0].is_matrix
+    ):
+        vec = inner.inputs[0]
+        tsmm = H.AggBinaryOp(H.ReorgOp(H.OpCode.TRANSPOSE, vec), vec)
+        return H.UnaryOp(
+            H.OpCode.CAST_AS_SCALAR,
+            tsmm,
+            data_type=hop.data_type,
+        )
+    # sum(a * b * c) on conforming vectors -> tak+*
+    if isinstance(inner, H.BinaryOp) and inner.op is H.OpCode.MULT:
+        factors = _flatten_mult_chain(inner)
+        if len(factors) == 3 and all(
+            f.is_matrix and f.mc.dims_known for f in factors
+        ):
+            dims = {(f.mc.rows, f.mc.cols) for f in factors}
+            if len(dims) == 1:
+                return H.TernaryAggOp(*factors)
+    return None

@@ -1,0 +1,51 @@
+"""Branch removal: eliminate ``if`` blocks with compile-time constant
+predicates (and ``while`` loops whose predicate is constantly false).
+
+This is the rewrite the paper highlights for the intercept branch of
+L2SVM (Appendix B): after constant folding of ``$icpt == 1`` the branch is
+removed, which unblocks unconditional size propagation through the rest
+of the program.
+"""
+
+from __future__ import annotations
+
+from repro.compiler import statement_blocks as SB
+
+
+def _predicate_const(block):
+    root = block.predicate.hop_root
+    if root is None:
+        return None
+    return root.const_value
+
+
+def _rewrite_block_list(blocks):
+    out = []
+    for block in blocks:
+        if isinstance(block, SB.IfBlock):
+            const = _predicate_const(block)
+            if const is not None:
+                taken = block.body if const else block.else_body
+                out.extend(_rewrite_block_list(taken))
+                continue
+            block.body = _rewrite_block_list(block.body)
+            block.else_body = _rewrite_block_list(block.else_body)
+        elif isinstance(block, SB.WhileBlock):
+            const = _predicate_const(block)
+            if const is not None and not const:
+                continue
+            block.body = _rewrite_block_list(block.body)
+        elif isinstance(block, SB.ForBlock):
+            if block.known_iterations == 0:
+                continue
+            block.body = _rewrite_block_list(block.body)
+        out.append(block)
+    return out
+
+
+def remove_constant_branches(block_program):
+    """Remove constant branches program-wide, in place."""
+    block_program.blocks = _rewrite_block_list(block_program.blocks)
+    for func in block_program.functions.values():
+        func.blocks = _rewrite_block_list(func.blocks)
+    return block_program

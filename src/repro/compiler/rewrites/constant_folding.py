@@ -1,0 +1,42 @@
+"""Constant folding: replace scalar HOPs with compile-time known values
+by literal operators.
+
+Relies on :mod:`repro.compiler.size_propagation` having filled
+``const_value`` on scalar hops.  Data ops (reads/writes), prints, and
+literals themselves are never folded; transient reads keep their variable
+linkage, but pure scalar computation trees collapse to single literals,
+which both shrinks DAGs and enables branch removal.
+"""
+
+from __future__ import annotations
+
+from repro.compiler import hops as H
+
+_NEVER_FOLD = (H.LiteralOp, H.DataOp, H.FunctionOp, H.FunctionOutput)
+
+
+def _foldable(hop):
+    if isinstance(hop, _NEVER_FOLD):
+        return False
+    if not hop.is_scalar:
+        return False
+    if isinstance(hop, H.UnaryOp) and hop.op in (H.OpCode.PRINT, H.OpCode.STOP):
+        return False
+    # cast-from-matrix reads runtime data even though output is scalar
+    if isinstance(hop, H.UnaryOp) and hop.op is H.OpCode.CAST_AS_SCALAR:
+        return False
+    return hop.const_value is not None
+
+
+def fold_constants(roots):
+    """Fold constant scalar sub-DAGs into literals; returns new roots."""
+    parents = H.build_parent_map(roots)
+    for hop in H.iter_dag(roots):
+        if not _foldable(hop):
+            continue
+        literal = H.LiteralOp(hop.const_value)
+        literal.value_type = hop.value_type
+        for parent in parents.get(hop.hop_id, []):
+            parent.replace_input(hop, literal)
+        roots = [literal if root is hop else root for root in roots]
+    return roots

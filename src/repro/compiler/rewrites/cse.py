@@ -1,0 +1,79 @@
+"""Common subexpression elimination within a HOP DAG.
+
+Two hops are merged when they have the same operator class, opcode,
+attributes, and identical input hops.  Data ops are merged only for
+transient/persistent *reads* of the same source (writes are side
+effects); literals merge by value and type.
+"""
+
+from __future__ import annotations
+
+from repro.compiler import hops as H
+
+
+def _signature(hop, canonical):
+    """Structural signature of a hop given canonical ids of its inputs."""
+    ins = tuple(canonical[inp.hop_id] for inp in hop.inputs)
+    if isinstance(hop, H.LiteralOp):
+        return ("lit", type(hop.value).__name__, hop.value)
+    if isinstance(hop, H.DataOp):
+        if hop.is_write:
+            return None  # never merge writes
+        return ("read", hop.kind, hop.name)
+    if isinstance(hop, H.UnaryOp):
+        if hop.op in (H.OpCode.PRINT, H.OpCode.STOP):
+            return None
+        return ("un", hop.op, ins)
+    if isinstance(hop, H.BinaryOp):
+        return ("bin", hop.op, ins)
+    if isinstance(hop, H.AggUnaryOp):
+        return ("agg", hop.op, hop.direction, ins)
+    if isinstance(hop, H.AggBinaryOp):
+        return ("mm", ins)
+    if isinstance(hop, H.TernaryAggOp):
+        return ("tak", tuple(sorted(ins)))
+    if isinstance(hop, H.ReorgOp):
+        return ("reorg", hop.op, ins)
+    if isinstance(hop, H.DataGenOp):
+        # rand() without fixed seed is non-deterministic: merge only
+        # deterministic generators (constant matrices / seq)
+        if hop.gen_method is H.OpCode.SEQ:
+            return ("seq", ins)
+        min_hop = hop.param("min")
+        max_hop = hop.param("max")
+        if (
+            min_hop is not None
+            and max_hop is not None
+            and isinstance(min_hop, H.LiteralOp)
+            and isinstance(max_hop, H.LiteralOp)
+            and min_hop.value == max_hop.value
+        ):
+            keys = tuple(sorted(hop.params))
+            return ("const-gen", keys, ins)
+        return None
+    if isinstance(hop, H.IndexingOp):
+        return ("rix", hop.all_rows, hop.all_cols, ins)
+    # left indexing, function ops: side effects / opaque -> no merge
+    return None
+
+
+def eliminate_common_subexpressions(roots):
+    """Merge structurally identical hops; returns the updated roots."""
+    canonical = {}  # hop_id -> canonical hop_id
+    by_signature = {}
+    replacements = {}  # hop_id -> canonical hop
+    for hop in H.iter_dag(roots):
+        # rewire inputs to canonical representatives first
+        hop.inputs = [replacements.get(inp.hop_id, inp) for inp in hop.inputs]
+        sig = _signature(hop, canonical)
+        if sig is None:
+            canonical[hop.hop_id] = hop.hop_id
+            continue
+        existing = by_signature.get(sig)
+        if existing is None:
+            by_signature[sig] = hop
+            canonical[hop.hop_id] = hop.hop_id
+        else:
+            canonical[hop.hop_id] = existing.hop_id
+            replacements[hop.hop_id] = existing
+    return [replacements.get(root.hop_id, root) for root in roots]

@@ -1,0 +1,80 @@
+"""Sparsity-aware matrix-multiplication chain reordering.
+
+Finds maximal chains of matrix multiplications (nested ``AggBinaryOp``
+whose intermediate results have no other consumers), and reorders them
+with the classic dynamic-programming algorithm over known dimensions.
+Chains containing unknown dimensions are left untouched (they are
+revisited during dynamic recompilation once sizes are known).
+"""
+
+from __future__ import annotations
+
+from repro.compiler import hops as H
+
+
+def _collect_chain(hop, parents):
+    """Flatten a matmult tree into its factor list, respecting sharing."""
+
+    def factors(node, is_root):
+        if (
+            isinstance(node, H.AggBinaryOp)
+            and (is_root or len(parents.get(node.hop_id, [])) <= 1)
+        ):
+            return factors(node.inputs[0], False) + factors(node.inputs[1], False)
+        return [node]
+
+    return factors(hop, True)
+
+
+def _optimal_order(dims):
+    """Matrix-chain DP; returns the split table for reconstruction."""
+    n = len(dims) - 1
+    cost = [[0.0] * n for _ in range(n)]
+    split = [[0] * n for _ in range(n)]
+    for length in range(2, n + 1):
+        for i in range(n - length + 1):
+            j = i + length - 1
+            best = None
+            for k in range(i, j):
+                c = cost[i][k] + cost[k + 1][j] + dims[i] * dims[k + 1] * dims[j + 1]
+                if best is None or c < best:
+                    best = c
+                    split[i][j] = k
+            cost[i][j] = best
+    return split
+
+
+def _rebuild(factors, split, i, j):
+    if i == j:
+        return factors[i]
+    k = split[i][j]
+    left = _rebuild(factors, split, i, k)
+    right = _rebuild(factors, split, k + 1, j)
+    return H.AggBinaryOp(left, right)
+
+
+def optimize_matmult_chains(roots):
+    """Reorder eligible matmult chains in the DAG; returns new roots."""
+    parents = H.build_parent_map(roots)
+    # visit top-of-chain nodes only: matmults whose parent is not a matmult
+    for hop in H.iter_dag(roots):
+        if not isinstance(hop, H.AggBinaryOp):
+            continue
+        hop_parents = parents.get(hop.hop_id, [])
+        if any(isinstance(p, H.AggBinaryOp) for p in hop_parents):
+            continue
+        factors = _collect_chain(hop, parents)
+        if len(factors) < 3:
+            continue
+        if not all(f.mc.dims_known for f in factors):
+            continue
+        dims = [factors[0].mc.rows] + [f.mc.cols for f in factors]
+        if any(d is None for d in dims):
+            continue
+        split = _optimal_order(dims)
+        new_root = _rebuild(factors, split, 0, len(factors) - 1)
+        for parent in hop_parents:
+            parent.replace_input(hop, new_root)
+        roots = [new_root if root is hop else root for root in roots]
+        parents = H.build_parent_map(roots)
+    return roots

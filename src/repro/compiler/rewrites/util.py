@@ -1,0 +1,20 @@
+"""Shared DAG-surgery helpers for rewrite passes."""
+
+from __future__ import annotations
+
+from repro.compiler import hops as H
+
+
+def replace_hop(roots, old, new, parents=None):
+    """Replace ``old`` with ``new`` everywhere in the DAG under ``roots``.
+
+    Returns the (possibly updated) roots list.  ``parents`` may be a
+    precomputed parent map from :func:`repro.compiler.hops.build_parent_map`;
+    note it is *not* updated, so passes doing many replacements should
+    rebuild it or perform replacements bottom-up.
+    """
+    if parents is None:
+        parents = H.build_parent_map(roots)
+    for parent in parents.get(old.hop_id, []):
+        parent.replace_input(old, new)
+    return [new if root is old else root for root in roots]

@@ -1,0 +1,14 @@
+"""White-box analytical cost model (paper Section 3.1).
+
+Estimates execution time of generated runtime plans by scanning
+instructions in execution order, tracking sizes and in-memory/HDFS states
+of live variables, and pricing IO, compute, and latency per instruction.
+Costing always happens on runtime plans — never on HOPs — so every
+compilation decision (rewrites, operator selection, piggybacking) is
+automatically reflected.
+"""
+
+from repro.cost.constants import CostParameters
+from repro.cost.model import CostModel
+
+__all__ = ["CostModel", "CostParameters"]

@@ -1,0 +1,53 @@
+"""IO time model: serialized sizes and read/write/transfer times.
+
+Shared by the optimizer's cost model and the runtime simulator (the
+latter feeds *actual* characteristics through the same functions, which
+is how estimate-vs-actual divergence stays principled).
+"""
+
+from __future__ import annotations
+
+from repro.common import FileFormat, is_sparse_representation
+
+
+def serialized_bytes(mc, fmt=FileFormat.BINARY_BLOCK):
+    """Serialized size of a matrix on (simulated) HDFS."""
+    return mc.serialized_estimate(fmt)
+
+
+def _io_factor(mc, fmt, params):
+    factor = 1.0
+    if is_sparse_representation(mc.sparsity_or_default(), mc.cols):
+        factor *= params.sparse_io_factor
+    if fmt is not None and fmt is not FileFormat.BINARY_BLOCK:
+        factor *= params.text_io_factor
+    return factor
+
+
+def hdfs_read_time(mc, params, fmt=FileFormat.BINARY_BLOCK, parallelism=1.0):
+    """Time to read a matrix from HDFS with the given read parallelism."""
+    size = serialized_bytes(mc, fmt)
+    bw = params.hdfs_read_bw * max(parallelism, 1.0)
+    return size * _io_factor(mc, fmt, params) / bw
+
+
+def hdfs_write_time(mc, params, fmt=FileFormat.BINARY_BLOCK, parallelism=1.0):
+    size = serialized_bytes(mc, fmt)
+    bw = params.hdfs_write_bw * max(parallelism, 1.0)
+    return size * _io_factor(mc, fmt, params) / bw
+
+
+def local_read_time(size_bytes, params):
+    """Buffer-pool restore / distributed-cache load from local disk."""
+    return size_bytes / params.local_disk_bw
+
+
+def local_write_time(size_bytes, params):
+    """Buffer-pool eviction write to local disk."""
+    return size_bytes / params.local_disk_bw
+
+
+def shuffle_time(size_bytes, params, nodes):
+    """Time to shuffle ``size_bytes`` across ``nodes`` participants."""
+    bw = params.shuffle_bw_per_node * max(nodes, 1)
+    return size_bytes / bw

@@ -1,0 +1,400 @@
+"""The cost model C(P, R_P, cc): estimated execution time of runtime plans.
+
+Scans the runtime plan in execution order tracking sizes and states of
+live variables (paper Section 3.1):
+
+* a CP instruction charges read IO for inputs not in memory, compute at
+  the CP peak rate, and flips its inputs/output to in-memory;
+* an MR job instruction charges job and task-wave latency, export of
+  dirty in-memory inputs, map read (HDFS, parallel across tasks),
+  broadcast loads per wave, map compute, shuffle transfer, reduce
+  compute/merge, and reduce write; the degree of parallelism derives
+  from the CP/MR resource configuration and cluster cores;
+* block aggregation: branches are weighted sums, loops cost one cold
+  pass plus (n-1) warm passes — which captures the read-once-then-
+  in-memory advantage of large CP memory for iterative algorithms;
+* buffer-pool evictions are only *partially* considered (as in the
+  paper, which identifies them as a source of suboptimality): the cost
+  state approximates an LRU working set against the CP budget but does
+  not charge eviction writes — the runtime simulator models the pool
+  exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.common import FileFormat, MatrixCharacteristics
+from repro.compiler import statement_blocks as SB
+from repro.compiler.runtime_prog import CPInstruction, MRJobInstruction
+from repro.compiler.size_propagation import DEFAULT_LOOP_ITERATIONS
+from repro.cost import io_model
+from repro.cost.compute_model import operation_flops
+from repro.cost.constants import DEFAULT_PARAMETERS
+from repro.cost.mr_timing import time_mr_job
+
+#: instruction opcodes that neither read matrix data nor compute
+_METADATA_OPS = {
+    "createvar", "mvvar", "nrow", "ncol", "length",
+    "castvtd", "castvti", "castvtb", "print", "stop",
+}
+
+
+@dataclass
+class VarCostState:
+    """Tracked knowledge about one live variable during costing."""
+
+    mc: MatrixCharacteristics
+    in_memory: bool = False
+    dirty: bool = False  # in-memory copy newer than its HDFS representation
+    fmt: object = FileFormat.BINARY_BLOCK
+
+    def copy(self):
+        return VarCostState(self.mc.copy(), self.in_memory, self.dirty, self.fmt)
+
+
+class CostState(dict):
+    """Variable name -> VarCostState with branch-merge support."""
+
+    def copy(self):
+        return CostState({k: v.copy() for k, v in self.items()})
+
+    def merge_with(self, other):
+        merged = CostState()
+        for name, state in self.items():
+            o = other.get(name)
+            if o is None:
+                merged[name] = state.copy()
+                continue
+            m = state.copy()
+            m.in_memory = state.in_memory and o.in_memory
+            m.dirty = state.dirty or o.dirty
+            merged[name] = m
+        for name, o in other.items():
+            if name not in self:
+                merged[name] = o.copy()
+        return merged
+
+
+class CostModel:
+    """Estimates runtime-plan execution time for a cluster and resources."""
+
+    def __init__(self, cluster, params=None, exclude_provisional=True):
+        self.cluster = cluster
+        self.params = params or DEFAULT_PARAMETERS
+        #: number of cost-model invocations (Table 3's "# Cost.")
+        self.invocations = 0
+        #: exclude blocks marked for dynamic recompilation from
+        #: program-level aggregation (ablation switch; see _cost_block)
+        self.exclude_provisional = exclude_provisional
+
+    # -- public API ----------------------------------------------------------
+
+    def estimate_program(self, compiled, resource, initial_state=None):
+        """Estimated execution time (seconds) of the whole program."""
+        self.invocations += 1
+        state = initial_state.copy() if initial_state else CostState()
+        return self._cost_blocks(
+            compiled.blocks, resource, state, compiled, set()
+        )
+
+    def estimate_blocks(self, compiled, blocks, resource, initial_state=None):
+        """Estimated time of a block subsequence (re-optimization scope)."""
+        self.invocations += 1
+        state = initial_state.copy() if initial_state else CostState()
+        return self._cost_blocks(blocks, resource, state, compiled, set())
+
+    def estimate_block(self, compiled, block, resource, initial_state=None):
+        """Estimated time of a single generic block's plan."""
+        self.invocations += 1
+        state = initial_state.copy() if initial_state else CostState()
+        return self._cost_generic(block, resource, state, compiled, set())
+
+    # -- program aggregation -----------------------------------------------
+
+    def _cost_blocks(self, blocks, resource, state, compiled, active_funcs):
+        total = 0.0
+        for block in blocks:
+            total += self._cost_block(block, resource, state, compiled, active_funcs)
+        return total
+
+    def _cost_block(self, block, resource, state, compiled, active_funcs):
+        if isinstance(block, SB.GenericBlock):
+            # blocks with unknown intermediate sizes carry provisional
+            # plans that dynamic recompilation will replace: their what-if
+            # costs are meaningless noise, so program-level aggregation
+            # excludes them.  This keeps unknown-dominated programs tied
+            # across CP points, and Definition 1's minimality tie-break
+            # then selects minimal resources — the behaviour the paper
+            # reports for MLogreg/GLM (Section 5.5), later corrected by
+            # runtime re-optimization once sizes are known.
+            if block.requires_recompile and self.exclude_provisional:
+                return 0.0
+            return self._cost_generic(block, resource, state, compiled, active_funcs)
+        if isinstance(block, SB.IfBlock):
+            cost = self._cost_predicate(block.predicate, resource, state, compiled)
+            then_state = state.copy()
+            then_cost = self._cost_blocks(
+                block.body, resource, then_state, compiled, active_funcs
+            )
+            else_state = state.copy()
+            else_cost = self._cost_blocks(
+                block.else_body, resource, else_state, compiled, active_funcs
+            )
+            merged = then_state.merge_with(else_state)
+            state.clear()
+            state.update(merged)
+            return cost + 0.5 * then_cost + 0.5 * else_cost
+        if isinstance(block, SB.WhileBlock):
+            iterations = DEFAULT_LOOP_ITERATIONS
+            return self._cost_loop(
+                block.body,
+                [block.predicate],
+                iterations,
+                resource,
+                state,
+                compiled,
+                active_funcs,
+            )
+        if isinstance(block, SB.ForBlock):
+            iterations = (
+                block.known_iterations
+                if block.known_iterations is not None
+                else DEFAULT_LOOP_ITERATIONS
+            )
+            holders = [
+                h
+                for h in (block.from_holder, block.to_holder, block.incr_holder)
+                if h is not None
+            ]
+            loop_cost = self._cost_loop(
+                block.body, holders, iterations, resource, state, compiled,
+                active_funcs,
+            )
+            if block.parallel:
+                from repro.compiler.pipeline import parfor_dop
+
+                dop = parfor_dop(block)
+                # k local workers share the iteration space; worker
+                # startup costs a small constant each
+                return loop_cost / dop + 0.1 * dop
+            return loop_cost
+        raise TypeError(f"unknown block type {type(block).__name__}")
+
+    def _cost_loop(self, body, holders, iterations, resource, state, compiled,
+                   active_funcs):
+        """One cold pass plus (iterations - 1) warm passes."""
+        if iterations <= 0:
+            return 0.0
+        pred_cost = sum(
+            self._cost_predicate(holder, resource, state, compiled)
+            for holder in holders
+        )
+        cold = self._cost_blocks(body, resource, state, compiled, active_funcs)
+        if iterations == 1:
+            return pred_cost + cold
+        warm = self._cost_blocks(body, resource, state, compiled, active_funcs)
+        return pred_cost * iterations + cold + warm * (iterations - 1)
+
+    def _cost_predicate(self, holder, resource, state, compiled):
+        plan = getattr(holder, "plan", None)
+        if plan is None:
+            return 0.0
+        total = 0.0
+        for ins in plan.instructions:
+            total += self._cost_cp(ins, resource, state)
+        return total
+
+    # -- instruction-level costing -----------------------------------------
+
+    def _cost_generic(self, block, resource, state, compiled, active_funcs):
+        plan = block.plan
+        if plan is None:
+            return 0.0
+        total = 0.0
+        for ins in plan.instructions:
+            if isinstance(ins, MRJobInstruction):
+                total += self._cost_mr_job(ins, resource, state)
+            elif ins.opcode == "fcall":
+                total += self._cost_fcall(
+                    ins, resource, state, compiled, active_funcs
+                )
+            else:
+                total += self._cost_cp(ins, resource, state)
+        return total
+
+    def _ensure_state(self, name, mc, resource):
+        """Default state for variables first seen mid-plan (partial
+        costing): resident in memory when they fit the CP budget."""
+        fits = mc.memory_estimate() <= resource.cp_budget_bytes
+        return VarCostState(mc.copy(), in_memory=fits, dirty=False)
+
+    def _input_state(self, operand, mc, state, resource):
+        if operand.name is None:
+            return None
+        vstate = state.get(operand.name)
+        if vstate is None:
+            vstate = self._ensure_state(operand.name, mc, resource)
+            state[operand.name] = vstate
+        return vstate
+
+    def _cost_cp(self, ins, resource, state):
+        params = self.params
+        if ins.opcode == "createvar":
+            state[ins.output] = VarCostState(ins.out_mc.copy())
+            fmt = ins.attrs.get("format")
+            if fmt in ("text", "csv"):
+                state[ins.output].fmt = FileFormat.CSV
+            return 0.0
+        if ins.opcode == "mvvar":
+            src = ins.inputs[0]
+            if src.name is not None and src.name in state:
+                state[ins.output] = state[src.name]
+            else:
+                mc = ins.out_mc
+                state[ins.output] = VarCostState(
+                    mc.copy(), in_memory=True, dirty=True
+                )
+            return 0.0
+        if ins.opcode == "write":
+            src = ins.inputs[0]
+            mc = ins.in_mcs[0] if ins.in_mcs else ins.out_mc
+            vstate = self._input_state(src, mc, state, resource)
+            fmt = (
+                FileFormat.CSV
+                if ins.attrs.get("format") in ("text", "csv")
+                else FileFormat.BINARY_BLOCK
+            )
+            write_mc = vstate.mc if vstate else mc
+            if not write_mc.dims_known:
+                return 0.0  # unknown outputs cannot be costed
+            return io_model.hdfs_write_time(write_mc, params, fmt)
+        if ins.opcode in _METADATA_OPS:
+            return 0.0
+
+        # IO: pull HDFS-resident matrix inputs into memory
+        io_time = 0.0
+        in_mcs = []
+        pinned = []
+        for idx, operand in enumerate(ins.inputs):
+            mc = (
+                ins.in_mcs[idx]
+                if idx < len(ins.in_mcs)
+                else MatrixCharacteristics(0, 0, 0)
+            )
+            vstate = self._input_state(operand, mc, state, resource)
+            if vstate is None:
+                in_mcs.append(mc)
+                continue
+            in_mcs.append(vstate.mc)
+            pinned.append(vstate)
+            if vstate.mc.dims_known and vstate.mc.cells > 0 and not vstate.in_memory:
+                io_time += io_model.hdfs_read_time(vstate.mc, params, vstate.fmt)
+                # the buffer pool retains only matrices that fit the CP
+                # budget; larger ones are streamed and re-read on the
+                # next access (the cost model's partial account of the
+                # buffer pool, paper Section 5)
+                vstate.in_memory = (
+                    vstate.mc.memory_estimate() <= resource.cp_budget_bytes
+                )
+
+        flops = operation_flops(ins.opcode, ins.out_mc, in_mcs, ins.attrs)
+        compute_time = flops / params.cp_flops
+        if ins.output is not None:
+            fits = ins.out_mc.memory_estimate() <= resource.cp_budget_bytes
+            vstate = VarCostState(
+                ins.out_mc.copy(), in_memory=fits, dirty=True
+            )
+            state[ins.output] = vstate
+            pinned.append(vstate)
+        self._balance_pool(state, resource, pinned)
+        return io_time + compute_time
+
+    def _balance_pool(self, state, resource, pinned):
+        """Approximate LRU working-set accounting: when the in-memory
+        variables exceed the CP budget, the least recently touched ones
+        are dropped (their next access re-reads) — the cost model's
+        partial account of buffer-pool evictions."""
+        budget = resource.cp_budget_bytes
+        live = []
+        seen = set()
+        total = 0.0
+        for name in state:
+            vstate = state[name]
+            if id(vstate) in seen or not vstate.in_memory:
+                continue
+            seen.add(id(vstate))
+            size = vstate.mc.memory_estimate()
+            if math.isfinite(size):
+                live.append((vstate, size))
+                total += size
+        if total <= budget:
+            return
+        pinned_ids = {id(v) for v in pinned}
+        # evict insertion-ordered (oldest first), keeping current operands
+        for vstate, size in live:
+            if total <= budget:
+                break
+            if id(vstate) in pinned_ids:
+                continue
+            vstate.in_memory = False
+            total -= size
+
+    def _cost_fcall(self, ins, resource, state, compiled, active_funcs):
+        func_name = ins.attrs.get("func")
+        func = compiled.functions.get(func_name) if compiled else None
+        if func is None or func_name in active_funcs:
+            return 0.0
+        active_funcs = active_funcs | {func_name}
+        fstate = CostState()
+        cost = self._cost_blocks(
+            func.blocks, resource, fstate, compiled, active_funcs
+        )
+        for out in ins.attrs.get("outputs", []):
+            state[out] = VarCostState(
+                ins.out_mc.copy(), in_memory=True, dirty=True
+            )
+        return cost
+
+    # -- MR job costing -------------------------------------------------
+
+    def _cost_mr_job(self, job, resource, state):
+        params = self.params
+        total = 0.0
+        # export dirty in-memory inputs to HDFS so the job can read them
+        for name in list(job.input_vars) + list(job.broadcast_vars):
+            vstate = state.get(name)
+            if vstate is None:
+                mc = self._find_job_input_mc(job, name)
+                vstate = VarCostState(mc, in_memory=True, dirty=True)
+                state[name] = vstate
+            if vstate.dirty and vstate.mc.dims_known:
+                total += io_model.hdfs_write_time(vstate.mc, params)
+            vstate.dirty = False
+
+        def mc_of(name):
+            vstate = state.get(name)
+            return vstate.mc if vstate is not None else None
+
+        def fmt_of(name):
+            vstate = state.get(name)
+            return vstate.fmt if vstate is not None else FileFormat.BINARY_BLOCK
+
+        timing = time_mr_job(job, mc_of, fmt_of, resource, self.cluster, params)
+        total += timing.total
+
+        # job outputs land on HDFS (clean, not in CP memory)
+        for step in job.steps:
+            if step.output in job.output_vars:
+                state[step.output] = VarCostState(
+                    step.out_mc.copy(), in_memory=False, dirty=False
+                )
+        return total
+
+    def _find_job_input_mc(self, job, name):
+        for step in job.steps:
+            for operand, mc in zip(step.inputs, step.in_mcs):
+                if operand.name == name:
+                    return mc.copy()
+        return MatrixCharacteristics.unknown()

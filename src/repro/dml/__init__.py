@@ -1,0 +1,14 @@
+"""DML (Declarative Machine Learning language) front-end.
+
+This subpackage implements a lexer, recursive-descent parser, and semantic
+validator for the R-like DML subset used by the paper's five ML programs:
+linear algebra expressions, control flow (``if``/``while``/``for``),
+user-defined functions, command-line arguments (``$name``), and the
+builtin functions listed in :mod:`repro.dml.builtins`.
+"""
+
+from repro.dml.lexer import tokenize
+from repro.dml.parser import parse
+from repro.dml.validate import validate
+
+__all__ = ["tokenize", "parse", "validate"]

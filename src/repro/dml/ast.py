@@ -1,0 +1,234 @@
+"""Abstract syntax tree node definitions for the DML subset.
+
+Every node carries the 1-based source ``line`` for error reporting and for
+program-size statistics (Table 1 of the paper reports script line counts).
+Nodes are plain dataclasses; the compiler consumes them read-only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Node:
+    """Base class for all AST nodes."""
+
+    line: int = field(default=0, kw_only=True)
+
+
+# -- expressions -------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    """Base class for expressions."""
+
+
+@dataclass
+class Literal(Expr):
+    """A numeric, boolean, or string literal."""
+
+    value: object = None
+    vtype: str = "double"  # double | int | boolean | string
+
+
+@dataclass
+class Identifier(Expr):
+    """A variable reference."""
+
+    name: str = ""
+
+
+@dataclass
+class CommandLineArg(Expr):
+    """A ``$name`` script argument reference."""
+
+    name: str = ""
+
+
+@dataclass
+class BinaryExpr(Expr):
+    """Binary arithmetic, relational, boolean, or matrix-multiply op.
+
+    ``op`` is one of: ``+ - * / ^ %% %/% %*% < <= > >= == != & |``.
+    """
+
+    op: str = ""
+    left: Expr = None
+    right: Expr = None
+
+
+@dataclass
+class UnaryExpr(Expr):
+    """Unary ``-``, ``+`` or ``!``."""
+
+    op: str = ""
+    operand: Expr = None
+
+
+@dataclass
+class FunctionCall(Expr):
+    """A builtin or user-defined function call.
+
+    ``args`` are positional arguments; ``named_args`` maps parameter names
+    (e.g. ``rows=``, ``cols=``) to expressions.
+    """
+
+    name: str = ""
+    args: list = field(default_factory=list)
+    named_args: dict = field(default_factory=dict)
+
+
+@dataclass
+class IndexRange:
+    """One dimension of an indexing expression.
+
+    ``lower``/``upper`` are expressions or ``None``; a ``None`` pair means
+    "all"; ``lower`` set with ``upper`` None and ``is_range`` False means a
+    single index.
+    """
+
+    lower: Expr | None = None
+    upper: Expr | None = None
+    is_range: bool = False
+
+    @property
+    def is_all(self):
+        return self.lower is None and self.upper is None
+
+
+@dataclass
+class IndexingExpr(Expr):
+    """Right indexing ``X[rows, cols]``."""
+
+    target: Expr = None
+    row_range: IndexRange = None
+    col_range: IndexRange = None
+
+
+# -- statements ----------------------------------------------------------
+
+
+@dataclass
+class Statement(Node):
+    """Base class for statements."""
+
+
+@dataclass
+class Assignment(Statement):
+    """``target = expr`` including left-indexing targets."""
+
+    target: str = ""
+    expr: Expr = None
+    # for left indexing X[a:b, c:d] = expr
+    row_range: IndexRange | None = None
+    col_range: IndexRange | None = None
+
+    @property
+    def is_left_indexing(self):
+        return self.row_range is not None or self.col_range is not None
+
+
+@dataclass
+class MultiAssignment(Statement):
+    """``[a, b] = f(...)`` for multi-output function calls."""
+
+    targets: list = field(default_factory=list)
+    call: FunctionCall = None
+
+
+@dataclass
+class ExprStatement(Statement):
+    """A bare call statement such as ``print(...)`` or ``write(...)``."""
+
+    expr: Expr = None
+
+
+@dataclass
+class IfStatement(Statement):
+    predicate: Expr = None
+    body: list = field(default_factory=list)
+    else_body: list = field(default_factory=list)
+
+
+@dataclass
+class WhileStatement(Statement):
+    predicate: Expr = None
+    body: list = field(default_factory=list)
+
+
+@dataclass
+class ForStatement(Statement):
+    """``for (var in from:to)`` with optional increment; ``parallel``
+    marks a task-parallel ``parfor`` loop (independent iterations)."""
+
+    var: str = ""
+    from_expr: Expr = None
+    to_expr: Expr = None
+    increment: Expr | None = None
+    body: list = field(default_factory=list)
+    parallel: bool = False
+
+
+# -- functions and program ----------------------------------------------
+
+
+@dataclass
+class Param(Node):
+    """A formal function parameter or return value."""
+
+    name: str = ""
+    data_type: str = "matrix"  # matrix | scalar
+    value_type: str = "double"  # double | int | boolean | string
+    default: Expr | None = None
+
+
+@dataclass
+class FunctionDef(Node):
+    name: str = ""
+    inputs: list = field(default_factory=list)
+    outputs: list = field(default_factory=list)
+    body: list = field(default_factory=list)
+
+
+@dataclass
+class Program(Node):
+    """A parsed DML script: top-level statements plus named functions."""
+
+    statements: list = field(default_factory=list)
+    functions: dict = field(default_factory=dict)
+
+
+def walk_expr(expr):
+    """Yield ``expr`` and all sub-expressions, depth first."""
+    if expr is None:
+        return
+    yield expr
+    if isinstance(expr, BinaryExpr):
+        yield from walk_expr(expr.left)
+        yield from walk_expr(expr.right)
+    elif isinstance(expr, UnaryExpr):
+        yield from walk_expr(expr.operand)
+    elif isinstance(expr, FunctionCall):
+        for arg in expr.args:
+            yield from walk_expr(arg)
+        for arg in expr.named_args.values():
+            yield from walk_expr(arg)
+    elif isinstance(expr, IndexingExpr):
+        yield from walk_expr(expr.target)
+        for rng in (expr.row_range, expr.col_range):
+            if rng is not None:
+                yield from walk_expr(rng.lower)
+                yield from walk_expr(rng.upper)
+
+
+def walk_statements(statements):
+    """Yield every statement in a statement list, recursing into bodies."""
+    for stmt in statements:
+        yield stmt
+        if isinstance(stmt, IfStatement):
+            yield from walk_statements(stmt.body)
+            yield from walk_statements(stmt.else_body)
+        elif isinstance(stmt, (WhileStatement, ForStatement)):
+            yield from walk_statements(stmt.body)

@@ -1,0 +1,178 @@
+"""Tokenizer for the DML subset.
+
+Produces a flat list of :class:`Token` objects with line/column positions.
+Comments (``#`` to end of line) and whitespace are skipped; newlines are
+emitted as ``NEWLINE`` tokens so the parser can use them as statement
+separators (semicolons are also accepted and treated the same way).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DMLSyntaxError
+
+KEYWORDS = {
+    "if",
+    "else",
+    "while",
+    "for",
+    "parfor",
+    "in",
+    "function",
+    "return",
+    "TRUE",
+    "FALSE",
+}
+
+#: multi-character operators, longest first so maximal munch works
+_MULTI_OPS = [
+    "%*%",
+    "%/%",
+    "%%",
+    "<=",
+    ">=",
+    "==",
+    "!=",
+    "&&",
+    "||",
+    "<-",
+]
+
+_SINGLE_OPS = set("+-*/^<>=!&|(){}[],:;$")
+
+
+@dataclass
+class Token:
+    kind: str  # ID, INT, DOUBLE, STRING, KEYWORD, OP, NEWLINE, EOF
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self):
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.column})"
+
+
+def tokenize(source):
+    """Tokenize DML ``source`` text into a list of tokens ending with EOF.
+
+    Raises :class:`DMLSyntaxError` on unrecognized characters or unclosed
+    string literals.
+    """
+    tokens = []
+    line = 1
+    col = 1
+    i = 0
+    n = len(source)
+
+    def add(kind, text, tline, tcol):
+        tokens.append(Token(kind, text, tline, tcol))
+
+    while i < n:
+        ch = source[i]
+        # newline -> statement separator
+        if ch == "\n":
+            add("NEWLINE", "\n", line, col)
+            line += 1
+            col = 1
+            i += 1
+            continue
+        # other whitespace
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        # comments
+        if ch == "#":
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        # strings
+        if ch in "\"'":
+            quote = ch
+            start_line, start_col = line, col
+            j = i + 1
+            buf = []
+            while j < n and source[j] != quote:
+                if source[j] == "\n":
+                    raise DMLSyntaxError(
+                        "unterminated string literal", start_line, start_col
+                    )
+                if source[j] == "\\" and j + 1 < n:
+                    esc = source[j + 1]
+                    buf.append({"n": "\n", "t": "\t", "\\": "\\"}.get(esc, esc))
+                    j += 2
+                else:
+                    buf.append(source[j])
+                    j += 1
+            if j >= n:
+                raise DMLSyntaxError(
+                    "unterminated string literal", start_line, start_col
+                )
+            add("STRING", "".join(buf), start_line, start_col)
+            col += j + 1 - i
+            i = j + 1
+            continue
+        # numbers
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            start_line, start_col = line, col
+            j = i
+            is_double = False
+            while j < n and source[j].isdigit():
+                j += 1
+            if j < n and source[j] == ".":
+                is_double = True
+                j += 1
+                while j < n and source[j].isdigit():
+                    j += 1
+            if j < n and source[j] in "eE":
+                is_double = True
+                j += 1
+                if j < n and source[j] in "+-":
+                    j += 1
+                if j >= n or not source[j].isdigit():
+                    raise DMLSyntaxError(
+                        "malformed exponent in numeric literal",
+                        start_line,
+                        start_col,
+                    )
+                while j < n and source[j].isdigit():
+                    j += 1
+            text = source[i:j]
+            add("DOUBLE" if is_double else "INT", text, start_line, start_col)
+            col += j - i
+            i = j
+            continue
+        # identifiers and keywords
+        if ch.isalpha() or ch == "_" or ch == ".":
+            start_line, start_col = line, col
+            j = i
+            while j < n and (source[j].isalnum() or source[j] in "._"):
+                j += 1
+            text = source[i:j]
+            kind = "KEYWORD" if text in KEYWORDS else "ID"
+            add(kind, text, start_line, start_col)
+            col += j - i
+            i = j
+            continue
+        # multi-char operators
+        matched = False
+        for op in _MULTI_OPS:
+            if source.startswith(op, i):
+                add("OP", op, line, col)
+                i += len(op)
+                col += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        # single-char operators / punctuation
+        if ch in _SINGLE_OPS:
+            add("OP", ch, line, col)
+            i += 1
+            col += 1
+            continue
+        raise DMLSyntaxError(f"unexpected character {ch!r}", line, col)
+
+    add("EOF", "", line, col)
+    return tokens

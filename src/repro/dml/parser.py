@@ -1,0 +1,540 @@
+"""Recursive-descent parser for the DML subset.
+
+Entry point is :func:`parse`, which returns a :class:`repro.dml.ast.Program`.
+The grammar follows DML/R conventions:
+
+* newlines or semicolons separate statements (newlines inside parentheses,
+  brackets, or immediately around binary operators are ignored);
+* ``^`` is right-associative and binds tightest, then unary ``+/-``, then
+  ``%*%``/``%%``/``%/%``, then ``*``/``/``, then ``+``/``-``, relational
+  operators, ``!``, ``&``, ``|``;
+* functions are defined as ``name = function(args) return (outs) { body }``.
+"""
+
+from __future__ import annotations
+
+from repro.dml import ast
+from repro.dml.lexer import tokenize
+from repro.errors import DMLSyntaxError
+
+_RELATIONAL = {"<", "<=", ">", ">=", "==", "!="}
+_OPENERS = {"(", "["}
+_CLOSERS = {")", "]"}
+#: tokens after which a newline cannot end a statement
+_CONTINUATION_OPS = {
+    "+", "-", "*", "/", "^", "%*%", "%%", "%/%",
+    "<", "<=", ">", ">=", "==", "!=", "&", "|", "&&", "||",
+    "=", "<-", ",", "{",
+}
+
+
+def _filter_newlines(tokens):
+    """Drop NEWLINE tokens that cannot be statement separators.
+
+    A newline is dropped when it occurs inside parentheses/brackets, right
+    after an operator that requires a right operand, or right before an
+    ``else`` keyword or a closing punctuation that does not need separating.
+    """
+    out = []
+    depth = 0
+    for i, tok in enumerate(tokens):
+        if tok.kind == "OP" and tok.text in _OPENERS:
+            depth += 1
+        elif tok.kind == "OP" and tok.text in _CLOSERS:
+            depth = max(0, depth - 1)
+        if tok.kind == "NEWLINE":
+            if depth > 0:
+                continue
+            if out and out[-1].kind == "OP" and out[-1].text in _CONTINUATION_OPS:
+                continue
+            # lookahead: collapse before 'else' so `}\n else` parses
+            j = i + 1
+            while j < len(tokens) and tokens[j].kind == "NEWLINE":
+                j += 1
+            if (
+                j < len(tokens)
+                and tokens[j].kind == "KEYWORD"
+                and tokens[j].text in ("else", "return")
+            ):
+                continue
+            if out and out[-1].kind == "NEWLINE":
+                continue
+        out.append(tok)
+    return out
+
+
+class _Parser:
+    """Stateful token-stream parser; one instance per :func:`parse` call."""
+
+    def __init__(self, tokens):
+        self.tokens = _filter_newlines(tokens)
+        self.pos = 0
+
+    # -- token helpers -------------------------------------------------------
+
+    def peek(self, offset=0):
+        idx = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[idx]
+
+    def advance(self):
+        tok = self.tokens[self.pos]
+        if tok.kind != "EOF":
+            self.pos += 1
+        return tok
+
+    def check(self, kind, text=None):
+        tok = self.peek()
+        if tok.kind != kind:
+            return False
+        return text is None or tok.text == text
+
+    def check_op(self, text):
+        return self.check("OP", text)
+
+    def match(self, kind, text=None):
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind, text=None):
+        tok = self.peek()
+        if not self.check(kind, text):
+            want = text if text is not None else kind
+            raise DMLSyntaxError(
+                f"expected {want!r} but found {tok.text!r}", tok.line, tok.column
+            )
+        return self.advance()
+
+    def skip_separators(self):
+        while self.check("NEWLINE") or self.check_op(";"):
+            self.advance()
+
+    # -- program level -------------------------------------------------------
+
+    def parse_program(self):
+        program = ast.Program(line=1)
+        self.skip_separators()
+        while not self.check("EOF"):
+            if self._at_function_def():
+                func = self.parse_function_def()
+                if func.name in program.functions:
+                    raise DMLSyntaxError(
+                        f"duplicate function definition {func.name!r}", func.line
+                    )
+                program.functions[func.name] = func
+            else:
+                program.statements.append(self.parse_statement())
+            self.skip_separators()
+        return program
+
+    def _at_function_def(self):
+        return (
+            self.check("ID")
+            and self.peek(1).kind == "OP"
+            and self.peek(1).text in ("=", "<-")
+            and self.peek(2).kind == "KEYWORD"
+            and self.peek(2).text == "function"
+        )
+
+    def parse_function_def(self):
+        name_tok = self.expect("ID")
+        self.advance()  # '=' or '<-'
+        self.expect("KEYWORD", "function")
+        self.expect("OP", "(")
+        inputs = self.parse_param_list(")")
+        self.expect("OP", ")")
+        self.expect("KEYWORD", "return")
+        self.expect("OP", "(")
+        outputs = self.parse_param_list(")")
+        self.expect("OP", ")")
+        body = self.parse_block()
+        return ast.FunctionDef(
+            name=name_tok.text,
+            inputs=inputs,
+            outputs=outputs,
+            body=body,
+            line=name_tok.line,
+        )
+
+    def parse_param_list(self, closer):
+        params = []
+        while not self.check_op(closer):
+            params.append(self.parse_param())
+            if not self.match("OP", ","):
+                break
+        return params
+
+    def parse_param(self):
+        """Parse ``Matrix[double] X`` or ``double x = 0.01`` style params."""
+        type_tok = self.expect("ID")
+        type_name = type_tok.text.lower()
+        value_type = "double"
+        if type_name == "matrix":
+            data_type = "matrix"
+            if self.match("OP", "["):
+                vt_tok = self.expect("ID")
+                value_type = vt_tok.text.lower()
+                self.expect("OP", "]")
+        elif type_name in ("double", "int", "integer", "boolean", "string"):
+            data_type = "scalar"
+            value_type = "int" if type_name == "integer" else type_name
+        else:
+            raise DMLSyntaxError(
+                f"unknown parameter type {type_tok.text!r}",
+                type_tok.line,
+                type_tok.column,
+            )
+        name_tok = self.expect("ID")
+        default = None
+        if self.match("OP", "="):
+            default = self.parse_expr()
+        return ast.Param(
+            name=name_tok.text,
+            data_type=data_type,
+            value_type=value_type,
+            default=default,
+            line=type_tok.line,
+        )
+
+    # -- statements ------------------------------------------------------
+
+    def parse_block(self):
+        """Parse ``{ stmts }`` or a single statement without braces."""
+        if self.match("OP", "{"):
+            statements = []
+            self.skip_separators()
+            while not self.check_op("}"):
+                if self.check("EOF"):
+                    tok = self.peek()
+                    raise DMLSyntaxError("unterminated block", tok.line, tok.column)
+                statements.append(self.parse_statement())
+                self.skip_separators()
+            self.expect("OP", "}")
+            return statements
+        return [self.parse_statement()]
+
+    def parse_statement(self):
+        tok = self.peek()
+        if tok.kind == "KEYWORD":
+            if tok.text == "if":
+                return self.parse_if()
+            if tok.text == "while":
+                return self.parse_while()
+            if tok.text in ("for", "parfor"):
+                return self.parse_for()
+            raise DMLSyntaxError(
+                f"unexpected keyword {tok.text!r}", tok.line, tok.column
+            )
+        if tok.kind == "OP" and tok.text == "[":
+            return self.parse_multi_assignment()
+        if tok.kind == "ID":
+            return self.parse_assignment_or_call()
+        raise DMLSyntaxError(
+            f"unexpected token {tok.text!r} at statement start", tok.line, tok.column
+        )
+
+    def parse_if(self):
+        tok = self.expect("KEYWORD", "if")
+        self.expect("OP", "(")
+        predicate = self.parse_expr()
+        self.expect("OP", ")")
+        self.skip_separators()
+        body = self.parse_block()
+        else_body = []
+        save = self.pos
+        self.skip_separators()
+        if self.match("KEYWORD", "else"):
+            self.skip_separators()
+            if self.check("KEYWORD", "if"):
+                else_body = [self.parse_if()]
+            else:
+                else_body = self.parse_block()
+        else:
+            self.pos = save
+        return ast.IfStatement(
+            predicate=predicate, body=body, else_body=else_body, line=tok.line
+        )
+
+    def parse_while(self):
+        tok = self.expect("KEYWORD", "while")
+        self.expect("OP", "(")
+        predicate = self.parse_expr()
+        self.expect("OP", ")")
+        self.skip_separators()
+        body = self.parse_block()
+        return ast.WhileStatement(predicate=predicate, body=body, line=tok.line)
+
+    def parse_for(self):
+        tok = self.advance()  # for | parfor
+        parallel = tok.text == "parfor"
+        self.expect("OP", "(")
+        var_tok = self.expect("ID")
+        self.expect("KEYWORD", "in")
+        if self.check("ID", "seq") or (
+            self.check("ID") and self.peek().text == "seq"
+        ):
+            # for (i in seq(a, b, c))
+            call = self.parse_expr()
+            if not isinstance(call, ast.FunctionCall) or call.name != "seq":
+                raise DMLSyntaxError(
+                    "for-loop iterable must be a range or seq()",
+                    tok.line,
+                    tok.column,
+                )
+            from_expr = call.args[0]
+            to_expr = call.args[1]
+            increment = call.args[2] if len(call.args) > 2 else None
+        else:
+            from_expr = self.parse_add_expr()
+            self.expect("OP", ":")
+            to_expr = self.parse_add_expr()
+            increment = None
+        self.expect("OP", ")")
+        self.skip_separators()
+        body = self.parse_block()
+        return ast.ForStatement(
+            var=var_tok.text,
+            from_expr=from_expr,
+            to_expr=to_expr,
+            increment=increment,
+            body=body,
+            parallel=parallel,
+            line=tok.line,
+        )
+
+    def parse_multi_assignment(self):
+        tok = self.expect("OP", "[")
+        targets = [self.expect("ID").text]
+        while self.match("OP", ","):
+            targets.append(self.expect("ID").text)
+        self.expect("OP", "]")
+        self.expect("OP", "=")
+        call = self.parse_expr()
+        if not isinstance(call, ast.FunctionCall):
+            raise DMLSyntaxError(
+                "multi-assignment requires a function call on the right",
+                tok.line,
+                tok.column,
+            )
+        return ast.MultiAssignment(targets=targets, call=call, line=tok.line)
+
+    def parse_assignment_or_call(self):
+        tok = self.peek()
+        # function-call statement, e.g. print(...), write(...)
+        if self.peek(1).kind == "OP" and self.peek(1).text == "(":
+            expr = self.parse_expr()
+            if not isinstance(expr, ast.FunctionCall):
+                raise DMLSyntaxError(
+                    "expected a function-call statement", tok.line, tok.column
+                )
+            return ast.ExprStatement(expr=expr, line=tok.line)
+        name_tok = self.expect("ID")
+        row_range = col_range = None
+        if self.match("OP", "["):
+            row_range, col_range = self.parse_index_ranges()
+            self.expect("OP", "]")
+        if self.check_op("=") or self.check_op("<-"):
+            self.advance()
+        else:
+            bad = self.peek()
+            raise DMLSyntaxError(
+                f"expected '=' in assignment to {name_tok.text!r}",
+                bad.line,
+                bad.column,
+            )
+        expr = self.parse_expr()
+        return ast.Assignment(
+            target=name_tok.text,
+            expr=expr,
+            row_range=row_range,
+            col_range=col_range,
+            line=name_tok.line,
+        )
+
+    # -- expressions -------------------------------------------------------
+
+    def parse_expr(self):
+        return self.parse_or_expr()
+
+    def parse_or_expr(self):
+        left = self.parse_and_expr()
+        while self.check_op("|") or self.check_op("||"):
+            tok = self.advance()
+            right = self.parse_and_expr()
+            left = ast.BinaryExpr(op="|", left=left, right=right, line=tok.line)
+        return left
+
+    def parse_and_expr(self):
+        left = self.parse_not_expr()
+        while self.check_op("&") or self.check_op("&&"):
+            tok = self.advance()
+            right = self.parse_not_expr()
+            left = ast.BinaryExpr(op="&", left=left, right=right, line=tok.line)
+        return left
+
+    def parse_not_expr(self):
+        if self.check_op("!"):
+            tok = self.advance()
+            operand = self.parse_not_expr()
+            return ast.UnaryExpr(op="!", operand=operand, line=tok.line)
+        return self.parse_relational_expr()
+
+    def parse_relational_expr(self):
+        left = self.parse_add_expr()
+        if self.peek().kind == "OP" and self.peek().text in _RELATIONAL:
+            tok = self.advance()
+            right = self.parse_add_expr()
+            return ast.BinaryExpr(op=tok.text, left=left, right=right, line=tok.line)
+        return left
+
+    def parse_add_expr(self):
+        left = self.parse_mul_expr()
+        while self.check_op("+") or self.check_op("-"):
+            tok = self.advance()
+            right = self.parse_mul_expr()
+            left = ast.BinaryExpr(op=tok.text, left=left, right=right, line=tok.line)
+        return left
+
+    def parse_mul_expr(self):
+        left = self.parse_matmul_expr()
+        while self.check_op("*") or self.check_op("/"):
+            tok = self.advance()
+            right = self.parse_matmul_expr()
+            left = ast.BinaryExpr(op=tok.text, left=left, right=right, line=tok.line)
+        return left
+
+    def parse_matmul_expr(self):
+        left = self.parse_unary_expr()
+        while (
+            self.check_op("%*%") or self.check_op("%%") or self.check_op("%/%")
+        ):
+            tok = self.advance()
+            right = self.parse_unary_expr()
+            left = ast.BinaryExpr(op=tok.text, left=left, right=right, line=tok.line)
+        return left
+
+    def parse_unary_expr(self):
+        if self.check_op("-") or self.check_op("+"):
+            tok = self.advance()
+            operand = self.parse_unary_expr()
+            if tok.text == "+":
+                return operand
+            # fold negative numeric literals directly
+            if isinstance(operand, ast.Literal) and operand.vtype in ("int", "double"):
+                return ast.Literal(
+                    value=-operand.value, vtype=operand.vtype, line=tok.line
+                )
+            return ast.UnaryExpr(op="-", operand=operand, line=tok.line)
+        return self.parse_power_expr()
+
+    def parse_power_expr(self):
+        base = self.parse_postfix_expr()
+        if self.check_op("^"):
+            tok = self.advance()
+            # right associative: recurse through unary to allow 2^-3
+            exponent = self.parse_unary_expr()
+            return ast.BinaryExpr(op="^", left=base, right=exponent, line=tok.line)
+        return base
+
+    def parse_postfix_expr(self):
+        expr = self.parse_primary()
+        while self.check_op("["):
+            tok = self.advance()
+            row_range, col_range = self.parse_index_ranges()
+            self.expect("OP", "]")
+            expr = ast.IndexingExpr(
+                target=expr, row_range=row_range, col_range=col_range, line=tok.line
+            )
+        return expr
+
+    def parse_index_ranges(self):
+        """Parse the inside of ``X[rows, cols]`` (after the ``[``)."""
+        row_range = self.parse_one_range(terminators=(",", "]"))
+        col_range = ast.IndexRange(None, None)
+        if self.match("OP", ","):
+            col_range = self.parse_one_range(terminators=("]",))
+        return row_range, col_range
+
+    def parse_one_range(self, terminators):
+        if self.peek().kind == "OP" and self.peek().text in terminators:
+            return ast.IndexRange(None, None)
+        if self.check_op(":"):
+            self.advance()
+            upper = self.parse_add_expr()
+            return ast.IndexRange(None, upper, is_range=True)
+        lower = self.parse_add_expr()
+        if self.match("OP", ":"):
+            if self.peek().kind == "OP" and self.peek().text in terminators:
+                return ast.IndexRange(lower, None, is_range=True)
+            upper = self.parse_add_expr()
+            return ast.IndexRange(lower, upper, is_range=True)
+        return ast.IndexRange(lower, None, is_range=False)
+
+    def parse_primary(self):
+        tok = self.peek()
+        if tok.kind == "INT":
+            self.advance()
+            return ast.Literal(value=int(tok.text), vtype="int", line=tok.line)
+        if tok.kind == "DOUBLE":
+            self.advance()
+            return ast.Literal(value=float(tok.text), vtype="double", line=tok.line)
+        if tok.kind == "STRING":
+            self.advance()
+            return ast.Literal(value=tok.text, vtype="string", line=tok.line)
+        if tok.kind == "KEYWORD" and tok.text in ("TRUE", "FALSE"):
+            self.advance()
+            return ast.Literal(
+                value=(tok.text == "TRUE"), vtype="boolean", line=tok.line
+            )
+        if tok.kind == "OP" and tok.text == "$":
+            self.advance()
+            name_tok = self.expect("ID")
+            return ast.CommandLineArg(name=name_tok.text, line=tok.line)
+        if tok.kind == "OP" and tok.text == "(":
+            self.advance()
+            expr = self.parse_expr()
+            self.expect("OP", ")")
+            return expr
+        if tok.kind == "ID":
+            self.advance()
+            if self.check_op("("):
+                return self.parse_call(tok)
+            return ast.Identifier(name=tok.text, line=tok.line)
+        raise DMLSyntaxError(
+            f"unexpected token {tok.text!r} in expression", tok.line, tok.column
+        )
+
+    def parse_call(self, name_tok):
+        self.expect("OP", "(")
+        args = []
+        named_args = {}
+        while not self.check_op(")"):
+            if (
+                self.check("ID")
+                and self.peek(1).kind == "OP"
+                and self.peek(1).text == "="
+                and not (self.peek(2).kind == "OP" and self.peek(2).text == "=")
+            ):
+                key_tok = self.advance()
+                self.advance()  # '='
+                named_args[key_tok.text] = self.parse_expr()
+            else:
+                if named_args:
+                    bad = self.peek()
+                    raise DMLSyntaxError(
+                        "positional argument after named argument",
+                        bad.line,
+                        bad.column,
+                    )
+                args.append(self.parse_expr())
+            if not self.match("OP", ","):
+                break
+        self.expect("OP", ")")
+        return ast.FunctionCall(
+            name=name_tok.text, args=args, named_args=named_args, line=name_tok.line
+        )
+
+
+def parse(source):
+    """Parse DML ``source`` text and return an :class:`ast.Program`."""
+    return _Parser(tokenize(source)).parse_program()

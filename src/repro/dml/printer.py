@@ -1,0 +1,159 @@
+"""DML pretty-printer: renders an AST back to parseable source.
+
+Used by tooling (plan diffs, migration logs) and by the round-trip
+property tests: ``parse(print_program(parse(src)))`` must yield an
+equivalent AST.  Expressions are fully parenthesized where precedence
+could be ambiguous, so the printer never changes meaning.
+"""
+
+from __future__ import annotations
+
+from repro.dml import ast
+
+#: binding strength per binary operator (higher binds tighter)
+_PRECEDENCE = {
+    "|": 1,
+    "&": 2,
+    "==": 3, "!=": 3, "<": 3, "<=": 3, ">": 3, ">=": 3,
+    "+": 4, "-": 4,
+    "*": 5, "/": 5,
+    "%*%": 6, "%%": 6, "%/%": 6,
+    "^": 8,
+}
+
+
+def _escape(text):
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def print_expr(expr, parent_precedence=0):
+    """Render one expression."""
+    if isinstance(expr, ast.Literal):
+        if expr.vtype == "string":
+            return f'"{_escape(expr.value)}"'
+        if expr.vtype == "boolean":
+            return "TRUE" if expr.value else "FALSE"
+        return repr(expr.value)
+    if isinstance(expr, ast.Identifier):
+        return expr.name
+    if isinstance(expr, ast.CommandLineArg):
+        return f"${expr.name}"
+    if isinstance(expr, ast.UnaryExpr):
+        inner = print_expr(expr.operand, 7)
+        return f"{expr.op}{inner}"
+    if isinstance(expr, ast.BinaryExpr):
+        prec = _PRECEDENCE[expr.op]
+        # ^ is right-associative (left operand of a nested power needs
+        # parentheses); relational operators are non-associative (both
+        # sides need parentheses); the rest are left-associative
+        relational = prec == 3
+        left_prec = prec + 1 if (expr.op == "^" or relational) else prec
+        right_prec = prec if expr.op == "^" else prec + 1
+        left = print_expr(expr.left, left_prec)
+        right = print_expr(expr.right, right_prec)
+        text = f"{left} {expr.op} {right}"
+        if prec < parent_precedence:
+            return f"({text})"
+        return text
+    if isinstance(expr, ast.FunctionCall):
+        parts = [print_expr(arg) for arg in expr.args]
+        parts += [
+            f"{key}={print_expr(value)}"
+            for key, value in expr.named_args.items()
+        ]
+        return f"{expr.name}({', '.join(parts)})"
+    if isinstance(expr, ast.IndexingExpr):
+        target = print_expr(expr.target, 9)
+        return f"{target}[{_print_ranges(expr.row_range, expr.col_range)}]"
+    raise TypeError(f"cannot print expression {type(expr).__name__}")
+
+
+def _print_range(rng):
+    if rng is None or rng.is_all:
+        return ""
+    lower = print_expr(rng.lower) if rng.lower is not None else ""
+    if not rng.is_range:
+        return lower
+    upper = print_expr(rng.upper) if rng.upper is not None else ""
+    return f"{lower}:{upper}"
+
+
+def _print_ranges(row_range, col_range):
+    return f"{_print_range(row_range)}, {_print_range(col_range)}"
+
+
+def _print_statement(stmt, indent):
+    pad = "  " * indent
+    if isinstance(stmt, ast.Assignment):
+        if stmt.is_left_indexing:
+            ranges = _print_ranges(stmt.row_range, stmt.col_range)
+            return [f"{pad}{stmt.target}[{ranges}] = {print_expr(stmt.expr)}"]
+        return [f"{pad}{stmt.target} = {print_expr(stmt.expr)}"]
+    if isinstance(stmt, ast.MultiAssignment):
+        targets = ", ".join(stmt.targets)
+        return [f"{pad}[{targets}] = {print_expr(stmt.call)}"]
+    if isinstance(stmt, ast.ExprStatement):
+        return [f"{pad}{print_expr(stmt.expr)}"]
+    if isinstance(stmt, ast.IfStatement):
+        lines = [f"{pad}if ({print_expr(stmt.predicate)}) {{"]
+        for child in stmt.body:
+            lines.extend(_print_statement(child, indent + 1))
+        if stmt.else_body:
+            lines.append(f"{pad}}} else {{")
+            for child in stmt.else_body:
+                lines.extend(_print_statement(child, indent + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, ast.WhileStatement):
+        lines = [f"{pad}while ({print_expr(stmt.predicate)}) {{"]
+        for child in stmt.body:
+            lines.extend(_print_statement(child, indent + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, ast.ForStatement):
+        keyword = "parfor" if stmt.parallel else "for"
+        if stmt.increment is not None:
+            iterable = (
+                f"seq({print_expr(stmt.from_expr)}, "
+                f"{print_expr(stmt.to_expr)}, {print_expr(stmt.increment)})"
+            )
+        else:
+            iterable = (
+                f"{print_expr(stmt.from_expr, 5)}:"
+                f"{print_expr(stmt.to_expr, 5)}"
+            )
+        lines = [f"{pad}{keyword} ({stmt.var} in {iterable}) {{"]
+        for child in stmt.body:
+            lines.extend(_print_statement(child, indent + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    raise TypeError(f"cannot print statement {type(stmt).__name__}")
+
+
+def _print_param(param):
+    if param.data_type == "matrix":
+        type_text = f"Matrix[{param.value_type}]"
+    else:
+        type_text = param.value_type
+    text = f"{type_text} {param.name}"
+    if param.default is not None:
+        text += f" = {print_expr(param.default)}"
+    return text
+
+
+def print_program(program):
+    """Render a full :class:`ast.Program` back to DML source."""
+    lines = []
+    for func in program.functions.values():
+        inputs = ", ".join(_print_param(p) for p in func.inputs)
+        outputs = ", ".join(_print_param(p) for p in func.outputs)
+        lines.append(
+            f"{func.name} = function({inputs}) return ({outputs}) {{"
+        )
+        for stmt in func.body:
+            lines.extend(_print_statement(stmt, 1))
+        lines.append("}")
+        lines.append("")
+    for stmt in program.statements:
+        lines.extend(_print_statement(stmt, 0))
+    return "\n".join(lines) + "\n"

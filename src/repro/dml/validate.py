@@ -1,0 +1,285 @@
+"""Semantic validation of parsed DML programs.
+
+Performs a flow-sensitive walk over the program to check:
+
+* variables are defined before use (a variable assigned in only one branch
+  of an ``if`` counts as conditionally defined and is accepted, matching
+  DML's permissive semantics);
+* builtin calls have valid arity and named arguments;
+* user-defined function calls match declared inputs/outputs;
+* data types are consistent (e.g., ``%*%`` requires matrix operands,
+  predicates must be scalar);
+* command-line arguments are declared via ``$name`` / ``ifdef``.
+
+Returns a :class:`ValidationResult` listing referenced command-line args
+and the inferred data type of every top-level variable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common import DataType
+from repro.dml import ast
+from repro.dml.builtins import BUILTINS, infer_output_data_type
+from repro.errors import ValidationError
+
+_MATRIX_ONLY_OPS = {"%*%"}
+
+
+@dataclass
+class ValidationResult:
+    """Outcome of validation: referenced ``$args`` and final var types."""
+
+    cmdline_args: set = field(default_factory=set)
+    variable_types: dict = field(default_factory=dict)
+
+
+class _Scope:
+    """A lexical scope mapping variable name -> DataType."""
+
+    def __init__(self, parent=None):
+        self.vars = {}
+        self.parent = parent
+
+    def lookup(self, name):
+        scope = self
+        while scope is not None:
+            if name in scope.vars:
+                return scope.vars[name]
+            scope = scope.parent
+        return None
+
+    def define(self, name, dtype):
+        self.vars[name] = dtype
+
+    def copy(self):
+        clone = _Scope(self.parent)
+        clone.vars = dict(self.vars)
+        return clone
+
+
+class _Validator:
+    def __init__(self, program, script_args):
+        self.program = program
+        self.script_args = script_args or {}
+        self.result = ValidationResult()
+
+    def run(self):
+        for func in self.program.functions.values():
+            self._validate_function(func)
+        scope = _Scope()
+        self._validate_statements(self.program.statements, scope)
+        self.result.variable_types = dict(scope.vars)
+        return self.result
+
+    # -- functions -----------------------------------------------------------
+
+    def _validate_function(self, func):
+        scope = _Scope()
+        for param in func.inputs:
+            dtype = DataType.MATRIX if param.data_type == "matrix" else DataType.SCALAR
+            scope.define(param.name, dtype)
+        self._validate_statements(func.body, scope)
+        for out in func.outputs:
+            if scope.lookup(out.name) is None:
+                raise ValidationError(
+                    f"function {func.name!r} never assigns output {out.name!r}"
+                )
+
+    # -- statements ------------------------------------------------------
+
+    def _validate_statements(self, statements, scope):
+        for stmt in statements:
+            self._validate_statement(stmt, scope)
+
+    def _validate_statement(self, stmt, scope):
+        if isinstance(stmt, ast.Assignment):
+            dtype = self._expr_type(stmt.expr, scope)
+            if stmt.is_left_indexing:
+                existing = scope.lookup(stmt.target)
+                if existing is None:
+                    raise ValidationError(
+                        f"left indexing of undefined variable {stmt.target!r} "
+                        f"(line {stmt.line})"
+                    )
+                if existing is not DataType.MATRIX:
+                    raise ValidationError(
+                        f"left indexing requires a matrix target (line {stmt.line})"
+                    )
+                self._check_ranges(stmt.row_range, stmt.col_range, scope, stmt.line)
+            else:
+                scope.define(stmt.target, dtype)
+        elif isinstance(stmt, ast.MultiAssignment):
+            out_types = self._call_output_types(stmt.call, scope)
+            if len(out_types) != len(stmt.targets):
+                raise ValidationError(
+                    f"function {stmt.call.name!r} returns {len(out_types)} values "
+                    f"but {len(stmt.targets)} targets given (line {stmt.line})"
+                )
+            for target, dtype in zip(stmt.targets, out_types):
+                scope.define(target, dtype)
+        elif isinstance(stmt, ast.ExprStatement):
+            call = stmt.expr
+            if not isinstance(call, ast.FunctionCall):
+                raise ValidationError(
+                    f"expression statement must be a call (line {stmt.line})"
+                )
+            self._expr_type(call, scope)
+        elif isinstance(stmt, ast.IfStatement):
+            self._check_predicate(stmt.predicate, scope, stmt.line)
+            then_scope = scope.copy()
+            else_scope = scope.copy()
+            self._validate_statements(stmt.body, then_scope)
+            self._validate_statements(stmt.else_body, else_scope)
+            # merge: a var is defined after the if when defined in either
+            # branch (conditional definition, accepted permissively)
+            for name, dtype in then_scope.vars.items():
+                scope.define(name, dtype)
+            for name, dtype in else_scope.vars.items():
+                scope.define(name, dtype)
+        elif isinstance(stmt, ast.WhileStatement):
+            self._check_predicate(stmt.predicate, scope, stmt.line)
+            body_scope = scope.copy()
+            self._validate_statements(stmt.body, body_scope)
+            for name, dtype in body_scope.vars.items():
+                scope.define(name, dtype)
+        elif isinstance(stmt, ast.ForStatement):
+            self._expr_type(stmt.from_expr, scope)
+            self._expr_type(stmt.to_expr, scope)
+            if stmt.increment is not None:
+                self._expr_type(stmt.increment, scope)
+            body_scope = scope.copy()
+            body_scope.define(stmt.var, DataType.SCALAR)
+            self._validate_statements(stmt.body, body_scope)
+            for name, dtype in body_scope.vars.items():
+                if name != stmt.var:
+                    scope.define(name, dtype)
+        else:
+            raise ValidationError(f"unknown statement type {type(stmt).__name__}")
+
+    def _check_predicate(self, predicate, scope, line):
+        dtype = self._expr_type(predicate, scope)
+        if dtype is not DataType.SCALAR:
+            raise ValidationError(
+                f"control-flow predicate must be scalar (line {line})"
+            )
+
+    def _check_ranges(self, row_range, col_range, scope, line):
+        for rng in (row_range, col_range):
+            if rng is None:
+                continue
+            for bound in (rng.lower, rng.upper):
+                if bound is not None:
+                    dtype = self._expr_type(bound, scope)
+                    if dtype is not DataType.SCALAR:
+                        raise ValidationError(
+                            f"index bounds must be scalar (line {line})"
+                        )
+
+    # -- expressions -------------------------------------------------------
+
+    def _expr_type(self, expr, scope):
+        if isinstance(expr, ast.Literal):
+            return DataType.SCALAR
+        if isinstance(expr, ast.CommandLineArg):
+            self.result.cmdline_args.add(expr.name)
+            return DataType.SCALAR
+        if isinstance(expr, ast.Identifier):
+            dtype = scope.lookup(expr.name)
+            if dtype is None:
+                raise ValidationError(
+                    f"use of undefined variable {expr.name!r} (line {expr.line})"
+                )
+            return dtype
+        if isinstance(expr, ast.UnaryExpr):
+            return self._expr_type(expr.operand, scope)
+        if isinstance(expr, ast.BinaryExpr):
+            left = self._expr_type(expr.left, scope)
+            right = self._expr_type(expr.right, scope)
+            if expr.op in _MATRIX_ONLY_OPS:
+                if left is not DataType.MATRIX or right is not DataType.MATRIX:
+                    raise ValidationError(
+                        f"operator {expr.op!r} requires matrix operands "
+                        f"(line {expr.line})"
+                    )
+                return DataType.MATRIX
+            if DataType.MATRIX in (left, right):
+                return DataType.MATRIX
+            return DataType.SCALAR
+        if isinstance(expr, ast.IndexingExpr):
+            target = self._expr_type(expr.target, scope)
+            if target is not DataType.MATRIX:
+                raise ValidationError(
+                    f"indexing requires a matrix (line {expr.line})"
+                )
+            self._check_ranges(expr.row_range, expr.col_range, scope, expr.line)
+            return DataType.MATRIX
+        if isinstance(expr, ast.FunctionCall):
+            out_types = self._call_output_types(expr, scope)
+            if len(out_types) != 1:
+                raise ValidationError(
+                    f"function {expr.name!r} used in expression must return "
+                    f"exactly one value (line {expr.line})"
+                )
+            return out_types[0]
+        raise ValidationError(f"unknown expression type {type(expr).__name__}")
+
+    def _call_output_types(self, call, scope):
+        """Validate a call and return the list of its output data types."""
+        arg_types = [self._expr_type(arg, scope) for arg in call.args]
+        for value in call.named_args.values():
+            self._expr_type(value, scope)
+        if call.name in self.program.functions:
+            func = self.program.functions[call.name]
+            required = [p for p in func.inputs if p.default is None]
+            if len(call.args) + len(call.named_args) < len(required) or len(
+                call.args
+            ) > len(func.inputs):
+                raise ValidationError(
+                    f"call to {call.name!r} has wrong arity (line {call.line})"
+                )
+            valid_names = {p.name for p in func.inputs}
+            for key in call.named_args:
+                if key not in valid_names:
+                    raise ValidationError(
+                        f"unknown argument {key!r} in call to {call.name!r} "
+                        f"(line {call.line})"
+                    )
+            return [
+                DataType.MATRIX if p.data_type == "matrix" else DataType.SCALAR
+                for p in func.outputs
+            ]
+        spec = BUILTINS.get(call.name)
+        if spec is None:
+            raise ValidationError(
+                f"call to unknown function {call.name!r} (line {call.line})"
+            )
+        n_args = len(call.args)
+        if n_args < spec.min_args or (spec.max_args >= 0 and n_args > spec.max_args):
+            raise ValidationError(
+                f"builtin {call.name!r} called with {n_args} arguments "
+                f"(expects {spec.min_args}..{spec.max_args}) (line {call.line})"
+            )
+        for key in call.named_args:
+            if key not in spec.named_args:
+                raise ValidationError(
+                    f"builtin {call.name!r} has no named argument {key!r} "
+                    f"(line {call.line})"
+                )
+        if call.name == "ifdef":
+            arg = call.args[0]
+            if not isinstance(arg, ast.CommandLineArg):
+                raise ValidationError(
+                    f"ifdef() first argument must be a $arg (line {call.line})"
+                )
+        return [infer_output_data_type(spec, arg_types)]
+
+
+def validate(program, script_args=None):
+    """Validate ``program`` and return a :class:`ValidationResult`.
+
+    ``script_args`` optionally maps ``$name`` arguments to values; it is
+    only used to improve error reporting, not required for validation.
+    """
+    return _Validator(program, script_args).run()

@@ -1,0 +1,50 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch a single base class.  The hierarchy mirrors the pipeline stages:
+parsing, validation, compilation, execution, and resource optimization.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class DMLSyntaxError(ReproError):
+    """Raised by the lexer/parser on malformed DML input.
+
+    Carries the 1-based source ``line`` and ``column`` of the offending
+    token when available.
+    """
+
+    def __init__(self, message, line=None, column=None):
+        location = ""
+        if line is not None:
+            location = f" (line {line}"
+            location += f", col {column})" if column is not None else ")"
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class ValidationError(ReproError):
+    """Raised during semantic validation of a parsed DML program."""
+
+
+class CompilerError(ReproError):
+    """Raised when HOP/LOP construction or plan generation fails."""
+
+
+class ExecutionError(ReproError):
+    """Raised by the runtime interpreter when an instruction fails."""
+
+
+class OptimizationError(ReproError):
+    """Raised by the resource optimizer (e.g., infeasible constraints)."""
+
+
+class ClusterError(ReproError):
+    """Raised by the simulated cluster (e.g., container request exceeds
+    the maximum allocation constraint)."""

@@ -1,0 +1,175 @@
+"""Runtime resource adaptation (paper Section 4).
+
+Hooked into dynamic recompilation: when a recompiled block still emits
+MR jobs, the adapter
+
+1. determines the re-optimization scope — from the current position,
+   expanded to the outermost enclosing loop (or top level) of the
+   current call context, through the end of that context (Section 4.2);
+2. refreshes the scope's sizes with actual runtime characteristics and
+   re-runs the core resource optimizer twice: globally (R*) and with
+   the CP dimension pinned to the current configuration (R*|rc);
+3. migrates the CP application master iff the cost benefit
+   |C(P',R*) - C(P',R*|rc)| amortizes the migration cost (live-variable
+   export IO + container allocation/AM startup latency); otherwise only
+   the MR configurations are updated (Section 4.2, "Adaptation
+   Decision").
+
+Migration is modelled after the paper's AM process chaining: dirty live
+variables are written to HDFS, the buffer pool restarts empty in the
+new container (subsequent accesses re-read — the "reading the input
+data again" overhead the paper observes), and execution resumes.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.resources import ResourceConfig
+from repro.compiler.memory_estimates import estimate_dag_memory
+from repro.compiler.pipeline import recompile_block_plan
+from repro.compiler.recompile import make_env_from_states
+from repro.compiler import statement_blocks as SB
+from repro.compiler.size_propagation import Propagator
+from repro.cost import io_model
+
+
+class ResourceAdapter:
+    """Implements the interpreter's runtime-adaptation hook."""
+
+    def __init__(self, optimizer, max_migrations=5):
+        self.optimizer = optimizer
+        self.max_migrations = max_migrations
+
+    def _select_optimizer(self, interp):
+        """Hook: pick the optimizer for this re-optimization (the
+        utilization-aware subclass substitutes a degraded-cluster view
+        when background load is high)."""
+        return self.optimizer
+
+    def should_trigger(self, interp, block):
+        """Extended trigger hook (paper Section 6): the base adapter
+        only reacts to dynamic recompilation; subclasses may trigger on
+        other runtime conditions (e.g. cluster utilization shifts)."""
+        return False
+
+    # -- hook ----------------------------------------------------------------
+
+    def on_recompile(self, interp, block, frame):
+        compiled = interp.compiled
+        scope = self._reopt_scope(compiled, block)
+        if not scope:
+            return
+
+        # refresh scope sizes with actual runtime characteristics
+        env = make_env_from_states(interp._var_states(frame))
+        propagator = Propagator(compiled.block_program, compiled.input_meta)
+        for scope_block in scope:
+            propagator.propagate_block(scope_block, env)
+        for scope_block in _generic_blocks(scope):
+            # memory re-estimation with actual sizes; blocks whose sizes
+            # are now fully known drop their provisional flag so the
+            # what-if cost model includes them in the re-optimization
+            scope_block.requires_recompile = estimate_dag_memory(
+                scope_block.hop_roots
+            )
+
+        current_cp = interp.resource.cp_heap_mb
+        optimizer = self._select_optimizer(interp)
+        global_result = optimizer.optimize(compiled, scope_blocks=scope)
+        local_result = optimizer.optimize(
+            compiled, scope_blocks=scope, fixed_cp_mb=current_cp
+        )
+        if global_result.resource is None or local_result.resource is None:
+            return
+
+        benefit = local_result.cost - global_result.cost  # = -delta C >= 0
+        migration_cost = self._migration_cost(interp, frame)
+        should_migrate = (
+            benefit > migration_cost
+            and global_result.resource.cp_heap_mb != current_cp
+            and interp.result.migrations < self.max_migrations
+        )
+
+        if should_migrate:
+            self._migrate(interp, frame, migration_cost)
+            new_resource = ResourceConfig(
+                cp_heap_mb=global_result.resource.cp_heap_mb,
+                mr_heap_mb=global_result.resource.mr_heap_mb,
+                mr_heap_per_block=dict(
+                    global_result.resource.mr_heap_per_block
+                ),
+            )
+        else:
+            # stay in the current container; adopt the locally optimal
+            # MR configurations (stateless jobs adapt for free)
+            new_resource = ResourceConfig(
+                cp_heap_mb=current_cp,
+                mr_heap_mb=local_result.resource.mr_heap_mb,
+                mr_heap_per_block=dict(
+                    local_result.resource.mr_heap_per_block
+                ),
+            )
+
+        interp.resource = new_resource
+        interp.pool.set_capacity(new_resource.cp_budget_bytes)
+        # regenerate plans program-wide under the new configuration (the
+        # original script recompiles to the same plan the optimizer saw)
+        for any_block in compiled.last_level_blocks():
+            recompile_block_plan(compiled, any_block, new_resource)
+
+    # -- scope ----------------------------------------------------------
+
+    def _reopt_scope(self, compiled, block):
+        """Expand from the current block to the outermost enclosing loop
+        or top level, through the end of the current call context."""
+        for blocks in self._contexts(compiled):
+            for idx, top in enumerate(blocks):
+                if any(b is block for b in top.all_blocks()):
+                    return blocks[idx:]
+        return []
+
+    def _contexts(self, compiled):
+        yield compiled.blocks
+        for func in compiled.functions.values():
+            yield func.blocks
+
+    # -- migration ----------------------------------------------------------
+
+    def _migration_cost(self, interp, frame):
+        """Live-variable export IO plus container allocation latency."""
+        from repro.runtime.matrix import MatrixObject
+
+        io_cost = 0.0
+        for value in frame.values():
+            if isinstance(value, MatrixObject) and value.dirty:
+                io_cost += io_model.hdfs_write_time(value.mc, interp.params)
+        latency = (
+            interp.params.container_alloc_latency
+            + interp.params.am_startup_latency
+        )
+        return io_cost + latency
+
+    def _migrate(self, interp, frame, migration_cost):
+        """Write dirty state, move to the new container, restart the
+        buffer pool (matrices are re-read on next access)."""
+        from repro.runtime.matrix import MatrixObject
+
+        interp.charge(migration_cost, "migration")
+        for name, value in frame.items():
+            if not isinstance(value, MatrixObject):
+                continue
+            if value.dirty:
+                path = interp._scratch_path(f"migrate_{name}")
+                interp.hdfs.write_matrix(path, value)
+                value.hdfs_path = path
+                value.dirty = False
+            value.in_memory = False
+            value.local_copy = False  # the new container is a new node
+        interp.pool.release_all()
+        interp.result.migrations += 1
+
+
+def _generic_blocks(blocks):
+    for block in blocks:
+        for inner in block.all_blocks():
+            if isinstance(inner, SB.GenericBlock):
+                yield inner

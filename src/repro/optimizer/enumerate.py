@@ -1,0 +1,222 @@
+"""The core resource optimizer: grid enumeration (Algorithm 1).
+
+Solves the ML Program Resource Allocation Problem (Definition 1): find
+the minimal resource configuration with minimal estimated cost, by
+
+1. materializing ascending grid points per dimension (Section 3.3.2);
+2. for each CP memory r_c: baseline-compiling the program at
+   (r_c, min_cc), pruning blocks whose costs are independent of MR
+   resources (Section 3.4), then enumerating the MR dimension per
+   remaining block with memoization of the best (r_i, cost) — the
+   semi-independent 2-dimensional subproblems of Section 3.2;
+3. recompiling the whole program under the memoized vector and costing
+   it end-to-end to account for the control structure;
+4. returning the cheapest (ties broken towards minimal resources).
+
+Costing always happens on generated runtime plans, which automatically
+reflects every compilation phase (rewrites, operator selection,
+piggybacking) — the robustness argument of Section 2.4.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.cluster.resources import ResourceConfig
+from repro.compiler.pipeline import recompile_block_plan
+from repro.cost import CostModel
+from repro.errors import OptimizationError
+from repro.optimizer.grids import collect_memory_estimates_mb, generate_grid
+from repro.optimizer.pruning import prune_program_blocks
+
+
+@dataclass
+class OptimizerStats:
+    """Counters reported in Table 3."""
+
+    block_compilations: int = 0
+    cost_invocations: int = 0
+    optimization_time: float = 0.0
+    cp_points: int = 0
+    mr_points: int = 0
+    total_blocks: int = 0
+    pruned_small: int = 0
+    pruned_unknown: int = 0
+    remaining_blocks: int = 0
+
+    @property
+    def remaining_fraction(self):
+        if self.total_blocks == 0:
+            return 0.0
+        return self.remaining_blocks / self.total_blocks
+
+
+@dataclass
+class OptimizerResult:
+    """Outcome of one resource optimization."""
+
+    resource: ResourceConfig = None
+    cost: float = float("inf")
+    stats: OptimizerStats = field(default_factory=OptimizerStats)
+    #: (cp_heap_mb, program_cost) samples for analysis/plots
+    cp_profile: list = field(default_factory=list)
+
+
+class ResourceOptimizer:
+    """Cost-based optimizer for CP/MR memory configurations."""
+
+    def __init__(self, cluster, params=None, grid_cp="hybrid",
+                 grid_mr="hybrid", m=15, w=2.0, time_budget=None,
+                 cost_model=None, enable_pruning=True):
+        self.cluster = cluster
+        self.grid_cp = grid_cp
+        self.grid_mr = grid_mr
+        self.m = m
+        self.w = w
+        #: optional wall-clock budget in seconds for the enumeration
+        self.time_budget = time_budget
+        self.cost_model = cost_model or CostModel(cluster, params)
+        #: ablation switch: disable Section 3.4 block pruning
+        self.enable_pruning = enable_pruning
+
+    # -- public API ----------------------------------------------------------
+
+    def optimize(self, compiled, scope_blocks=None, fixed_cp_mb=None):
+        """Find a near-optimal resource configuration.
+
+        ``scope_blocks`` restricts optimization to a block subsequence
+        (used by runtime re-optimization); ``fixed_cp_mb`` pins the CP
+        dimension (used for the locally-optimal configuration R*|rc).
+        """
+        start = time.perf_counter()
+        compiled.stats.reset()
+        cost_before = self.cost_model.invocations
+
+        min_mb = self.cluster.min_heap_mb
+        max_mb = self.cluster.max_heap_mb
+        estimates = collect_memory_estimates_mb(compiled)
+        if fixed_cp_mb is not None:
+            src = [float(fixed_cp_mb)]
+        else:
+            src = generate_grid(
+                self.grid_cp, min_mb, max_mb, estimates, self.m, self.w
+            )
+        srm = generate_grid(
+            self.grid_mr, min_mb, max_mb, estimates, self.m, self.w
+        )
+        if not src or not srm:
+            raise OptimizationError("empty resource grid")
+
+        blocks = list(
+            compiled.last_level_blocks()
+            if scope_blocks is None
+            else _last_level(scope_blocks)
+        )
+        cost_blocks = (
+            None if scope_blocks is None else list(scope_blocks)
+        )
+
+        result = OptimizerResult()
+        result.stats.cp_points = len(src)
+        result.stats.mr_points = len(srm)
+        result.stats.total_blocks = len(blocks)
+
+        best_cost = float("inf")
+        best_resource = None
+        deadline = (
+            start + self.time_budget if self.time_budget is not None else None
+        )
+
+        for rc in src:
+            # baseline compilation at (rc, min_cc)
+            baseline = ResourceConfig(cp_heap_mb=rc, mr_heap_mb=min_mb)
+            for block in blocks:
+                recompile_block_plan(compiled, block, baseline)
+            if self.enable_pruning:
+                remaining, pruned_small, pruned_unknown = (
+                    prune_program_blocks(blocks)
+                )
+            else:
+                remaining, pruned_small, pruned_unknown = (
+                    list(blocks), [], []
+                )
+            if rc == src[0]:
+                # report pruning at min_cc, where MR usage is maximal
+                result.stats.pruned_small = len(pruned_small)
+                result.stats.pruned_unknown = len(pruned_unknown)
+                result.stats.remaining_blocks = len(remaining)
+
+            # per-block enumeration of the MR dimension (memoized best)
+            memo = {}
+            for block in remaining:
+                memo[block.block_id] = (
+                    min_mb,
+                    self.cost_model.estimate_block(compiled, block, baseline),
+                )
+            for block in remaining:
+                for ri in srm:
+                    if ri == min_mb:
+                        continue
+                    candidate = ResourceConfig(
+                        cp_heap_mb=rc,
+                        mr_heap_mb=min_mb,
+                        mr_heap_per_block={block.block_id: ri},
+                    )
+                    recompile_block_plan(compiled, block, candidate)
+                    cost = self.cost_model.estimate_block(
+                        compiled, block, candidate
+                    )
+                    if cost < memo[block.block_id][1]:
+                        memo[block.block_id] = (ri, cost)
+
+            # whole-program compilation under the memoized vector
+            chosen = ResourceConfig(
+                cp_heap_mb=rc,
+                mr_heap_mb=min_mb,
+                mr_heap_per_block={
+                    block_id: ri for block_id, (ri, _) in memo.items()
+                },
+            )
+            for block in blocks:
+                recompile_block_plan(compiled, block, chosen)
+            if cost_blocks is None:
+                program_cost = self.cost_model.estimate_program(
+                    compiled, chosen
+                )
+            else:
+                program_cost = self.cost_model.estimate_blocks(
+                    compiled, cost_blocks, chosen
+                )
+            result.cp_profile.append((rc, program_cost))
+
+            better = program_cost < best_cost or best_resource is None
+            tie = (
+                best_resource is not None
+                and program_cost == best_cost
+                and chosen.footprint() < best_resource.footprint()
+            )
+            if better or tie:
+                best_cost = program_cost
+                best_resource = chosen
+
+            if deadline is not None and time.perf_counter() > deadline:
+                break
+
+        result.resource = best_resource
+        result.cost = best_cost
+        result.stats.block_compilations = compiled.stats.block_compilations
+        result.stats.cost_invocations = (
+            self.cost_model.invocations - cost_before
+        )
+        result.stats.optimization_time = time.perf_counter() - start
+        return result
+
+
+def _last_level(blocks):
+    from repro.compiler import statement_blocks as SB
+
+    for block in blocks:
+        for inner in block.all_blocks():
+            if isinstance(inner, SB.GenericBlock):
+                yield inner

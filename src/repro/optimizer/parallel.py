@@ -1,0 +1,230 @@
+"""Task-parallel resource optimizer (paper Appendix C, Figure 17).
+
+A master enumerates CP memory budgets, performs the per-r_c baseline
+compilation and pruning, and enqueues
+
+* ``Enum_Srm`` tasks — one per (r_c, remaining block): enumerate the MR
+  dimension for that block and update the shared memo structure with
+  the locally optimal (r_i, cost); and
+* ``Agg_rc`` tasks — one per r_c: once all block entries for r_c are
+  present, compile the whole program under the memoized vector and
+  record the aggregate program cost.
+
+Workers own deep copies of the program (and their HOP DAGs) so
+concurrent recompilation never races; memo updates are lock-free
+dictionary writes (exactly the design of the paper).  CPython's GIL
+prevents real compute parallelism, so alongside the measured wall
+clock the module provides :func:`schedule_makespan` — a list-scheduling
+model over the measured per-task durations that reports what a k-worker
+schedule achieves (used for Figure 18's speedup shape; both numbers are
+printed by the benchmark).
+"""
+
+from __future__ import annotations
+
+import copy
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.cluster.resources import ResourceConfig
+from repro.compiler.pipeline import recompile_block_plan
+from repro.cost import CostModel
+from repro.optimizer.enumerate import OptimizerResult, OptimizerStats
+from repro.optimizer.grids import collect_memory_estimates_mb, generate_grid
+from repro.optimizer.pruning import prune_program_blocks
+
+
+@dataclass
+class TaskRecord:
+    """Measured duration of one optimizer task (for makespan modelling)."""
+
+    kind: str  # "baseline" | "enum" | "agg"
+    rc: float = 0.0
+    block_id: int = 0
+    duration: float = 0.0
+
+
+@dataclass
+class ParallelOptimizerResult(OptimizerResult):
+    task_records: list = field(default_factory=list)
+    num_workers: int = 1
+
+
+class ParallelResourceOptimizer:
+    """Master/worker grid enumeration with a central task queue."""
+
+    def __init__(self, cluster, params=None, grid_cp="hybrid",
+                 grid_mr="hybrid", m=15, w=2.0, num_workers=4):
+        self.cluster = cluster
+        self.params = params
+        self.grid_cp = grid_cp
+        self.grid_mr = grid_mr
+        self.m = m
+        self.w = w
+        self.num_workers = max(1, num_workers)
+
+    def optimize(self, compiled):
+        start = time.perf_counter()
+        min_mb = self.cluster.min_heap_mb
+        max_mb = self.cluster.max_heap_mb
+        estimates = collect_memory_estimates_mb(compiled)
+        src = generate_grid(self.grid_cp, min_mb, max_mb, estimates,
+                            self.m, self.w)
+        srm = generate_grid(self.grid_mr, min_mb, max_mb, estimates,
+                            self.m, self.w)
+
+        result = ParallelOptimizerResult(num_workers=self.num_workers)
+        result.stats = OptimizerStats(cp_points=len(src), mr_points=len(srm))
+
+        memo = {}  # (rc, block_id) -> (ri, cost)
+        expected = {}  # rc -> set of block ids workers must fill
+        agg_costs = {}  # rc -> program cost
+        records = []
+        records_lock = threading.Lock()
+        tasks = queue.Queue()
+        stop = object()
+
+        def record(kind, rc, block_id, duration):
+            with records_lock:
+                records.append(TaskRecord(kind, rc, block_id, duration))
+
+        # master phase: per-rc baseline compilation and pruning, task gen
+        blocks = list(compiled.last_level_blocks())
+        result.stats.total_blocks = len(blocks)
+        baseline_costs = {}
+        master_cost_model = CostModel(self.cluster, self.params)
+        for rc in src:
+            t0 = time.perf_counter()
+            baseline = ResourceConfig(cp_heap_mb=rc, mr_heap_mb=min_mb)
+            for block in blocks:
+                recompile_block_plan(compiled, block, baseline)
+            remaining, pruned_small, pruned_unknown = prune_program_blocks(
+                blocks
+            )
+            if rc == src[0]:
+                result.stats.pruned_small = len(pruned_small)
+                result.stats.pruned_unknown = len(pruned_unknown)
+                result.stats.remaining_blocks = len(remaining)
+            expected[rc] = {b.block_id for b in remaining}
+            for block in remaining:
+                baseline_costs[(rc, block.block_id)] = (
+                    master_cost_model.estimate_block(compiled, block, baseline)
+                )
+            record("baseline", rc, 0, time.perf_counter() - t0)
+            for block in remaining:
+                tasks.put(("enum", rc, block.block_id))
+            tasks.put(("agg", rc, None))
+
+        # workers
+        def worker():
+            local = copy.deepcopy(compiled)
+            local_blocks = {
+                b.block_id: b for b in local.last_level_blocks()
+            }
+            cost_model = CostModel(self.cluster, self.params)
+            while True:
+                task = tasks.get()
+                if task is stop:
+                    tasks.put(stop)
+                    return
+                kind, rc, block_id = task
+                t0 = time.perf_counter()
+                if kind == "enum":
+                    block = local_blocks[block_id]
+                    best = (min_mb, baseline_costs[(rc, block_id)])
+                    for ri in srm:
+                        if ri == min_mb:
+                            continue
+                        candidate = ResourceConfig(
+                            cp_heap_mb=rc,
+                            mr_heap_mb=min_mb,
+                            mr_heap_per_block={block_id: ri},
+                        )
+                        recompile_block_plan(local, block, candidate)
+                        cost = cost_model.estimate_block(
+                            local, block, candidate
+                        )
+                        if cost < best[1]:
+                            best = (ri, cost)
+                    memo[(rc, block_id)] = best  # lock-free update
+                    record("enum", rc, block_id, time.perf_counter() - t0)
+                else:  # agg: probe until all block entries are present
+                    while not all(
+                        (rc, bid) in memo for bid in expected[rc]
+                    ):
+                        time.sleep(0.0005)
+                    chosen = ResourceConfig(
+                        cp_heap_mb=rc,
+                        mr_heap_mb=min_mb,
+                        mr_heap_per_block={
+                            bid: memo[(rc, bid)][0] for bid in expected[rc]
+                        },
+                    )
+                    for block in local_blocks.values():
+                        recompile_block_plan(local, block, chosen)
+                    agg_costs[rc] = cost_model.estimate_program(local, chosen)
+                    record("agg", rc, 0, time.perf_counter() - t0)
+                tasks.task_done()
+
+        threads = [
+            threading.Thread(target=worker, daemon=True)
+            for _ in range(self.num_workers)
+        ]
+        for thread in threads:
+            thread.start()
+        tasks.join()
+        tasks.put(stop)
+        for thread in threads:
+            thread.join()
+
+        best_rc = min(agg_costs, key=lambda rc: (agg_costs[rc], rc))
+        best_resource = ResourceConfig(
+            cp_heap_mb=best_rc,
+            mr_heap_mb=min_mb,
+            mr_heap_per_block={
+                bid: memo[(best_rc, bid)][0] for bid in expected[best_rc]
+            },
+        )
+        result.resource = best_resource
+        result.cost = agg_costs[best_rc]
+        result.cp_profile = sorted(agg_costs.items())
+        result.task_records = records
+        result.stats.optimization_time = time.perf_counter() - start
+        result.stats.block_compilations = compiled.stats.block_compilations
+        return result
+
+
+def schedule_makespan(records, num_workers, include_pipelining=True):
+    """List-scheduling makespan of the measured task durations on
+    ``num_workers`` workers.
+
+    Models the paper's architecture: the master's per-r_c baseline
+    compilations pipeline with worker enumeration (a worker can start a
+    r_c's enum tasks only after that baseline finished), and each agg
+    task additionally waits for its r_c's enum tasks.
+    """
+    baselines = [r for r in records if r.kind == "baseline"]
+    master_time = 0.0
+    release = {}
+    for rec in sorted(baselines, key=lambda r: r.rc):
+        master_time += rec.duration
+        release[rec.rc] = master_time
+
+    workers = [0.0] * max(1, num_workers)
+    enum_done = {}
+    for rec in [r for r in records if r.kind == "enum"]:
+        idx = min(range(len(workers)), key=lambda i: workers[i])
+        start = max(
+            workers[idx], release.get(rec.rc, 0.0) if include_pipelining else 0.0
+        )
+        workers[idx] = start + rec.duration
+        enum_done[rec.rc] = max(enum_done.get(rec.rc, 0.0), workers[idx])
+    for rec in [r for r in records if r.kind == "agg"]:
+        idx = min(range(len(workers)), key=lambda i: workers[i])
+        start = max(workers[idx], enum_done.get(rec.rc, release.get(rec.rc, 0.0)))
+        workers[idx] = start + rec.duration
+    return max([master_time] + workers) if include_pipelining else (
+        master_time + max(workers)
+    )

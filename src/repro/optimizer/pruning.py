@@ -1,0 +1,57 @@
+"""Program-block pruning (paper Section 3.4).
+
+Given the baseline compilation at (r_c, min_cc):
+
+* **blocks of small operations** — blocks that contain no MR jobs are
+  independent of the MR-resource dimension; by monotonic dependency
+  elimination, a larger CP memory never reintroduces MR jobs, so the
+  whole area above is pruned (Figure 5(d));
+* **blocks of unknowns** — if *all* MR operations of a block have
+  unknown dimensions, different MR budgets produce indistinguishable
+  plans/costs, so the second dimension is pruned as well.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.runtime_prog import MRJobInstruction
+
+
+def block_has_mr_jobs(block):
+    plan = getattr(block, "plan", None)
+    return plan is not None and plan.num_mr_jobs > 0
+
+
+def block_all_mr_unknown(block):
+    """True if every MR operation of the block involves unknown
+    dimensions (unknown output, or a scalar aggregate over an unknown
+    input) — different MR budgets then produce indistinguishable plans."""
+    plan = getattr(block, "plan", None)
+    if plan is None:
+        return False
+    saw_step = False
+    for ins in plan.instructions:
+        if not isinstance(ins, MRJobInstruction):
+            continue
+        for step in ins.steps:
+            saw_step = True
+            out_known = step.out_mc.dims_known
+            ins_known = all(mc.dims_known for mc in step.in_mcs)
+            if out_known and ins_known:
+                return False
+    return saw_step
+
+
+def prune_program_blocks(blocks):
+    """Return (remaining, pruned_small, pruned_unknown) for the given
+    last-level blocks after a baseline compilation."""
+    remaining = []
+    pruned_small = []
+    pruned_unknown = []
+    for block in blocks:
+        if not block_has_mr_jobs(block):
+            pruned_small.append(block)
+        elif block_all_mr_unknown(block):
+            pruned_unknown.append(block)
+        else:
+            remaining.append(block)
+    return remaining, pruned_small, pruned_unknown

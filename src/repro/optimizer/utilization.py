@@ -1,0 +1,93 @@
+"""Cluster-utilization-based adaptation (paper Section 6).
+
+The paper sketches this as future work: "consider scenarios where we
+decided to use distributed plans in order to exploit full cluster
+parallelism but the cluster is heavily loaded.  In those situations, a
+fallback to single node in-memory computation might be beneficial.
+This would require extended strategies for when to trigger resource
+re-optimization depending on cluster utilization, which can be
+incorporated into the presented what-if analysis framework."
+
+:class:`UtilizationAwareAdapter` does exactly that: it extends the
+Section 4 adapter with a utilization trigger and re-optimizes against a
+*degraded what-if view* of the cluster — the cost parameters are scaled
+by the MR slowdown at the current utilization, so distributed plans are
+priced at their loaded-cluster cost while CP execution (inside the
+application's own container) is unaffected.  On a busy cluster this
+naturally tips the decision toward large-CP single-node plans, paying
+one migration to escape the contention.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.cluster.load import mr_slowdown
+from repro.cost import CostModel
+from repro.optimizer.adaptation import ResourceAdapter
+from repro.optimizer.enumerate import ResourceOptimizer
+
+
+def degraded_parameters(params, slowdown):
+    """Cost parameters of a what-if view of the loaded cluster: MR
+    compute/shuffle throughput shrinks and job latencies stretch by the
+    slowdown; CP-side constants are untouched."""
+    return dataclasses.replace(
+        params,
+        mr_task_flops=params.mr_task_flops / slowdown,
+        shuffle_bw_per_node=params.shuffle_bw_per_node / slowdown,
+        mr_job_latency=params.mr_job_latency * slowdown,
+        mr_task_latency=params.mr_task_latency * slowdown,
+    )
+
+
+class UtilizationAwareAdapter(ResourceAdapter):
+    """Runtime adapter that also reacts to cluster background load."""
+
+    def __init__(self, optimizer, cluster_load, utilization_threshold=0.5,
+                 retrigger_delta=0.25, max_migrations=5):
+        super().__init__(optimizer, max_migrations)
+        self.cluster_load = cluster_load
+        self.utilization_threshold = utilization_threshold
+        #: minimum utilization shift that re-triggers optimization of
+        #: already-known plans
+        self.retrigger_delta = retrigger_delta
+        self._last_decision_utilization = None
+        #: diagnostic: utilizations observed at re-optimization points
+        self.observed_utilizations = []
+
+    def should_trigger(self, interp, block):
+        """Trigger re-optimization of MR-bearing blocks when the cluster
+        utilization moved by more than ``retrigger_delta`` since the
+        last decision (or exceeds the threshold with no decision yet)."""
+        utilization = self.cluster_load.utilization(interp.clock)
+        last = self._last_decision_utilization
+        if last is None:
+            return utilization > self.utilization_threshold
+        return abs(utilization - last) >= self.retrigger_delta
+
+    def on_recompile(self, interp, block, frame):
+        self._last_decision_utilization = self.cluster_load.utilization(
+            interp.clock
+        )
+        super().on_recompile(interp, block, frame)
+
+    def _select_optimizer(self, interp):
+        utilization = self.cluster_load.utilization(interp.clock)
+        self.observed_utilizations.append(utilization)
+        if utilization <= self.utilization_threshold:
+            return self.optimizer
+        slowdown = mr_slowdown(utilization)
+        base = self.optimizer
+        degraded_model = CostModel(
+            base.cluster,
+            degraded_parameters(base.cost_model.params, slowdown),
+        )
+        return ResourceOptimizer(
+            base.cluster,
+            grid_cp=base.grid_cp,
+            grid_mr=base.grid_mr,
+            m=base.m,
+            w=base.w,
+            cost_model=degraded_model,
+        )

@@ -1,0 +1,28 @@
+"""Runtime: sample-backed matrix objects, simulated HDFS, an LRU buffer
+pool with eviction accounting, semantic operator kernels, and the program
+interpreter that executes compiled plans on a virtual clock.
+
+Execution semantics vs. time semantics
+--------------------------------------
+
+Matrices carry a small *physical sample* (numpy) driving real values —
+convergence predicates, ``table()`` category counts, measured sparsity —
+plus *logical* metadata at paper scale.  Kernels compute sample values
+exactly; time is charged from logical characteristics through the same
+white-box component models the optimizer's cost model uses, but from
+actual runtime state (real sizes, real buffer-pool contents).  This is
+the substitution documented in DESIGN.md section 2.
+"""
+
+from repro.runtime.matrix import MatrixObject
+from repro.runtime.hdfs import SimulatedHDFS
+from repro.runtime.bufferpool import BufferPool
+from repro.runtime.interpreter import Interpreter, ExecutionResult
+
+__all__ = [
+    "MatrixObject",
+    "SimulatedHDFS",
+    "BufferPool",
+    "Interpreter",
+    "ExecutionResult",
+]

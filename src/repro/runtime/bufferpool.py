@@ -1,0 +1,122 @@
+"""LRU buffer pool of the control program.
+
+SystemML pins operation inputs/outputs in a buffer pool sized relative to
+the heap budget; when the pool overflows, least-recently-used matrices
+are evicted to local disk (dirty ones are written first).  The paper
+identifies buffer-pool evictions as a runtime cost the optimizer's model
+only partially captures — so evictions are charged *here*, in the
+runtime, and intentionally not in :mod:`repro.cost.model`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.cost import io_model
+
+
+class BufferPool:
+    """Tracks in-memory matrices of one CP process and charges IO.
+
+    ``charge`` is a callable(seconds, category) advancing the virtual
+    clock; categories are "eviction", "restore", and "read".
+    """
+
+    def __init__(self, capacity_bytes, params, charge):
+        self.capacity = float(capacity_bytes)
+        self.params = params
+        self.charge = charge
+        self._entries = OrderedDict()  # id(obj) -> obj
+        self.evictions = 0
+        self.restores = 0
+        self.bytes_evicted = 0.0
+
+    @property
+    def used_bytes(self):
+        return sum(obj.memory_size for obj in self._entries.values())
+
+    def set_capacity(self, capacity_bytes):
+        """Resize the pool (CP migration); evicts down to the new size."""
+        self.capacity = float(capacity_bytes)
+        self._make_room(0.0)
+
+    def contains(self, obj):
+        return id(obj) in self._entries
+
+    # -- core operations -----------------------------------------------------
+
+    def pin(self, obj):
+        """Ensure ``obj`` is in memory, charging restore IO if needed."""
+        key = id(obj)
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            return
+        if not obj.in_memory:
+            size = obj.memory_size
+            if obj.local_copy:
+                self.charge(io_model.local_read_time(size, self.params), "restore")
+                self.restores += 1
+            elif obj.hdfs_path is not None:
+                mc = obj.mc
+                self.charge(
+                    io_model.hdfs_read_time(mc, self.params, obj.fmt), "read"
+                )
+            obj.in_memory = True
+        self._insert(obj)
+
+    def put(self, obj):
+        """Register a freshly produced in-memory matrix."""
+        obj.in_memory = True
+        obj.dirty = True
+        self._insert(obj)
+
+    def release_all(self):
+        """Drop all entries without IO (end of application)."""
+        self._entries.clear()
+
+    def discard(self, obj):
+        """Remove a dead matrix from the pool without IO (rmvar): its
+        data will never be read again, so no writeback is needed."""
+        self._entries.pop(id(obj), None)
+        obj.in_memory = False
+
+    def retain_only(self, live_ids):
+        """Discard every pooled matrix not in ``live_ids`` (rmvar sweep
+        at block boundaries)."""
+        for key in [k for k in self._entries if k not in live_ids]:
+            victim = self._entries.pop(key)
+            victim.in_memory = False
+
+    def evict_all(self):
+        """Flush everything (used before CP migration): dirty matrices
+        are written to HDFS by the migration logic, so this only clears
+        residency state."""
+        for obj in self._entries.values():
+            obj.in_memory = False
+        self._entries.clear()
+
+    # -- internals ---------------------------------------------------------
+
+    def _insert(self, obj):
+        size = obj.memory_size
+        if size > self.capacity:
+            # too large to retain: operations stream it; charge nothing
+            # extra here (the access itself was already charged)
+            obj.in_memory = False
+            return
+        self._make_room(size)
+        self._entries[id(obj)] = obj
+        self._entries.move_to_end(id(obj))
+
+    def _make_room(self, needed):
+        while self._entries and self.used_bytes + needed > self.capacity:
+            _, victim = self._entries.popitem(last=False)
+            size = victim.memory_size
+            if victim.dirty:
+                self.charge(
+                    io_model.local_write_time(size, self.params), "eviction"
+                )
+                victim.local_copy = True
+                self.bytes_evicted += size
+            self.evictions += 1
+            victim.in_memory = False

@@ -1,0 +1,113 @@
+"""Simulated HDFS: a name -> file map with logical sizes and samples.
+
+Files carry the matrix characteristics used for metadata reads at
+compile time (the paper's binary inputs ship dimensions/nnz in metadata
+files) and the physical sample for runtime execution.  All timing is
+charged by callers through the IO model — this module only tracks state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common import FileFormat, MatrixCharacteristics
+from repro.errors import ExecutionError
+from repro.runtime.matrix import DEFAULT_SAMPLE_CAP, MatrixObject
+
+
+@dataclass
+class HDFSFile:
+    path: str
+    mc: MatrixCharacteristics
+    fmt: FileFormat = FileFormat.BINARY_BLOCK
+    data: object = None  # numpy sample (None for metadata-only files)
+
+    @property
+    def size_bytes(self):
+        return self.mc.serialized_estimate(self.fmt)
+
+
+@dataclass
+class SimulatedHDFS:
+    """The cluster's distributed file system."""
+
+    files: dict = field(default_factory=dict)
+    sample_cap: int = DEFAULT_SAMPLE_CAP
+
+    # -- basic operations --------------------------------------------------
+
+    def exists(self, path):
+        return path in self.files
+
+    def get(self, path):
+        f = self.files.get(path)
+        if f is None:
+            raise ExecutionError(f"HDFS file not found: {path}")
+        return f
+
+    def put(self, path, mc, data=None, fmt=FileFormat.BINARY_BLOCK):
+        f = HDFSFile(path=path, mc=mc.copy(), fmt=fmt, data=data)
+        self.files[path] = f
+        return f
+
+    def delete(self, path):
+        self.files.pop(path, None)
+
+    def read_matrix(self, path):
+        """Materialize a matrix object from an HDFS file (no timing)."""
+        f = self.get(path)
+        if f.data is None:
+            raise ExecutionError(f"HDFS file {path} has no sample data")
+        obj = MatrixObject(
+            np.array(f.data, dtype=np.float64),
+            f.mc.copy(),
+            fmt=f.fmt,
+            hdfs_path=path,
+            in_memory=True,
+            dirty=False,
+        )
+        return obj
+
+    def write_matrix(self, path, matrix, fmt=None):
+        fmt = fmt or matrix.fmt
+        return self.put(path, matrix.mc, matrix.data.copy(), fmt)
+
+    def input_meta(self):
+        """Filename -> characteristics map for the compiler."""
+        return {path: f.mc.copy() for path, f in self.files.items()}
+
+    def total_bytes(self):
+        return sum(f.size_bytes for f in self.files.values())
+
+    # -- convenience generators ------------------------------------------
+
+    def create_dense_input(self, path, rows, cols, sparsity=1.0, seed=7,
+                           fmt=FileFormat.BINARY_BLOCK):
+        """Create a random feature-matrix input file."""
+        rng = np.random.default_rng(seed)
+        obj = MatrixObject.generate(
+            rows, cols, sparsity=sparsity, min_value=-1.0, max_value=1.0,
+            rng=rng, sample_cap=self.sample_cap,
+        )
+        return self.put(path, obj.mc, obj.data, fmt)
+
+    def create_label_input(self, path, rows, num_classes=2, seed=11,
+                           fmt=FileFormat.BINARY_BLOCK):
+        """Create a label-vector input file with values 1..num_classes."""
+        rng = np.random.default_rng(seed)
+        obj = MatrixObject.generate_labels(
+            rows, num_classes, rng=rng, sample_cap=self.sample_cap
+        )
+        return self.put(path, obj.mc, obj.data, fmt)
+
+    def create_regression_target(self, path, rows, seed=13,
+                                 fmt=FileFormat.BINARY_BLOCK):
+        """Create a continuous target vector."""
+        rng = np.random.default_rng(seed)
+        obj = MatrixObject.generate(
+            rows, 1, min_value=-2.0, max_value=2.0, rng=rng,
+            sample_cap=self.sample_cap,
+        )
+        return self.put(path, obj.mc, obj.data, fmt)

@@ -1,0 +1,434 @@
+"""The program interpreter: executes compiled plans on a virtual clock.
+
+Executes CP instructions against a symbol table of sample-backed matrix
+objects and scalars, charging CP IO/compute through the buffer pool and
+compute model; executes MR job instructions by running their steps'
+semantic kernels while charging distributed time through the shared MR
+timing model.  Implements dynamic recompilation of blocks with unknown
+sizes and exposes a hook for runtime resource adaptation (Section 4),
+implemented in :mod:`repro.optimizer.adaptation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common import DataType, FileFormat, MatrixCharacteristics
+from repro.compiler import statement_blocks as SB
+from repro.compiler.recompile import make_env_from_states, recompile_block
+from repro.compiler.runtime_prog import CPInstruction, MRJobInstruction
+from repro.cost import io_model
+from repro.cost.compute_model import operation_flops
+from repro.cost.constants import DEFAULT_PARAMETERS
+from repro.cost.mr_timing import time_mr_job
+from repro.errors import ExecutionError
+from repro.runtime.bufferpool import BufferPool
+from repro.runtime.hdfs import SimulatedHDFS
+from repro.runtime.kernels import display, execute_kernel
+from repro.runtime.matrix import DEFAULT_SAMPLE_CAP, MatrixObject
+
+#: safety bound on while-loop iterations in simulated execution
+MAX_WHILE_ITERATIONS = 1000
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one program execution."""
+
+    total_time: float = 0.0
+    breakdown: dict = field(default_factory=dict)
+    mr_jobs: int = 0
+    evictions: int = 0
+    buffer_restores: int = 0
+    recompilations: int = 0
+    migrations: int = 0
+    prints: list = field(default_factory=list)
+    #: final resource configuration (may differ after adaptation)
+    final_resource: object = None
+
+    def category(self, name):
+        return self.breakdown.get(name, 0.0)
+
+
+class Interpreter:
+    """Executes a :class:`~repro.compiler.pipeline.CompiledProgram`."""
+
+    def __init__(self, cluster, params=None, hdfs=None,
+                 sample_cap=DEFAULT_SAMPLE_CAP, enable_recompile=True,
+                 adapter=None, seed=0, cluster_load=None):
+        self.cluster = cluster
+        self.params = params or DEFAULT_PARAMETERS
+        self.hdfs = hdfs if hdfs is not None else SimulatedHDFS()
+        self.sample_cap = sample_cap
+        self.enable_recompile = enable_recompile
+        #: runtime resource adapter (optimizer.adaptation.ResourceAdapter)
+        self.adapter = adapter
+        self.seed = seed
+        #: optional background-utilization model (cluster.load.ClusterLoad)
+        #: slowing down MR phases on a shared cluster
+        self.cluster_load = cluster_load
+        # per-run state, initialized in run()
+        self.clock = 0.0
+        self.result = None
+        self.pool = None
+        self.resource = None
+        self.compiled = None
+        self.rng = None
+        self._scratch_counter = 0
+        #: active frame stack (main frame + function-call frames)
+        self._frames = []
+
+    # -- time accounting -----------------------------------------------------
+
+    def charge(self, seconds, category):
+        if seconds < 0:
+            raise ExecutionError("negative time charge")
+        self.clock += seconds
+        self.result.breakdown[category] = (
+            self.result.breakdown.get(category, 0.0) + seconds
+        )
+
+    # -- main entry ----------------------------------------------------------
+
+    def run(self, compiled, resource):
+        """Execute the program under ``resource``; returns the result.
+
+        Plans are (re)generated for ``resource`` first, so callers may
+        pass a program compiled under any configuration.
+        """
+        from repro.compiler.pipeline import compile_plans
+
+        compile_plans(compiled, resource)
+        self.compiled = compiled
+        self.resource = resource.copy()
+        self.clock = 0.0
+        self.result = ExecutionResult()
+        self.rng = np.random.default_rng(self.seed)
+        self.pool = BufferPool(
+            self.resource.cp_budget_bytes, self.params, self.charge
+        )
+        self._scratch_counter = 0
+        # AM container allocation + startup
+        self.charge(
+            self.params.container_alloc_latency + self.params.am_startup_latency,
+            "startup",
+        )
+        frame = {}
+        self._frames = [frame]
+        self._exec_blocks(compiled.blocks, frame)
+        self.result.total_time = self.clock
+        self.result.evictions = self.pool.evictions
+        self.result.buffer_restores = self.pool.restores
+        self.result.final_resource = self.resource
+        return self.result
+
+    # -- block execution ---------------------------------------------------
+
+    def _exec_blocks(self, blocks, frame):
+        for block in blocks:
+            self._exec_block(block, frame)
+
+    def _exec_block(self, block, frame):
+        if isinstance(block, SB.GenericBlock):
+            self._exec_generic(block, frame)
+        elif isinstance(block, SB.IfBlock):
+            if self._eval_predicate(block.predicate, frame):
+                self._exec_blocks(block.body, frame)
+            else:
+                self._exec_blocks(block.else_body, frame)
+        elif isinstance(block, SB.WhileBlock):
+            iterations = 0
+            while self._eval_predicate(block.predicate, frame):
+                self._exec_blocks(block.body, frame)
+                iterations += 1
+                if iterations >= MAX_WHILE_ITERATIONS:
+                    raise ExecutionError(
+                        f"while loop exceeded {MAX_WHILE_ITERATIONS} iterations"
+                    )
+        elif isinstance(block, SB.ForBlock):
+            frm = self._eval_holder(block.from_holder, frame)
+            to = self._eval_holder(block.to_holder, frame)
+            incr = (
+                self._eval_holder(block.incr_holder, frame)
+                if block.incr_holder is not None
+                else 1
+            )
+            start_clock = self.clock
+            value = frm
+            while (incr > 0 and value <= to) or (incr < 0 and value >= to):
+                frame[block.var] = value
+                self._exec_blocks(block.body, frame)
+                value = value + incr
+            if block.parallel:
+                self._rescale_parfor(block, start_clock)
+        else:
+            raise ExecutionError(f"unknown block type {type(block).__name__}")
+
+    def _rescale_parfor(self, block, start_clock):
+        """Task-parallel loops execute their iterations on k local
+        workers: iterations ran serially for value correctness, so the
+        elapsed loop time is rescaled by the degree of parallelism (plus
+        a small per-worker startup charge)."""
+        from repro.compiler.pipeline import parfor_dop
+
+        dop = parfor_dop(block)
+        if dop <= 1:
+            return
+        elapsed = self.clock - start_clock
+        saved = elapsed * (1.0 - 1.0 / dop)
+        self.clock -= saved
+        self.result.breakdown["parfor_speedup"] = (
+            self.result.breakdown.get("parfor_speedup", 0.0) - saved
+        )
+        self.charge(0.1 * dop, "parfor_overhead")
+
+    def _eval_holder(self, holder, frame):
+        value = self._eval_predicate_value(holder, frame)
+        return value
+
+    def _eval_predicate(self, holder, frame):
+        value = self._eval_predicate_value(holder, frame)
+        return bool(value)
+
+    def _eval_predicate_value(self, holder, frame):
+        plan = getattr(holder, "plan", None)
+        if plan is None:
+            raise ExecutionError("predicate has no compiled plan")
+        for ins in plan.instructions:
+            self._exec_cp(ins, frame)
+        value = self._resolve(plan.result, frame)
+        self._cleanup_temps(frame)
+        return value
+
+    # -- generic blocks: recompilation, adaptation, instructions ------------
+
+    def _exec_generic(self, block, frame):
+        plan = block.plan
+        if self.enable_recompile and block.requires_recompile:
+            env = make_env_from_states(self._var_states(frame))
+            plan = recompile_block(self.compiled, block, self.resource, env)
+            self.result.recompilations += 1
+            if self.adapter is not None and plan.num_mr_jobs > 0:
+                self.adapter.on_recompile(self, block, frame)
+                plan = block.plan  # adaptation may have re-planned
+        elif (
+            self.adapter is not None
+            and plan is not None
+            and plan.num_mr_jobs > 0
+            and self.adapter.should_trigger(self, block)
+        ):
+            # extended trigger (paper Section 6): re-optimize known
+            # plans when cluster utilization shifted materially
+            self.adapter.on_recompile(self, block, frame)
+            plan = block.plan
+        if plan is None:
+            raise ExecutionError(f"block {block.block_id} has no plan")
+        for ins in plan.instructions:
+            if isinstance(ins, MRJobInstruction):
+                self._exec_mr_job(ins, frame)
+            else:
+                self._exec_cp(ins, frame)
+        self._cleanup_temps(frame)
+
+    def _cleanup_temps(self, frame):
+        """Drop dead matrices from the pool (rmvar): block-local
+        temporaries and objects orphaned by variable rebinding are never
+        read again, so they leave the buffer pool without writeback."""
+        for name in [n for n in frame if n.startswith("_mVar")]:
+            del frame[name]
+        live_ids = set()
+        for any_frame in self._frames:
+            for value in any_frame.values():
+                if isinstance(value, MatrixObject):
+                    live_ids.add(id(value))
+        self.pool.retain_only(live_ids)
+
+    def _var_states(self, frame):
+        """Runtime knowledge for dynamic recompilation."""
+        states = {}
+        for name, value in frame.items():
+            if isinstance(value, MatrixObject):
+                states[name] = (DataType.MATRIX, value.mc, None)
+            elif isinstance(value, (bool, int, float, str)):
+                states[name] = (
+                    DataType.SCALAR,
+                    MatrixCharacteristics(0, 0, 0),
+                    value,
+                )
+        return states
+
+    # -- operand resolution ---------------------------------------------
+
+    def _resolve(self, operand, frame):
+        if operand.is_literal:
+            return operand.literal
+        if operand.name not in frame:
+            raise ExecutionError(f"undefined variable {operand.name!r}")
+        return frame[operand.name]
+
+    # -- CP instruction execution ---------------------------------------
+
+    def _exec_cp(self, ins, frame):
+        opcode = ins.opcode
+        if opcode == "createvar":
+            obj = self.hdfs.read_matrix(ins.attrs["fname"])
+            obj.in_memory = False  # lazy: charged on first CP access
+            obj.dirty = False
+            fmt = ins.attrs.get("format")
+            if fmt in ("text", "csv"):
+                obj.fmt = FileFormat.CSV
+            frame[ins.output] = obj
+            return
+        if opcode == "mvvar":
+            frame[ins.output] = self._resolve(ins.inputs[0], frame)
+            return
+        if opcode == "write":
+            value = self._resolve(ins.inputs[0], frame)
+            if not isinstance(value, MatrixObject):
+                raise ExecutionError("write() requires a matrix input")
+            fmt = (
+                FileFormat.CSV
+                if ins.attrs.get("format") in ("text", "csv")
+                else FileFormat.BINARY_BLOCK
+            )
+            self.pool.pin(value)
+            self.charge(
+                io_model.hdfs_write_time(value.mc, self.params, fmt), "write"
+            )
+            self.hdfs.write_matrix(ins.attrs["fname"], value, fmt)
+            return
+        if opcode == "print":
+            value = self._resolve(ins.inputs[0], frame)
+            self.result.prints.append(display(value))
+            return
+        if opcode == "stop":
+            value = self._resolve(ins.inputs[0], frame)
+            raise ExecutionError(f"stop(): {display(value)}")
+        if opcode == "fcall":
+            self._exec_fcall(ins, frame)
+            return
+
+        inputs = [self._resolve(op, frame) for op in ins.inputs]
+        in_mcs = []
+        for value in inputs:
+            if isinstance(value, MatrixObject):
+                self.pool.pin(value)
+                in_mcs.append(value.mc)
+        kind, payload, mc = execute_kernel(
+            opcode, inputs, ins.attrs, self.rng, self.sample_cap
+        )
+        flops = operation_flops(
+            opcode, mc if mc is not None else MatrixCharacteristics(0, 0, 0),
+            in_mcs, ins.attrs,
+        )
+        self.charge(flops / self.params.cp_flops, "cp_compute")
+        if kind == "matrix":
+            obj = MatrixObject(payload, mc)
+            self.pool.put(obj)
+            frame[ins.output] = obj
+        else:
+            frame[ins.output] = payload
+
+    def _exec_fcall(self, ins, frame):
+        func = self.compiled.functions.get(ins.attrs["func"])
+        if func is None:
+            raise ExecutionError(f"unknown function {ins.attrs['func']!r}")
+        values = [self._resolve(op, frame) for op in ins.inputs]
+        fframe = {}
+        for param, value in zip(func.inputs, values):
+            fframe[param.name] = value
+        self._frames.append(fframe)
+        try:
+            self._exec_blocks(func.blocks, fframe)
+        finally:
+            self._frames.pop()
+        for out_name, param in zip(ins.attrs["outputs"], func.outputs):
+            if param.name not in fframe:
+                raise ExecutionError(
+                    f"function {func.name!r} did not produce output "
+                    f"{param.name!r}"
+                )
+            frame[out_name] = fframe[param.name]
+
+    # -- MR job execution -------------------------------------------------
+
+    def _exec_mr_job(self, job, frame):
+        # export dirty in-memory inputs so the job can read them from HDFS
+        for name in list(job.input_vars) + list(job.broadcast_vars):
+            value = frame.get(name)
+            if isinstance(value, MatrixObject) and value.dirty:
+                self.charge(
+                    io_model.hdfs_write_time(value.mc, self.params), "export"
+                )
+                path = self._scratch_path(name)
+                self.hdfs.write_matrix(path, value)
+                value.hdfs_path = path
+                value.dirty = False
+
+        def mc_of(name):
+            value = frame.get(name)
+            return value.mc if isinstance(value, MatrixObject) else None
+
+        def fmt_of(name):
+            value = frame.get(name)
+            if isinstance(value, MatrixObject):
+                return value.fmt
+            return FileFormat.BINARY_BLOCK
+
+        # refresh step metadata from actual inputs by executing kernels
+        scratch = {}
+
+        def resolve(operand):
+            if operand.is_literal:
+                return operand.literal
+            if operand.name in scratch:
+                return scratch[operand.name]
+            return self._resolve(operand, frame)
+
+        outputs = {}
+        for step in job.steps:
+            values = [resolve(op) for op in step.inputs]
+            step.in_mcs = [
+                v.mc.copy() for v in values if isinstance(v, MatrixObject)
+            ]
+            kind, payload, mc = execute_kernel(
+                step.opcode, values, step.attrs, self.rng, self.sample_cap
+            )
+            if kind == "matrix":
+                obj = MatrixObject(payload, mc)
+                obj.in_memory = False
+                obj.dirty = False
+                scratch[step.output] = obj
+                step.out_mc = mc.copy()
+                if step.output in job.output_vars:
+                    outputs[step.output] = obj
+            else:
+                scratch[step.output] = payload
+
+        timing = time_mr_job(
+            job, mc_of, fmt_of, self.resource, self.cluster, self.params
+        )
+        slowdown = (
+            self.cluster_load.slowdown(self.clock)
+            if self.cluster_load is not None
+            else 1.0
+        )
+        self.charge(timing.total * slowdown, "mr_jobs")
+        self.result.mr_jobs += 1 + job.extra_job_latency
+
+        for name, obj in outputs.items():
+            path = self._scratch_path(name)
+            self.hdfs.write_matrix(path, obj)
+            obj.hdfs_path = path
+            frame[name] = obj
+        # scalar step outputs (full aggregates) flow back to the frame
+        for step in job.steps:
+            value = scratch.get(step.output)
+            if not isinstance(value, MatrixObject) and value is not None:
+                frame[step.output] = value
+
+    def _scratch_path(self, name):
+        self._scratch_counter += 1
+        return f"scratch/{name}_{self._scratch_counter}"

@@ -1,0 +1,12 @@
+"""Developer tooling: plan explanation and the command-line interface."""
+
+from repro.tools.explain import explain_program, explain_plan
+from repro.tools.whatif import WhatIfHeatmap, what_if_heatmap, what_if_profile
+
+__all__ = [
+    "explain_program",
+    "explain_plan",
+    "WhatIfHeatmap",
+    "what_if_heatmap",
+    "what_if_profile",
+]

@@ -1,0 +1,247 @@
+"""Command-line interface.
+
+Mirrors how SystemML's YARN client is driven from the shell:
+
+    python -m repro run script.dml -arg X=data/X -arg Y=data/y [--static CP,MR]
+    python -m repro optimize script.dml -arg X=data/X ...
+    python -m repro explain script.dml -arg X=data/X [--level hops]
+    python -m repro whatif script.dml ... [--cp 1,10,20 --mr 1,5]
+    python -m repro scripts                     # list bundled ML programs
+    python -m repro demo LinregCG --size M      # generate data + run
+
+Input files referenced by ``-arg`` that do not yet exist on the
+session's simulated HDFS are materialized as random dense matrices with
+``--gen NAME=ROWSxCOLS[@SPARSITY]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.api import ElasticMLSession
+from repro.cluster import ResourceConfig
+from repro.scripts import SCRIPTS, load_script
+from repro.tools.explain import explain_program
+from repro.workloads import prepare_inputs, scenario
+
+
+def _parse_value(text):
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _parse_args_list(pairs):
+    out = {}
+    for pair in pairs or []:
+        if "=" not in pair:
+            raise SystemExit(f"-arg expects NAME=VALUE, got {pair!r}")
+        key, value = pair.split("=", 1)
+        out[key] = _parse_value(value)
+    return out
+
+
+def _parse_gen(session, specs):
+    for spec in specs or []:
+        if "=" not in spec:
+            raise SystemExit(f"--gen expects NAME=ROWSxCOLS, got {spec!r}")
+        name, shape = spec.split("=", 1)
+        sparsity = 1.0
+        if "@" in shape:
+            shape, sp = shape.split("@", 1)
+            sparsity = float(sp)
+        rows, cols = (int(v) for v in shape.lower().split("x"))
+        session.hdfs.create_dense_input(name, rows, cols, sparsity=sparsity)
+        print(f"generated {name}: {rows} x {cols} (sparsity {sparsity})")
+
+
+def _load_source(script):
+    if script in SCRIPTS:
+        return load_script(script)
+    path = pathlib.Path(script)
+    if not path.exists():
+        raise SystemExit(f"no bundled script or file named {script!r}")
+    return path.read_text()
+
+
+def _static_resource(text):
+    parts = text.split(",")
+    if len(parts) != 2:
+        raise SystemExit("--static expects CP_MB,MR_MB")
+    return ResourceConfig(float(parts[0]), float(parts[1]))
+
+
+def _add_common(parser):
+    parser.add_argument("script", help="bundled script name or .dml path")
+    parser.add_argument("-arg", action="append", dest="args",
+                        metavar="NAME=VALUE", help="script argument")
+    parser.add_argument("--gen", action="append", metavar="NAME=RxC[@SP]",
+                        help="generate a random input matrix on HDFS")
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Resource elasticity for large-scale ML (SIGMOD 2015 "
+                    "reproduction): compile, optimize, and execute DML "
+                    "scripts on a simulated YARN cluster.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="compile, optimize, and execute")
+    _add_common(run)
+    run.add_argument("--static", metavar="CP_MB,MR_MB",
+                     help="skip the optimizer; use a static configuration")
+    run.add_argument("--no-adapt", action="store_true",
+                     help="disable runtime resource adaptation")
+
+    opt = sub.add_parser("optimize", help="run resource optimization only")
+    _add_common(opt)
+    opt.add_argument("--grid", default="hybrid",
+                     choices=["equi", "exp", "mem", "hybrid"])
+    opt.add_argument("-m", type=int, default=15, help="base grid points")
+
+    explain = sub.add_parser("explain", help="print the compiled plan")
+    _add_common(explain)
+    explain.add_argument("--level", default="runtime",
+                         choices=["runtime", "hops"])
+    explain.add_argument("--static", metavar="CP_MB,MR_MB",
+                         help="configuration to compile for (default "
+                              "512,512)")
+
+    whatif = sub.add_parser(
+        "whatif", help="estimated-cost heatmap over a CP x MR grid"
+    )
+    _add_common(whatif)
+    whatif.add_argument("--cp", default="1,2,5,10,15,20",
+                        help="comma-separated CP heap sizes in GB")
+    whatif.add_argument("--mr", default="1,2,5,10,20",
+                        help="comma-separated MR task heap sizes in GB")
+
+    sub.add_parser("scripts", help="list bundled ML programs")
+
+    demo = sub.add_parser("demo", help="generate inputs and run a bundled "
+                                       "script on a paper scenario")
+    demo.add_argument("script", choices=sorted(SCRIPTS))
+    demo.add_argument("--size", default="S",
+                      choices=["XS", "S", "M", "L", "XL"])
+    demo.add_argument("--cols", type=int, default=1000)
+    demo.add_argument("--sparse", action="store_true")
+    return parser
+
+
+def cmd_run(args, session):
+    _parse_gen(session, args.gen)
+    source = _load_source(args.script)
+    script_args = _parse_args_list(args.args)
+    resource = _static_resource(args.static) if args.static else None
+    outcome = session.run_script(
+        source, script_args, resource=resource, adapt=not args.no_adapt
+    )
+    for line in outcome.prints:
+        print("|", line)
+    print(f"\nconfiguration: {outcome.resource.describe()}"
+          + ("" if args.static else " (optimized)"))
+    result = outcome.result
+    print(f"simulated time: {result.total_time:.1f}s  "
+          f"MR jobs: {result.mr_jobs}  migrations: {result.migrations}  "
+          f"evictions: {result.evictions}")
+    return 0
+
+
+def cmd_optimize(args, session):
+    _parse_gen(session, args.gen)
+    source = _load_source(args.script)
+    compiled = session.compile_script(source, _parse_args_list(args.args))
+    result = session.optimize(compiled, grid_cp=args.grid, grid_mr=args.grid,
+                              m=args.m)
+    print(f"chosen configuration: {result.resource.describe()}")
+    print(f"estimated cost: {result.cost:.1f}s")
+    stats = result.stats
+    print(f"grid: {stats.cp_points} x {stats.mr_points} points; "
+          f"{stats.block_compilations} block recompilations; "
+          f"{stats.cost_invocations} cost invocations; "
+          f"{stats.optimization_time * 1000:.0f}ms")
+    print("\nCP profile (heap MB -> estimated seconds):")
+    for rc, cost in result.cp_profile:
+        print(f"  {rc:10.0f}  {cost:10.1f}")
+    return 0
+
+
+def cmd_explain(args, session):
+    _parse_gen(session, args.gen)
+    source = _load_source(args.script)
+    resource = (
+        _static_resource(args.static) if args.static
+        else ResourceConfig(512, 512)
+    )
+    compiled = session.compile_script(
+        source, _parse_args_list(args.args), resource
+    )
+    print(explain_program(compiled, level=args.level))
+    return 0
+
+
+def cmd_whatif(args, session):
+    from repro.tools.whatif import what_if_heatmap
+
+    _parse_gen(session, args.gen)
+    source = _load_source(args.script)
+    compiled = session.compile_script(source, _parse_args_list(args.args))
+    cp_points = [float(g) * 1024 for g in args.cp.split(",")]
+    mr_points = [float(g) * 1024 for g in args.mr.split(",")]
+    heatmap = what_if_heatmap(session.cluster, compiled, cp_points,
+                              mr_points, session.params)
+    print(heatmap.render("estimated runtime [s]"))
+    cp, mr, cost = heatmap.cheapest()
+    print(f"\ncheapest cell: CP {cp / 1024:.1f}GB / "
+          f"MR {mr / 1024:.1f}GB ({cost:.0f}s estimated)")
+    return 0
+
+
+def cmd_scripts(args, session):
+    for name, spec in sorted(SCRIPTS.items()):
+        unknowns = " (unknown sizes at compile time)" if spec.has_unknowns else ""
+        print(f"{name:10} {spec.description}{unknowns}")
+        print(f"{'':10} inputs: {', '.join(spec.inputs)}; "
+              f"defaults: {spec.defaults}")
+    return 0
+
+
+def cmd_demo(args, session):
+    scn = scenario(args.size, cols=args.cols, sparse=args.sparse)
+    print(f"scenario: {scn.label} "
+          f"({scn.rows:,} x {scn.cols}, {scn.dense_bytes / 1e9:.2f} GB dense)")
+    script_args = prepare_inputs(session.hdfs, args.script, scn)
+    outcome = session.run_registered(args.script, script_args)
+    for line in outcome.prints:
+        print("|", line)
+    print(f"\nconfiguration: {outcome.resource.describe()} (optimized)")
+    print(f"simulated time: {outcome.total_time:.1f}s  "
+          f"MR jobs: {outcome.result.mr_jobs}  "
+          f"migrations: {outcome.result.migrations}")
+    return 0
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    session = ElasticMLSession()
+    handler = {
+        "run": cmd_run,
+        "optimize": cmd_optimize,
+        "explain": cmd_explain,
+        "whatif": cmd_whatif,
+        "scripts": cmd_scripts,
+        "demo": cmd_demo,
+    }[args.command]
+    return handler(args, session)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

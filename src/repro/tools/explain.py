@@ -1,0 +1,84 @@
+"""Plan explanation: human-readable renderings of compiled programs.
+
+Mirrors SystemML's ``explain`` levels:
+
+* ``explain_program(compiled, level="runtime")`` — the block hierarchy
+  with the generated instructions per block (CP instructions and MR
+  jobs with their packed operators);
+* ``level="hops"`` — the HOP DAGs with propagated characteristics,
+  memory estimates, and execution decisions.
+"""
+
+from __future__ import annotations
+
+from repro.compiler import hops as H
+from repro.compiler import statement_blocks as SB
+from repro.compiler.runtime_prog import MRJobInstruction
+
+
+def explain_plan(plan, indent=2):
+    """Render one block plan's instruction list."""
+    pad = " " * indent
+    lines = []
+    for ins in plan.instructions:
+        if isinstance(ins, MRJobInstruction):
+            lines.append(f"{pad}{ins}")
+            for step in ins.steps:
+                lines.append(
+                    f"{pad}  [{step.phase.value}] {step.method} "
+                    f"{step.opcode} -> {step.output} {step.out_mc}"
+                )
+        else:
+            lines.append(f"{pad}{ins}")
+    return "\n".join(lines)
+
+
+def _explain_block(block, level, depth, lines):
+    pad = "  " * depth
+    if isinstance(block, SB.GenericBlock):
+        flags = " [recompile]" if block.requires_recompile else ""
+        lines.append(f"{pad}GENERIC (block {block.block_id}){flags}")
+        if level == "hops":
+            lines.append(_indent(H.explain(block.hop_roots), depth * 2 + 2))
+        elif block.plan is not None:
+            lines.append(explain_plan(block.plan, indent=depth * 2 + 2))
+    elif isinstance(block, SB.IfBlock):
+        lines.append(f"{pad}IF (block {block.block_id})")
+        for child in block.body:
+            _explain_block(child, level, depth + 1, lines)
+        if block.else_body:
+            lines.append(f"{pad}ELSE")
+            for child in block.else_body:
+                _explain_block(child, level, depth + 1, lines)
+    elif isinstance(block, SB.WhileBlock):
+        lines.append(f"{pad}WHILE (block {block.block_id})")
+        for child in block.body:
+            _explain_block(child, level, depth + 1, lines)
+    elif isinstance(block, SB.ForBlock):
+        iters = (
+            f", {block.known_iterations} iterations"
+            if block.known_iterations is not None
+            else ""
+        )
+        lines.append(f"{pad}FOR {block.var} (block {block.block_id}{iters})")
+        for child in block.body:
+            _explain_block(child, level, depth + 1, lines)
+
+
+def _indent(text, spaces):
+    pad = " " * spaces
+    return "\n".join(pad + line for line in text.splitlines())
+
+
+def explain_program(compiled, level="runtime"):
+    """Render a compiled program at the requested level of detail."""
+    if level not in ("runtime", "hops"):
+        raise ValueError(f"unknown explain level {level!r}")
+    lines = [f"PROGRAM ({compiled.num_blocks()} blocks)"]
+    for block in compiled.blocks:
+        _explain_block(block, level, 1, lines)
+    for name, func in compiled.functions.items():
+        lines.append(f"FUNCTION {name}")
+        for block in func.blocks:
+            _explain_block(block, level, 1, lines)
+    return "\n".join(lines)

@@ -1,0 +1,20 @@
+"""Workloads: the paper's data scenarios, input generators, and static
+baseline resource configurations (Section 5.1)."""
+
+from repro.workloads.scenarios import (
+    SCENARIO_CELLS,
+    Scenario,
+    paper_scenarios,
+    scenario,
+)
+from repro.workloads.datagen import prepare_inputs
+from repro.workloads.baselines import paper_baselines
+
+__all__ = [
+    "Scenario",
+    "SCENARIO_CELLS",
+    "scenario",
+    "paper_scenarios",
+    "prepare_inputs",
+    "paper_baselines",
+]

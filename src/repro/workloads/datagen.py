@@ -1,0 +1,81 @@
+"""Input generation for the bundled ML scripts.
+
+Creates feature/label files on a simulated HDFS instance appropriate for
+each script and returns the script-argument dictionary, so end-to-end
+experiments are one call:
+
+    hdfs = SimulatedHDFS()
+    args = prepare_inputs(hdfs, "L2SVM", scenario("M"))
+    compiled = compile_program(load_script("L2SVM"), args, hdfs.input_meta())
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common import FileFormat
+from repro.errors import ReproError
+from repro.runtime.matrix import MatrixObject
+from repro.scripts import script_spec
+
+
+def _svm_labels(hdfs, path, rows, seed):
+    """0/1 labels (the L2SVM script remaps them to -1/+1)."""
+    rng = np.random.default_rng(seed)
+    obj = MatrixObject.generate_labels(rows, 2, rng=rng,
+                                       sample_cap=hdfs.sample_cap)
+    obj.data = obj.data - 1.0  # classes 1..2 -> 0/1
+    hdfs.put(path, obj.mc, obj.data, FileFormat.BINARY_BLOCK)
+
+
+def _count_labels(hdfs, path, rows, seed, mean=3.0):
+    """Non-negative counts for Poisson GLM."""
+    rng = np.random.default_rng(seed)
+    srows = min(rows, hdfs.sample_cap)
+    data = rng.poisson(mean, size=(srows, 1)).astype(float)
+    obj = MatrixObject.from_sample(data, logical_rows=rows, logical_cols=1)
+    hdfs.put(path, obj.mc, obj.data, FileFormat.BINARY_BLOCK)
+
+
+def prepare_inputs(hdfs, script_name, scn, num_classes=5, seed=7,
+                   prefix=None, glm_family=2):
+    """Create the input files of ``script_name`` for scenario ``scn``.
+
+    Returns the script-argument dict (file names + Table 1 defaults).
+    ``glm_family`` selects the GLM response type (2 = Poisson counts,
+    3 = binomial/categorical labels — the configuration with unknown
+    intermediate sizes).
+    """
+    spec = script_spec(script_name)
+    prefix = prefix or f"data/{script_name}/{scn.size}_{scn.cols}_{scn.sparsity}"
+    x_path = f"{prefix}/X"
+    y_path = f"{prefix}/Y"
+    hdfs.create_dense_input(
+        x_path, scn.rows, scn.cols, sparsity=scn.sparsity, seed=seed
+    )
+
+    if script_name in ("LinregDS", "LinregCG"):
+        hdfs.create_regression_target(y_path, scn.rows, seed=seed + 1)
+        args = {"X": x_path, "Y": y_path, "B": f"{prefix}/B"}
+    elif script_name == "L2SVM":
+        _svm_labels(hdfs, y_path, scn.rows, seed + 1)
+        args = {"X": x_path, "Y": y_path, "model": f"{prefix}/w"}
+    elif script_name == "MLogreg":
+        hdfs.create_label_input(y_path, scn.rows, num_classes, seed=seed + 1)
+        args = {"X": x_path, "Y": y_path, "B": f"{prefix}/B"}
+    elif script_name == "GLM":
+        if glm_family == 3:
+            hdfs.create_label_input(y_path, scn.rows, 2, seed=seed + 1)
+        else:
+            _count_labels(hdfs, y_path, scn.rows, seed + 1)
+        args = {"X": x_path, "Y": y_path, "B": f"{prefix}/B",
+                "dfam": glm_family}
+    elif script_name == "KMeans":
+        args = {"X": x_path, "C": f"{prefix}/C"}
+    elif script_name == "PCA":
+        args = {"X": x_path, "V": f"{prefix}/V"}
+    else:
+        raise ReproError(f"no input generator for script {script_name!r}")
+
+    args.update(spec.defaults)
+    return args

@@ -1,0 +1,76 @@
+"""Data scenarios XS-XL of the paper (Section 5.1).
+
+Scenario sizes are given in total cells: XS (10^7) through XL (10^11),
+with 1,000 or 100 columns and dense (1.0) or sparse (0.01) sparsity.
+For dense data these correspond to 80 MB, 800 MB, 8 GB, 80 GB, and
+800 GB.  The number of rows is cells / cols.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+SCENARIO_CELLS = {
+    "XS": 10**7,
+    "S": 10**8,
+    "M": 10**9,
+    "L": 10**10,
+    "XL": 10**11,
+}
+
+SCENARIO_ORDER = ["XS", "S", "M", "L", "XL"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One data scenario: size class, shape, and sparsity."""
+
+    size: str  # XS | S | M | L | XL
+    cols: int = 1000
+    sparsity: float = 1.0
+
+    @property
+    def cells(self):
+        return SCENARIO_CELLS[self.size]
+
+    @property
+    def rows(self):
+        return self.cells // self.cols
+
+    @property
+    def dense_bytes(self):
+        return self.cells * 8
+
+    @property
+    def is_sparse(self):
+        return self.sparsity < 1.0
+
+    @property
+    def label(self):
+        kind = "sparse" if self.is_sparse else "dense"
+        return f"{self.size} {kind}{self.cols}"
+
+    def __str__(self):
+        return self.label
+
+
+def scenario(size, cols=1000, sparse=False):
+    """Construct a scenario; sparse scenarios use the paper's 0.01."""
+    if size not in SCENARIO_CELLS:
+        raise KeyError(f"unknown scenario size {size!r}")
+    return Scenario(size=size, cols=cols, sparsity=0.01 if sparse else 1.0)
+
+
+def paper_scenarios(sizes=("XS", "S", "M", "L")):
+    """The 4 shape/sparsity combinations x requested sizes (Figures
+    7-11's (a) dense1000, (b) sparse1000, (c) dense100, (d) sparse100)."""
+    combos = [
+        ("dense1000", 1000, False),
+        ("sparse1000", 1000, True),
+        ("dense100", 100, False),
+        ("sparse100", 100, True),
+    ]
+    return {
+        label: [scenario(size, cols, sparse) for size in sizes]
+        for label, cols, sparse in combos
+    }

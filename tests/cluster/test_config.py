@@ -1,0 +1,101 @@
+"""Unit tests for cluster configuration and resource configs."""
+
+import pytest
+
+from repro.cluster import ClusterConfig, ResourceConfig, paper_cluster, small_cluster
+from repro.cluster.config import BUDGET_FRACTION, CONTAINER_OVERHEAD_FACTOR
+from repro.common import MB
+from repro.errors import ClusterError
+
+
+class TestClusterConfig:
+    def test_paper_cluster_dimensions(self):
+        cc = paper_cluster()
+        assert cc.num_nodes == 6
+        assert cc.node_memory_mb == 80 * 1024
+        assert cc.min_allocation_mb == 512
+        assert cc.max_allocation_mb == 80 * 1024
+        assert cc.num_reducers == 12
+
+    def test_max_heap_is_53_gb(self):
+        cc = paper_cluster()
+        assert cc.max_heap_mb == pytest.approx(53.3 * 1024, rel=0.01)
+
+    def test_container_request_applies_overhead(self):
+        cc = paper_cluster()
+        assert cc.container_mb_for_heap(1000) == 1500
+
+    def test_container_clamped_to_min_allocation(self):
+        cc = paper_cluster()
+        assert cc.container_mb_for_heap(100) == 512
+
+    def test_validate_heap_rejects_oversized(self):
+        cc = paper_cluster()
+        with pytest.raises(ClusterError):
+            cc.validate_heap_request(cc.max_heap_mb * 2)
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ClusterError):
+            ClusterConfig(min_allocation_mb=0)
+        with pytest.raises(ClusterError):
+            ClusterConfig(min_allocation_mb=2048, max_allocation_mb=1024)
+        with pytest.raises(ClusterError):
+            ClusterConfig(num_nodes=0)
+
+    def test_map_parallelism_bounds(self):
+        cc = paper_cluster()
+        # tiny tasks: bounded by vcores
+        assert cc.map_task_parallelism(512) == cc.total_vcores
+        # huge tasks: bounded by memory (one per node)
+        assert cc.map_task_parallelism(40 * 1024) == cc.num_nodes
+
+    def test_parallelism_respects_reservation(self):
+        cc = paper_cluster()
+        free = cc.map_task_parallelism(4 * 1024)
+        reserved = cc.map_task_parallelism(
+            4 * 1024, reserved_mb=cc.node_memory_mb * 3
+        )
+        assert reserved < free
+
+    def test_small_cluster_factory(self):
+        cc = small_cluster(num_nodes=3, node_memory_mb=4096)
+        assert cc.num_nodes == 3
+        assert cc.total_memory_mb == 3 * 4096
+
+
+class TestResourceConfig:
+    def test_budget_fraction(self):
+        rc = ResourceConfig(1000, 500)
+        assert rc.cp_budget_bytes == pytest.approx(
+            1000 * MB * BUDGET_FRACTION
+        )
+
+    def test_per_block_override(self):
+        rc = ResourceConfig(1024, 512, {7: 4096})
+        assert rc.mr_heap_for_block(7) == 4096
+        assert rc.mr_heap_for_block(8) == 512
+
+    def test_max_mr_heap(self):
+        rc = ResourceConfig(1024, 512, {1: 2048, 2: 8192})
+        assert rc.max_mr_heap_mb == 8192
+
+    def test_footprint_ordering(self):
+        small = ResourceConfig(512, 512)
+        large = ResourceConfig(4096, 512)
+        assert small.footprint() < large.footprint()
+
+    def test_with_mr_for_blocks(self):
+        rc = ResourceConfig(1024, 512)
+        rc2 = rc.with_mr_for_blocks([1, 2], 2048)
+        assert rc2.mr_heap_for_block(1) == 2048
+        assert rc.mr_heap_per_block == {}
+
+    def test_describe_format(self):
+        rc = ResourceConfig(8192, 2048)
+        assert rc.describe() == "CP 8.0GB / MR 2.0GB"
+
+    def test_copy_independent(self):
+        rc = ResourceConfig(1024, 512, {1: 999})
+        clone = rc.copy()
+        clone.mr_heap_per_block[1] = 1
+        assert rc.mr_heap_for_block(1) == 999

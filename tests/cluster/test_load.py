@@ -1,0 +1,47 @@
+"""Unit tests for the cluster background-load model."""
+
+import pytest
+
+from repro.cluster import ClusterLoad, mr_slowdown
+
+
+class TestSlowdown:
+    def test_idle_no_slowdown(self):
+        assert mr_slowdown(0.0) == 1.0
+
+    def test_half_loaded_doubles(self):
+        assert mr_slowdown(0.5) == pytest.approx(2.0)
+
+    def test_capped_at_max_utilization(self):
+        assert mr_slowdown(0.99) == mr_slowdown(1.5) == pytest.approx(10.0)
+
+    def test_negative_clamped(self):
+        assert mr_slowdown(-1) == 1.0
+
+
+class TestClusterLoad:
+    def test_idle_factory(self):
+        load = ClusterLoad.idle()
+        assert load.utilization(0) == 0.0
+        assert load.slowdown(100) == 1.0
+
+    def test_constant_factory(self):
+        load = ClusterLoad.constant(0.7)
+        assert load.utilization(0) == 0.7
+        assert load.utilization(10**6) == 0.7
+
+    def test_piecewise_schedule(self):
+        load = ClusterLoad(schedule=[(0, 0.1), (100, 0.8), (200, 0.3)])
+        assert load.utilization(50) == 0.1
+        assert load.utilization(100) == 0.8
+        assert load.utilization(150) == 0.8
+        assert load.utilization(500) == 0.3
+
+    def test_baseline_before_first_step(self):
+        load = ClusterLoad(schedule=[(100, 0.9)], baseline=0.2)
+        assert load.utilization(50) == 0.2
+
+    def test_unsorted_schedule_accepted(self):
+        load = ClusterLoad(schedule=[(200, 0.5), (100, 0.9)])
+        assert load.utilization(150) == 0.9
+        assert load.utilization(250) == 0.5

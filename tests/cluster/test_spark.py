@@ -1,0 +1,68 @@
+"""Unit tests for the Spark executor model (Appendix D)."""
+
+import pytest
+
+from repro.cluster.spark import SparkConfig, SparkRuntime
+from repro.workloads import scenario
+
+
+@pytest.fixture
+def runtime():
+    return SparkRuntime()
+
+
+class TestL2SVMPlans:
+    def test_hybrid_beats_full_everywhere(self, runtime):
+        for size in ("XS", "S", "M", "L", "XL"):
+            scn = scenario(size)
+            hybrid = runtime.run_l2svm(scn, "hybrid")
+            full = runtime.run_l2svm(scn, "full")
+            assert hybrid.total_time < full.total_time, size
+
+    def test_full_has_more_stages(self, runtime):
+        scn = scenario("S")
+        assert (
+            runtime.run_l2svm(scn, "full").stages
+            > runtime.run_l2svm(scn, "hybrid").stages
+        )
+
+    def test_cache_sweet_spot_at_L(self, runtime):
+        assert runtime.run_l2svm(scenario("L"), "hybrid").cached
+
+    def test_xl_exceeds_cache(self, runtime):
+        result = runtime.run_l2svm(scenario("XL"), "hybrid")
+        assert not result.cached
+        # uncached iteration passes re-scan disk: massive slowdown
+        assert result.total_time > 50 * (
+            runtime.run_l2svm(scenario("L"), "hybrid").total_time
+        )
+
+    def test_startup_dominates_small_data(self, runtime):
+        result = runtime.run_l2svm(scenario("XS"), "hybrid")
+        assert result.breakdown["startup"] >= 0.5 * result.total_time
+
+    def test_unknown_plan_rejected(self, runtime):
+        with pytest.raises(ValueError):
+            runtime.run_l2svm(scenario("S"), "bogus")
+
+    def test_sparse_data_smaller_footprint(self, runtime):
+        dense = runtime.run_l2svm(scenario("L"), "hybrid")
+        sparse = runtime.run_l2svm(scenario("L", sparse=True), "hybrid")
+        assert sparse.total_time < dense.total_time
+
+
+class TestSparkConfig:
+    def test_cache_capacity(self):
+        config = SparkConfig()
+        # 6 executors x 55 GB x 0.6 ~ 198 GB
+        assert config.cache_capacity_bytes == pytest.approx(
+            198 * 1024**3, rel=0.01
+        )
+
+    def test_cluster_footprint_is_whole_cluster(self):
+        config = SparkConfig()
+        # the paper: a single Spark application occupies the cluster
+        assert config.cluster_footprint_mb() > 6 * 55 * 1024
+
+    def test_total_cores(self):
+        assert SparkConfig().total_cores == 144

@@ -1,0 +1,60 @@
+"""Unit tests for YARN container accounting."""
+
+import pytest
+
+from repro.cluster import paper_cluster, small_cluster
+from repro.cluster.yarn import ResourceManager
+from repro.errors import ClusterError
+
+
+@pytest.fixture
+def rm():
+    return ResourceManager(small_cluster(num_nodes=2, node_memory_mb=4096))
+
+
+class TestAllocation:
+    def test_allocate_and_release(self, rm):
+        container = rm.try_allocate(1024)
+        assert container is not None
+        assert rm.used_mb == 1024
+        rm.release(container)
+        assert rm.used_mb == 0
+
+    def test_request_clamped_to_min(self, rm):
+        container = rm.try_allocate(10)
+        assert container.memory_mb == rm.cluster.min_allocation_mb
+
+    def test_request_above_max_raises(self, rm):
+        with pytest.raises(ClusterError):
+            rm.try_allocate(rm.cluster.max_allocation_mb + 1)
+
+    def test_exhaustion_returns_none(self, rm):
+        granted = []
+        while True:
+            c = rm.try_allocate(2048)
+            if c is None:
+                break
+            granted.append(c)
+        assert len(granted) == 4  # 2 nodes x 4096 / 2048
+
+    def test_first_fit_fills_nodes(self, rm):
+        a = rm.try_allocate(3000)
+        b = rm.try_allocate(3000)
+        assert a.node_id != b.node_id
+
+    def test_release_frees_capacity(self, rm):
+        grants = [rm.try_allocate(2048) for _ in range(4)]
+        assert rm.try_allocate(2048) is None
+        rm.release(grants[0])
+        assert rm.try_allocate(2048) is not None
+
+    def test_double_release_raises(self, rm):
+        c = rm.try_allocate(1024)
+        rm.release(c)
+        with pytest.raises(ClusterError):
+            rm.release(c)
+
+    def test_max_concurrent(self):
+        rm = ResourceManager(paper_cluster())
+        # the paper's arithmetic: 6 x floor(80GB / (1.5 x 8GB)) = 36 apps
+        assert rm.max_concurrent(int(8 * 1024 * 1.5)) == 36

@@ -1,0 +1,217 @@
+"""Unit tests for HOP DAG construction."""
+
+import pytest
+
+from repro.common import DataType, MatrixCharacteristics, ValueType
+from repro.compiler import hops as H
+from repro.compiler.hop_builder import build_hops
+from repro.compiler.statement_blocks import build_program
+from repro.dml import parse
+from repro.errors import CompilerError
+
+
+def build(source, args=None):
+    program = build_program(parse(source), args or {})
+    return build_hops(program)
+
+
+def first_block(program):
+    return program.blocks[0]
+
+
+def find_hops(roots, hop_type, predicate=None):
+    out = [h for h in H.iter_dag(roots) if isinstance(h, hop_type)]
+    if predicate is not None:
+        out = [h for h in out if predicate(h)]
+    return out
+
+
+class TestDataFlow:
+    def test_transient_write_per_assigned_var(self):
+        program = build("a = 1\nb = 2")
+        roots = first_block(program).hop_roots
+        writes = find_hops(
+            roots, H.DataOp, lambda h: h.kind is H.DataOpKind.TRANSIENT_WRITE
+        )
+        assert {w.name for w in writes} == {"a", "b"}
+
+    def test_transient_read_for_external_var(self):
+        program = build("b = a + 1")
+        roots = first_block(program).hop_roots
+        reads = find_hops(
+            roots, H.DataOp, lambda h: h.kind is H.DataOpKind.TRANSIENT_READ
+        )
+        assert {r.name for r in reads} == {"a"}
+
+    def test_within_block_chaining_avoids_reads(self):
+        # b reads the freshly built hop for a, not a transient read
+        program = build("a = x + 1\nb = a * 2")
+        roots = first_block(program).hop_roots
+        reads = find_hops(
+            roots, H.DataOp, lambda h: h.kind is H.DataOpKind.TRANSIENT_READ
+        )
+        assert {r.name for r in reads} == {"x"}
+
+    def test_reassignment_uses_latest_value(self):
+        program = build("a = x + 1\na = a * 2\nb = a")
+        roots = first_block(program).hop_roots
+        write_b = [
+            h
+            for h in find_hops(roots, H.DataOp)
+            if h.kind is H.DataOpKind.TRANSIENT_WRITE and h.name == "b"
+        ][0]
+        assert isinstance(write_b.inputs[0], H.BinaryOp)
+        assert write_b.inputs[0].op is H.OpCode.MULT
+
+    def test_persistent_read_from_args(self):
+        program = build("X = read($X)", {"X": "hdfs:/file"})
+        roots = first_block(program).hop_roots
+        reads = find_hops(
+            roots, H.DataOp, lambda h: h.kind is H.DataOpKind.PERSISTENT_READ
+        )
+        assert reads[0].fname == "hdfs:/file"
+
+    def test_write_becomes_persistent_write_root(self):
+        program = build(
+            'X = read($X)\nwrite(X, $out, format="binary")',
+            {"X": "in", "out": "out"},
+        )
+        roots = first_block(program).hop_roots
+        writes = find_hops(
+            roots, H.DataOp, lambda h: h.kind is H.DataOpKind.PERSISTENT_WRITE
+        )
+        assert writes[0].fname == "out"
+
+    def test_missing_script_arg_raises(self):
+        with pytest.raises(CompilerError):
+            build("X = read($X)")
+
+
+class TestOperatorMapping:
+    def test_matmult_builds_aggbinary(self):
+        program = build("C = A %*% B")
+        roots = first_block(program).hop_roots
+        assert len(find_hops(roots, H.AggBinaryOp)) == 1
+
+    def test_ppred_lowered_to_relational_binary(self):
+        program = build('S = ppred(X, 0, ">")')
+        roots = first_block(program).hop_roots
+        comparisons = find_hops(
+            roots, H.BinaryOp, lambda h: h.op is H.OpCode.GT
+        )
+        assert len(comparisons) == 1
+        assert comparisons[0].data_type is DataType.MATRIX
+
+    def test_ppred_invalid_operator_raises(self):
+        with pytest.raises(CompilerError):
+            build('S = ppred(X, 0, "max")')
+
+    def test_table_builds_ternary(self):
+        program = build("Y = table(seq(1, 10), y)")
+        roots = first_block(program).hop_roots
+        assert len(find_hops(roots, H.TernaryOp)) == 1
+
+    def test_matrix_constructor_is_datagen(self):
+        program = build("Z = matrix(1.5, rows=4, cols=2)")
+        roots = first_block(program).hop_roots
+        gens = find_hops(roots, H.DataGenOp)
+        assert gens[0].gen_method is H.OpCode.RAND
+        assert gens[0].param("min").value == 1.5
+
+    def test_seq_is_datagen(self):
+        program = build("s = seq(1, 10, 2)")
+        gens = find_hops(first_block(program).hop_roots, H.DataGenOp)
+        assert gens[0].gen_method is H.OpCode.SEQ
+
+    def test_aggregates_directions(self):
+        program = build("a = sum(X)\nb = rowSums(X)\nc = colSums(X)")
+        aggs = find_hops(first_block(program).hop_roots, H.AggUnaryOp)
+        directions = {a.direction for a in aggs}
+        assert directions == {
+            H.AggDirection.ALL, H.AggDirection.ROW, H.AggDirection.COL,
+        }
+
+    def test_min_arity_dispatch(self):
+        program = build("a = min(X)\nb = min(X, 0)")
+        roots = first_block(program).hop_roots
+        assert len(find_hops(roots, H.AggUnaryOp)) == 1
+        assert len(
+            find_hops(roots, H.BinaryOp, lambda h: h.op is H.OpCode.MIN)
+        ) == 1
+
+    def test_nrow_is_scalar_int(self):
+        program = build("n = nrow(X)")
+        hop = find_hops(
+            first_block(program).hop_roots,
+            H.UnaryOp,
+            lambda h: h.op is H.OpCode.NROW,
+        )[0]
+        assert hop.data_type is DataType.SCALAR
+        assert hop.value_type is ValueType.INT64
+
+    def test_two_arg_log_is_quotient(self):
+        program = build("y = log(x, 2)")
+        roots = first_block(program).hop_roots
+        divs = find_hops(roots, H.BinaryOp, lambda h: h.op is H.OpCode.DIV)
+        assert len(divs) == 1
+
+    def test_ifdef_resolves_provided_arg(self):
+        program = build("a = ifdef($x, 7)", {"x": 3})
+        literals = find_hops(first_block(program).hop_roots, H.LiteralOp)
+        assert any(lit.value == 3 for lit in literals)
+
+    def test_ifdef_falls_back_to_default(self):
+        program = build("a = ifdef($x, 7)")
+        literals = find_hops(first_block(program).hop_roots, H.LiteralOp)
+        assert any(lit.value == 7 for lit in literals)
+
+    def test_indexing_bounds_structure(self):
+        program = build("Q = X[, 1:k]")
+        rix = find_hops(first_block(program).hop_roots, H.IndexingOp)[0]
+        assert rix.all_rows and not rix.all_cols
+
+    def test_left_indexing_hop(self):
+        program = build("X[1:2, ] = Y")
+        lix = find_hops(first_block(program).hop_roots, H.LeftIndexingOp)[0]
+        assert lix.all_cols and not lix.all_rows
+
+    def test_string_concat_value_type(self):
+        program = build('msg = "x=" + 5\nprint(msg)')
+        writes = find_hops(
+            first_block(program).hop_roots,
+            H.DataOp,
+            lambda h: h.kind is H.DataOpKind.TRANSIENT_WRITE,
+        )
+        assert writes[0].value_type is ValueType.STRING
+
+
+class TestFunctions:
+    SOURCE = """
+scale = function(Matrix[double] A, double f) return (Matrix[double] B) {
+  B = A * f
+}
+Y = scale(X, 2.0)
+"""
+
+    def test_function_call_builds_fop_and_output(self):
+        program = build(self.SOURCE)
+        roots = first_block(program).hop_roots
+        fops = find_hops(roots, H.FunctionOp)
+        outs = find_hops(roots, H.FunctionOutput)
+        assert len(fops) == 1 and len(outs) == 1
+        assert fops[0].func_name == "scale"
+
+    def test_function_body_has_hops(self):
+        program = build(self.SOURCE)
+        func = program.functions["scale"]
+        body_roots = func.blocks[0].hop_roots
+        assert find_hops(body_roots, H.BinaryOp)
+
+    def test_default_argument_materialized(self):
+        program = build("""
+f = function(double a, double b = 9) return (double c) { c = a + b }
+x = f(1)
+""")
+        fop = find_hops(first_block(program).hop_roots, H.FunctionOp)[0]
+        assert len(fop.inputs) == 2
+        assert fop.inputs[1].value == 9

@@ -1,0 +1,109 @@
+"""Unit tests for per-operator memory estimation."""
+
+import math
+
+from repro.common import MatrixCharacteristics
+from repro.compiler import hops as H
+from repro.compiler.memory_estimates import (
+    SCALAR_MEM,
+    estimate_dag_memory,
+    estimate_hop_memory,
+)
+
+
+def matrix_read(name, rows, cols, nnz=None):
+    hop = H.DataOp(H.DataOpKind.TRANSIENT_READ, name)
+    if nnz is None and rows is not None and cols is not None:
+        nnz = rows * cols
+    hop.mc = MatrixCharacteristics(rows, cols, nnz)
+    return hop
+
+
+class TestHopEstimates:
+    def test_read_is_output_only(self):
+        x = matrix_read("X", 1000, 100)
+        estimate_hop_memory(x)
+        assert x.mem_estimate == x.output_mem
+        assert x.output_mem > 0
+
+    def test_binary_sums_inputs_and_output(self):
+        x = matrix_read("X", 1000, 100)
+        y = matrix_read("Y", 1000, 100)
+        estimate_hop_memory(x)
+        estimate_hop_memory(y)
+        add = H.BinaryOp(H.OpCode.PLUS, x, y)
+        add.mc = MatrixCharacteristics(1000, 100, 100000)
+        estimate_hop_memory(add)
+        assert add.mem_estimate > x.output_mem + y.output_mem
+
+    def test_scalar_ops_tiny(self):
+        a = H.LiteralOp(1)
+        b = H.LiteralOp(2)
+        estimate_hop_memory(a)
+        estimate_hop_memory(b)
+        add = H.BinaryOp(H.OpCode.PLUS, a, b)
+        add.mc = MatrixCharacteristics(0, 0, 0)
+        estimate_hop_memory(add)
+        assert add.mem_estimate <= 4 * SCALAR_MEM
+
+    def test_unknown_input_infinite(self):
+        x = matrix_read("X", None, None)
+        estimate_hop_memory(x)
+        t = H.ReorgOp(H.OpCode.TRANSPOSE, x)
+        estimate_hop_memory(t)
+        assert math.isinf(t.mem_estimate)
+
+    def test_left_indexing_copy_on_write(self):
+        x = matrix_read("X", 1000, 100)
+        y = matrix_read("Y", 10, 100)
+        for hop in (x, y):
+            estimate_hop_memory(hop)
+        bounds = [H.LiteralOp(1) for _ in range(4)]
+        for b in bounds:
+            estimate_hop_memory(b)
+        lix = H.LeftIndexingOp(x, y, *bounds)
+        lix.mc = x.mc.copy()
+        estimate_hop_memory(lix)
+        # target + source + output + CoW copy of the target
+        assert lix.mem_estimate > 2.5 * x.output_mem
+
+    def test_solve_workspace(self):
+        a = matrix_read("A", 100, 100)
+        b = matrix_read("b", 100, 1)
+        for hop in (a, b):
+            estimate_hop_memory(hop)
+        solve = H.BinaryOp(H.OpCode.SOLVE, a, b)
+        solve.mc = MatrixCharacteristics(100, 1, 100)
+        estimate_hop_memory(solve)
+        assert solve.mem_estimate > 2 * a.output_mem
+
+    def test_write_charges_input_only(self):
+        x = matrix_read("X", 1000, 100)
+        estimate_hop_memory(x)
+        write = H.DataOp(H.DataOpKind.TRANSIENT_WRITE, "X", inputs=[x])
+        write.mc = x.mc.copy()
+        estimate_hop_memory(write)
+        assert write.mem_estimate == x.output_mem
+
+
+class TestDagEstimates:
+    def test_unknown_flag_propagates(self):
+        x = matrix_read("X", None, None)
+        t = H.ReorgOp(H.OpCode.TRANSPOSE, x)
+        w = H.DataOp(H.DataOpKind.TRANSIENT_WRITE, "Z", inputs=[t])
+        assert estimate_dag_memory([w]) is True
+
+    def test_known_dag_not_flagged(self):
+        x = matrix_read("X", 10, 10)
+        t = H.ReorgOp(H.OpCode.TRANSPOSE, x)
+        t.mc = MatrixCharacteristics(10, 10, 100)
+        w = H.DataOp(H.DataOpKind.TRANSIENT_WRITE, "Z", inputs=[t])
+        w.mc = t.mc.copy()
+        assert estimate_dag_memory([w]) is False
+
+    def test_scalar_only_dag_not_flagged(self):
+        a = H.LiteralOp(5)
+        w = H.DataOp(H.DataOpKind.TRANSIENT_WRITE, "a", inputs=[a],
+                     data_type=a.data_type)
+        w.mc = MatrixCharacteristics(0, 0, 0)
+        assert estimate_dag_memory([w]) is False

@@ -1,0 +1,224 @@
+"""Unit tests for operator selection (exec types + physical methods)."""
+
+from repro.cluster.resources import ResourceConfig
+from repro.common import ExecType, MatrixCharacteristics, GB, MB
+from repro.compiler import hops as H
+from repro.compiler.operator_selection import select_operators
+from repro.compiler.pipeline import build_and_analyze
+
+
+def analyzed_roots(source, meta, args, cp_mb, mr_mb):
+    program = build_and_analyze(source, args, meta)
+    rc = ResourceConfig(cp_mb, mr_mb)
+    blocks = [
+        b
+        for b in program.all_blocks()
+        if hasattr(b, "hop_roots") and b.hop_roots
+    ]
+    for block in blocks:
+        select_operators(
+            block.hop_roots, rc.cp_budget_bytes,
+            rc.mr_budget_bytes(block.block_id),
+        )
+    return blocks
+
+
+def find(blocks, hop_type, predicate=None):
+    out = []
+    for block in blocks:
+        for hop in H.iter_dag(block.hop_roots):
+            if isinstance(hop, hop_type) and (
+                predicate is None or predicate(hop)
+            ):
+                out.append(hop)
+    return out
+
+
+# 8 GB dense matrix and its 8 MB label vector
+BIG = {
+    "X": MatrixCharacteristics(10**6, 1000, 10**9),
+    "y": MatrixCharacteristics(10**6, 1, 10**6),
+}
+SMALL = {
+    "X": MatrixCharacteristics(1000, 100, 10**5),
+    "y": MatrixCharacteristics(1000, 1, 1000),
+}
+ARGS = {"X": "X", "y": "y"}
+
+
+class TestExecTypeHeuristic:
+    def test_small_data_runs_in_cp(self):
+        blocks = analyzed_roots(
+            "X = read($X)\nZ = t(X) %*% X", SMALL, ARGS, 2048, 512
+        )
+        mm = find(blocks, H.AggBinaryOp)[0]
+        assert mm.exec_type is ExecType.CP
+
+    def test_large_data_goes_to_mr(self):
+        blocks = analyzed_roots(
+            "X = read($X)\nZ = t(X) %*% X", BIG, ARGS, 2048, 512
+        )
+        mm = find(blocks, H.AggBinaryOp)[0]
+        assert mm.exec_type is ExecType.MR
+
+    def test_budget_is_70_percent_of_heap(self):
+        rc = ResourceConfig(1000, 1000)
+        assert abs(rc.cp_budget_bytes - 700 * MB) < 1e-6
+
+    def test_unknown_size_forces_mr(self):
+        source = """
+X = read($X)
+y = read($y)
+Y = table(seq(1, nrow(X)), y)
+Z = Y + 1
+"""
+        blocks = analyzed_roots(source, BIG, ARGS, 60000, 512)
+        plus = find(
+            blocks, H.BinaryOp,
+            lambda h: h.op is H.OpCode.PLUS and h.is_matrix,
+        )
+        assert plus[0].exec_type is ExecType.MR
+
+    def test_solve_forced_cp(self):
+        source = """
+X = read($X)
+y = read($y)
+beta = solve(t(X) %*% X, t(X) %*% y)
+"""
+        blocks = analyzed_roots(source, BIG, ARGS, 512, 512)
+        solves = find(blocks, H.BinaryOp, lambda h: h.op is H.OpCode.SOLVE)
+        assert solves[0].exec_type is ExecType.CP
+
+    def test_scalar_ops_always_cp(self):
+        blocks = analyzed_roots("a = 1\nb = a + 2", {}, {}, 512, 512)
+        adds = find(blocks, H.BinaryOp)
+        assert all(h.exec_type is ExecType.CP for h in adds)
+
+
+class TestPhysicalMethods:
+    def test_tsmm_pattern(self):
+        blocks = analyzed_roots(
+            "X = read($X)\nZ = t(X) %*% X", BIG, ARGS, 512, 2048
+        )
+        mm = find(blocks, H.AggBinaryOp)[0]
+        assert mm.method == "tsmm"
+
+    def test_mapmm_broadcast_right_vector(self):
+        source = "X = read($X)\nv = read($y)\nq = X %*% v"
+        blocks = analyzed_roots(source, BIG, {"X": "X", "y": "y"}, 512, 2048)
+        mm = find(blocks, H.AggBinaryOp)[0]
+        assert mm.method == "mapmm"
+
+    def test_transpose_rewrite_for_txv(self):
+        source = "X = read($X)\ny = read($y)\nb = t(X) %*% y"
+        blocks = analyzed_roots(source, BIG, ARGS, 512, 2048)
+        mm = find(blocks, H.AggBinaryOp)[0]
+        assert mm.transpose_rewrite
+        assert mm.method == "mapmm_agg"
+
+    def test_mapmmchain_pattern(self):
+        source = "X = read($X)\nv = read($y)\nq = t(X) %*% (X %*% v)"
+        blocks = analyzed_roots(source, BIG, {"X": "X", "y": "y"}, 512, 2048)
+        chain = [
+            h for h in find(blocks, H.AggBinaryOp) if h.method == "mapmmchain"
+        ]
+        assert chain
+
+    def test_weighted_mapmmchain_pattern(self):
+        source = """
+X = read($X)
+v = read($y)
+w = v * 2
+q = t(X) %*% (w * (X %*% v))
+"""
+        blocks = analyzed_roots(source, BIG, {"X": "X", "y": "y"}, 512, 2048)
+        chain = [
+            h for h in find(blocks, H.AggBinaryOp) if h.method == "mapmmchain"
+        ]
+        assert chain
+        assert len(chain[0].mmchain_vectors) == 2
+
+    def test_broadcast_too_large_falls_back_to_shuffle(self):
+        # multiply two 8 GB matrices: nothing fits a 512 MB task
+        meta = {
+            "X": MatrixCharacteristics(10**6, 1000, 10**9),
+            "y": MatrixCharacteristics(1000, 10**6, 10**9),
+        }
+        source = "X = read($X)\nY = read($y)\nZ = X %*% Y"
+        blocks = analyzed_roots(source, meta, ARGS, 512, 512)
+        mm = [h for h in find(blocks, H.AggBinaryOp) if h.method][0]
+        assert mm.method in ("cpmm", "rmm")
+
+    def test_map_binary_with_vector(self):
+        source = "X = read($X)\ny = read($y)\nZ = X * y"
+        blocks = analyzed_roots(source, BIG, ARGS, 512, 2048)
+        mult = find(
+            blocks, H.BinaryOp, lambda h: h.op is H.OpCode.MULT
+        )[0]
+        assert mult.method == "map_binary"
+
+    def test_matrix_scalar_binary(self):
+        source = "X = read($X)\nZ = X * 3"
+        blocks = analyzed_roots(source, BIG, ARGS, 512, 2048)
+        mult = find(blocks, H.BinaryOp, lambda h: h.op is H.OpCode.MULT)[0]
+        assert mult.method == "scalar_binary"
+
+    def test_row_aggregate_needs_no_shuffle(self):
+        source = "X = read($X)\nr = rowSums(X)"
+        blocks = analyzed_roots(source, BIG, ARGS, 512, 2048)
+        agg = find(blocks, H.AggUnaryOp)[0]
+        assert agg.method == "uagg_row"
+
+    def test_full_aggregate_uses_uagg(self):
+        source = "X = read($X)\ns = sum(X)"
+        blocks = analyzed_roots(source, BIG, ARGS, 512, 2048)
+        agg = find(blocks, H.AggUnaryOp)[0]
+        assert agg.method == "uagg"
+
+    def test_append_broadcast(self):
+        source = "X = read($X)\ny = read($y)\nZ = append(X, y)"
+        blocks = analyzed_roots(source, BIG, ARGS, 512, 2048)
+        append = find(blocks, H.BinaryOp, lambda h: h.op is H.OpCode.CBIND)[0]
+        assert append.method == "append_map"
+
+
+class TestCPFusedOperators:
+    def test_cp_tsmm_selected(self):
+        blocks = analyzed_roots(
+            "X = read($X)\nZ = t(X) %*% X", BIG, ARGS, 30 * 1024, 512
+        )
+        mm = find(blocks, H.AggBinaryOp)[0]
+        assert mm.exec_type is ExecType.CP
+        assert mm.method == "tsmm"
+
+    def test_cp_transpose_rewrite(self):
+        """t(X) %*% v executes in CP without materializing t(X) — the
+        compilation pattern that keeps iterative scripts in memory."""
+        source = "X = read($X)\ny = read($y)\nb = t(X) %*% y"
+        blocks = analyzed_roots(source, BIG, ARGS, 20 * 1024, 512)
+        mm = find(blocks, H.AggBinaryOp)[0]
+        assert mm.exec_type is ExecType.CP
+        assert mm.transpose_rewrite
+
+    def test_selection_is_idempotent_across_configs(self):
+        program = build_and_analyze(
+            "X = read($X)\nZ = t(X) %*% X", ARGS, BIG
+        )
+        block = program.blocks[0]
+        small = ResourceConfig(512, 512)
+        large = ResourceConfig(40960, 512)
+        select_operators(block.hop_roots, small.cp_budget_bytes,
+                         small.mr_budget_bytes())
+        first = [
+            (h.exec_type, h.method)
+            for h in H.iter_dag(block.hop_roots)
+        ]
+        select_operators(block.hop_roots, large.cp_budget_bytes,
+                         large.mr_budget_bytes())
+        select_operators(block.hop_roots, small.cp_budget_bytes,
+                         small.mr_budget_bytes())
+        second = [
+            (h.exec_type, h.method)
+            for h in H.iter_dag(block.hop_roots)
+        ]
+        assert first == second

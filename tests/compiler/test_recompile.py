@@ -1,0 +1,180 @@
+"""Unit tests for dynamic recompilation."""
+
+import pytest
+
+from repro.cluster import ResourceConfig
+from repro.common import DataType, MatrixCharacteristics
+from repro.compiler import hops as H
+from repro.compiler.pipeline import compile_program
+from repro.compiler.recompile import (
+    make_env_from_states,
+    recompile_block,
+    recompile_predicate,
+)
+
+# the table() producer and its consumers live in separate blocks (the
+# if splits them), so runtime knowledge about Y resolves the consumer
+SOURCE = """
+X = read($X)
+y = read($y)
+Y = table(seq(1, nrow(X)), y)
+k = ncol(Y)
+if (k > 0) {
+  B = matrix(0, rows=ncol(X), cols=k)
+  G = t(X) %*% Y + B
+  s = sum(G)
+  print(s)
+}
+"""
+
+META = {
+    "X": MatrixCharacteristics(10**5, 100, 10**7),
+    "y": MatrixCharacteristics(10**5, 1, 10**5),
+}
+ARGS = {"X": "X", "y": "y"}
+
+
+def compiled_with_unknowns(cp_mb=8192):
+    return compile_program(SOURCE, ARGS, META, ResourceConfig(cp_mb, 1024))
+
+
+def runtime_states(k=3):
+    """Actual characteristics as the runtime would know them."""
+    return {
+        "X": (DataType.MATRIX, MatrixCharacteristics(10**5, 100, 10**7), None),
+        "y": (DataType.MATRIX, MatrixCharacteristics(10**5, 1, 10**5), None),
+        "Y": (DataType.MATRIX, MatrixCharacteristics(10**5, k, 10**5), None),
+        "k": (DataType.SCALAR, MatrixCharacteristics(0, 0, 0), k),
+    }
+
+
+class TestEnvConstruction:
+    def test_matrix_states(self):
+        env = make_env_from_states(runtime_states())
+        assert env.get("Y").mc.cols == 3
+        assert env.get("Y").data_type is DataType.MATRIX
+
+    def test_scalar_states_carry_constants(self):
+        env = make_env_from_states({
+            "k": (DataType.SCALAR, MatrixCharacteristics(0, 0, 0), 7),
+        })
+        assert env.get("k").const == 7
+
+
+class TestBlockRecompilation:
+    def find_unknown_block(self, compiled):
+        # the consumer block (inside the if) reads Y via a transient read
+        from repro.compiler import hops as HH
+
+        candidates = [
+            b for b in compiled.last_level_blocks() if b.requires_recompile
+        ]
+        for block in candidates:
+            reads = [
+                h for h in HH.iter_dag(block.hop_roots)
+                if isinstance(h, HH.DataOp) and h.name == "Y" and h.is_read
+            ]
+            if reads:
+                return block
+        raise AssertionError("expected an unknown consumer block")
+
+    def test_initial_compile_has_unknowns(self):
+        compiled = compiled_with_unknowns()
+        block = self.find_unknown_block(compiled)
+        unknown_hops = [
+            h for h in H.iter_dag(block.hop_roots)
+            if h.is_matrix and not h.mc.dims_known
+        ]
+        assert unknown_hops
+
+    def test_recompile_resolves_sizes(self):
+        compiled = compiled_with_unknowns()
+        block = self.find_unknown_block(compiled)
+        env = make_env_from_states(runtime_states(k=4))
+        recompile_block(compiled, block, ResourceConfig(8192, 1024), env)
+        mm = [h for h in H.iter_dag(block.hop_roots)
+              if isinstance(h, H.AggBinaryOp)]
+        assert mm[0].mc.cols == 4
+        # every matrix hop in the consumer block is now sized
+        assert all(
+            h.mc.dims_known
+            for h in H.iter_dag(block.hop_roots)
+            if h.is_matrix
+        )
+
+    def test_recompile_changes_exec_decisions(self):
+        compiled = compiled_with_unknowns(cp_mb=8192)
+        block = self.find_unknown_block(compiled)
+        mm_before = [
+            h for h in H.iter_dag(block.hop_roots)
+            if isinstance(h, H.AggBinaryOp)
+        ][0]
+        from repro.common import ExecType
+
+        assert mm_before.exec_type is ExecType.MR  # unknown -> MR
+        env = make_env_from_states(runtime_states())
+        plan = recompile_block(compiled, block, ResourceConfig(8192, 1024),
+                               env)
+        mm_after = [
+            h for h in H.iter_dag(block.hop_roots)
+            if isinstance(h, H.AggBinaryOp)
+        ][0]
+        assert mm_after.exec_type is ExecType.CP  # fits 5.7 GB budget
+
+    def test_recompile_counts_in_stats(self):
+        compiled = compiled_with_unknowns()
+        block = self.find_unknown_block(compiled)
+        before = compiled.stats.block_compilations
+        recompile_block(compiled, block, ResourceConfig(8192, 1024),
+                        make_env_from_states(runtime_states()))
+        assert compiled.stats.block_compilations == before + 1
+
+    def test_dynamic_rewrites_reapplied(self):
+        # sum(v^2) with v's size known only at runtime gets the tsmm
+        # rewrite during recompilation
+        source = """
+X = read($X)
+y = read($y)
+Y = table(seq(1, nrow(X)), y)
+k = ncol(Y)
+if (k > 0) {
+  v = rowSums(Y)
+  n2 = sum(v ^ 2)
+  print(n2)
+}
+"""
+        compiled = compile_program(source, ARGS, META,
+                                   ResourceConfig(8192, 1024))
+        block = self.find_unknown_block(compiled)
+        env = make_env_from_states(runtime_states())
+        recompile_block(compiled, block, ResourceConfig(8192, 1024), env)
+        matmults = [
+            h for h in H.iter_dag(block.hop_roots)
+            if isinstance(h, H.AggBinaryOp)
+        ]
+        assert matmults  # t(v) %*% v introduced dynamically
+
+
+class TestPredicateRecompilation:
+    def test_predicate_replanned(self):
+        source = """
+X = read($X)
+y = read($y)
+Y = table(seq(1, nrow(X)), y)
+while (sum(Y) > 10) {
+  Y = Y * 0.5
+}
+"""
+        compiled = compile_program(source, ARGS, META,
+                                   ResourceConfig(8192, 1024))
+        from repro.compiler import statement_blocks as SB
+
+        loop = [
+            b for b in compiled.block_program.blocks
+            if isinstance(b, SB.WhileBlock)
+        ][0]
+        env = make_env_from_states(runtime_states())
+        plan = recompile_predicate(compiled, loop.predicate,
+                                   ResourceConfig(8192, 1024), env)
+        assert plan.instructions
+        assert plan.result is not None

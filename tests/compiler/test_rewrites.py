@@ -1,0 +1,270 @@
+"""Unit tests for the HOP rewrite passes."""
+
+from repro.common import MatrixCharacteristics
+from repro.compiler import hops as H
+from repro.compiler import statement_blocks as SB
+from repro.compiler.hop_builder import build_hops
+from repro.compiler.pipeline import build_and_analyze
+from repro.compiler.rewrites import (
+    apply_static_rewrites,
+    eliminate_common_subexpressions,
+    fold_constants,
+    optimize_matmult_chains,
+    remove_constant_branches,
+)
+from repro.compiler.size_propagation import propagate_sizes
+from repro.compiler.statement_blocks import build_program
+from repro.dml import parse
+
+META = {"X": MatrixCharacteristics(1000, 20, 20000),
+        "y": MatrixCharacteristics(1000, 1, 1000)}
+ARGS = {"X": "X", "y": "y"}
+
+
+def analyzed(source, meta=META, args=ARGS):
+    """Run the full resource-independent front half."""
+    return build_and_analyze(source, args, meta)
+
+
+def raw(source, meta=META, args=ARGS):
+    program = build_program(parse(source), args)
+    build_hops(program)
+    propagate_sizes(program, meta)
+    return program
+
+
+def hops_of(block, hop_type=None):
+    out = list(H.iter_dag(block.hop_roots))
+    if hop_type is not None:
+        out = [h for h in out if isinstance(h, hop_type)]
+    return out
+
+
+class TestConstantFolding:
+    def test_scalar_tree_collapses_to_literal(self):
+        program = raw("a = 2 * 3 + 4\nb = a")
+        program.blocks[0].hop_roots = fold_constants(
+            program.blocks[0].hop_roots
+        )
+        writes = [
+            h
+            for h in hops_of(program.blocks[0], H.DataOp)
+            if h.kind is H.DataOpKind.TRANSIENT_WRITE and h.name == "a"
+        ]
+        assert isinstance(writes[0].inputs[0], H.LiteralOp)
+        assert writes[0].inputs[0].value == 10
+
+    def test_cast_of_matrix_not_folded(self):
+        program = raw("X = read($X)\ns = as.scalar(X[1, 1]) + 1")
+        roots = fold_constants(program.blocks[0].hop_roots)
+        casts = [
+            h
+            for h in H.iter_dag(roots)
+            if isinstance(h, H.UnaryOp) and h.op is H.OpCode.CAST_AS_SCALAR
+        ]
+        assert casts  # still present
+
+
+class TestBranchRemoval:
+    def test_constant_true_branch_inlined(self):
+        program = raw("a = 1\nif (a == 1) { b = 2 } else { b = 3 }")
+        remove_constant_branches(program)
+        assert all(
+            not isinstance(block, SB.IfBlock) for block in program.blocks
+        )
+
+    def test_constant_false_keeps_else(self):
+        source = "a = 0\nif (a == 1) { b = 2 } else { b = 3 }\nc = b"
+        compiled = analyzed(source, {}, {})
+        env = propagate_sizes(compiled, {})
+        assert env.get("b").const == 3
+
+    def test_data_dependent_branch_kept(self):
+        program = analyzed(
+            "X = read($X)\nm = sum(X)\nif (m > 0) { b = 1 }", META, ARGS
+        )
+        assert any(isinstance(block, SB.IfBlock) for block in program.blocks)
+
+    def test_false_while_removed(self):
+        # the predicate must be loop-invariant for removal: a loop that
+        # updates its own predicate variable is (correctly) kept
+        program = raw("a = 0\nb = 0\nwhile (a > 0) { b = b + 1 }")
+        remove_constant_branches(program)
+        assert all(
+            not isinstance(block, SB.WhileBlock) for block in program.blocks
+        )
+
+    def test_variant_while_predicate_not_removed(self):
+        program = raw("a = 0\nwhile (a > 0) { a = a - 1 }")
+        remove_constant_branches(program)
+        assert any(
+            isinstance(block, SB.WhileBlock) for block in program.blocks
+        )
+
+    def test_zero_trip_for_removed(self):
+        program = analyzed("s = 0\nfor (i in 5:1) { s = s + i }", {}, {})
+        assert all(
+            not isinstance(block, SB.ForBlock) for block in program.blocks
+        )
+
+    def test_intercept_pattern_from_paper(self):
+        """The paper's Appendix B example: $icpt = 0 removes the branch,
+        enabling unconditional size propagation."""
+        source = """
+X = read($X)
+intercept = ifdef($icpt, 0)
+if (intercept == 1) {
+  X = append(X, matrix(1, rows=nrow(X), cols=1))
+}
+Z = t(X) %*% X
+"""
+        program = analyzed(source)
+        assert all(
+            not isinstance(block, SB.IfBlock) for block in program.blocks
+        )
+        env = propagate_sizes(program, META)
+        assert env.get("Z").mc.cols == 20
+
+
+class TestCSE:
+    def test_identical_subtrees_merged(self):
+        program = raw("X = read($X)\na = sum(t(X) %*% X)\nb = sum(t(X) %*% X)")
+        roots = eliminate_common_subexpressions(program.blocks[0].hop_roots)
+        matmults = [h for h in H.iter_dag(roots) if isinstance(h, H.AggBinaryOp)]
+        assert len(matmults) == 1
+
+    def test_writes_never_merged(self):
+        program = raw("a = 1\nb = 1")
+        roots = eliminate_common_subexpressions(program.blocks[0].hop_roots)
+        writes = [
+            h
+            for h in H.iter_dag(roots)
+            if isinstance(h, H.DataOp)
+            and h.kind is H.DataOpKind.TRANSIENT_WRITE
+        ]
+        assert len(writes) == 2
+
+    def test_rand_not_merged(self):
+        program = raw("A = rand(rows=3, cols=3)\nB = rand(rows=3, cols=3)")
+        roots = eliminate_common_subexpressions(program.blocks[0].hop_roots)
+        gens = [h for h in H.iter_dag(roots) if isinstance(h, H.DataGenOp)]
+        assert len(gens) == 2
+
+    def test_constant_matrix_gen_merged(self):
+        program = raw(
+            "A = matrix(0, rows=3, cols=3)\nB = matrix(0, rows=3, cols=3)"
+        )
+        roots = eliminate_common_subexpressions(program.blocks[0].hop_roots)
+        gens = [h for h in H.iter_dag(roots) if isinstance(h, H.DataGenOp)]
+        assert len(gens) == 1
+
+
+class TestAlgebraic:
+    def test_self_mult_becomes_power(self):
+        program = analyzed("X = read($X)\ns = colSums(X * X)")
+        pows = [
+            h
+            for block in program.blocks
+            for h in hops_of(block, H.BinaryOp)
+            if h.op is H.OpCode.POW
+        ]
+        assert pows
+
+    def test_double_transpose_removed(self):
+        program = analyzed("X = read($X)\nZ = t(t(X))")
+        transposes = [
+            h
+            for block in program.blocks
+            for h in hops_of(block, H.ReorgOp)
+        ]
+        assert not transposes
+
+    def test_mult_by_one_removed(self):
+        program = analyzed("X = read($X)\nZ = X * 1")
+        mults = [
+            h
+            for block in program.blocks
+            for h in hops_of(block, H.BinaryOp)
+            if h.op is H.OpCode.MULT
+        ]
+        assert not mults
+
+    def test_sum_of_squared_vector_to_tsmm(self):
+        """The paper's Appendix B rewrite: sum(s^2) -> as.scalar(t(s)%*%s)
+        for column vectors."""
+        program = analyzed("y = read($y)\nn2 = sum(y ^ 2)", META, ARGS)
+        matmults = [
+            h
+            for block in program.blocks
+            for h in hops_of(block, H.AggBinaryOp)
+        ]
+        assert matmults
+
+    def test_sum_of_squares_matrix_not_rewritten(self):
+        program = analyzed("X = read($X)\nn2 = sum(X ^ 2)")
+        matmults = [
+            h
+            for block in program.blocks
+            for h in hops_of(block, H.AggBinaryOp)
+        ]
+        assert not matmults
+
+    def test_ternary_aggregate_fusion(self):
+        """sum(a*b*c) on conforming vectors -> tak+* (paper lines 29/30)."""
+        source = """
+y = read($y)
+a = y + 1
+b = y * 2
+h = sum(a * y * b)
+"""
+        program = analyzed(source)
+        taks = [
+            h
+            for block in program.blocks
+            for h in hops_of(block, H.TernaryAggOp)
+        ]
+        assert len(taks) == 1
+
+
+class TestMMChain:
+    def test_chain_reordered_for_vector(self):
+        # (X %*% Y) %*% v is cheaper as X %*% (Y %*% v)
+        meta = {
+            "X": MatrixCharacteristics(500, 500, 250000),
+            "y": MatrixCharacteristics(500, 1, 500),
+        }
+        source = "X = read($X)\ny = read($y)\nr = X %*% X %*% y"
+        program = build_program(parse(source), ARGS)
+        build_hops(program)
+        propagate_sizes(program, meta)
+        roots = optimize_matmult_chains(program.blocks[0].hop_roots)
+        propagate_sizes(program, meta)
+        top = [
+            h
+            for h in H.iter_dag(roots)
+            if isinstance(h, H.AggBinaryOp)
+            and not any(
+                isinstance(p, H.AggBinaryOp)
+                for p in H.build_parent_map(roots).get(h.hop_id, [])
+            )
+        ][0]
+        # optimal order multiplies X with the (500 x 1) intermediate
+        assert isinstance(top.inputs[1], H.AggBinaryOp)
+
+    def test_unknown_dims_left_alone(self):
+        source = """
+X = read($X)
+Y = table(seq(1, nrow(X)), y)
+r = X %*% Y %*% Y
+"""
+        program = raw(source)
+        before = [
+            h
+            for h in H.iter_dag(program.blocks[0].hop_roots)
+            if isinstance(h, H.AggBinaryOp)
+        ]
+        roots = optimize_matmult_chains(program.blocks[0].hop_roots)
+        after = [
+            h for h in H.iter_dag(roots) if isinstance(h, H.AggBinaryOp)
+        ]
+        assert len(before) == len(after)

@@ -1,0 +1,155 @@
+"""Unit tests for instruction generation (runtime programs)."""
+
+from repro.cluster.resources import ResourceConfig
+from repro.common import MatrixCharacteristics
+from repro.compiler.pipeline import compile_program
+from repro.compiler.runtime_prog import CPInstruction, MRJobInstruction
+
+BIG = {
+    "X": MatrixCharacteristics(10**6, 1000, 10**9),
+    "y": MatrixCharacteristics(10**6, 1, 10**6),
+}
+SMALL = {
+    "X": MatrixCharacteristics(200, 20, 4000),
+    "y": MatrixCharacteristics(200, 1, 200),
+}
+ARGS = {"X": "X", "y": "y", "B": "B"}
+
+
+def plan_of(source, meta=SMALL, cp_mb=2048, mr_mb=1024, block_index=0):
+    compiled = compile_program(
+        source, ARGS, meta, ResourceConfig(cp_mb, mr_mb)
+    )
+    blocks = list(compiled.last_level_blocks())
+    return blocks[block_index].plan
+
+
+def check_defined_before_use(plan):
+    """Every temp referenced must be produced earlier in the plan."""
+    defined = set()
+    for ins in plan.instructions:
+        if isinstance(ins, MRJobInstruction):
+            for name in ins.input_vars + ins.broadcast_vars:
+                if name.startswith("_mVar"):
+                    assert name in defined, f"{name} used before defined"
+            defined.update(ins.output_vars)
+            for step in ins.steps:
+                defined.add(step.output)
+        else:
+            for op in ins.inputs:
+                if op.name and op.name.startswith("_mVar"):
+                    assert op.name in defined, f"{op.name} used before defined"
+            if ins.output:
+                defined.add(ins.output)
+            defined.update(ins.attrs.get("outputs", []))
+
+
+class TestCPPlans:
+    def test_all_cp_for_small_data(self):
+        plan = plan_of("X = read($X)\nZ = t(X) %*% X")
+        assert plan.num_mr_jobs == 0
+        assert all(isinstance(i, CPInstruction) for i in plan.instructions)
+
+    def test_topological_ordering(self):
+        plan = plan_of("""
+X = read($X)
+y = read($y)
+A = t(X) %*% X
+b = t(X) %*% y
+beta = solve(A, b)
+""")
+        check_defined_before_use(plan)
+
+    def test_transient_writes_bind_names(self):
+        plan = plan_of("X = read($X)\nZ = X * 2")
+        mvvars = [i for i in plan.instructions if i.opcode == "mvvar"]
+        assert {i.output for i in mvvars} == {"X", "Z"}
+
+    def test_self_rebind_skipped(self):
+        # X = X (via a no-op rewrite) must not emit mvvar X -> X
+        plan = plan_of("X = read($X)\nX = X * 1")
+        mvvars = [
+            i for i in plan.instructions
+            if i.opcode == "mvvar" and i.inputs[0].name == i.output
+        ]
+        assert not mvvars
+
+    def test_print_has_no_output(self):
+        plan = plan_of('X = read($X)\nprint("sum " + sum(X))')
+        prints = [i for i in plan.instructions if i.opcode == "print"]
+        assert prints and prints[0].output is None
+
+    def test_write_carries_format(self):
+        plan = plan_of('X = read($X)\nwrite(X, $B, format="binary")')
+        writes = [i for i in plan.instructions if i.opcode == "write"]
+        assert writes[0].attrs["fname"] == "B"
+
+    def test_literal_operands_inline(self):
+        plan = plan_of("X = read($X)\nZ = X * 3")
+        mult = [i for i in plan.instructions if i.opcode == "*"][0]
+        assert any(op.is_literal and op.literal == 3 for op in mult.inputs)
+
+    def test_instruction_snapshots_present(self):
+        plan = plan_of("X = read($X)\nZ = t(X) %*% X")
+        mm = [i for i in plan.instructions if i.opcode in ("ba+*", "tsmm")][0]
+        assert mm.out_mc.dims_known
+        assert mm.in_mcs
+
+
+class TestMRPlans:
+    def test_mr_jobs_generated_for_big_data(self):
+        plan = plan_of(
+            "X = read($X)\nZ = t(X) %*% X", meta=BIG, cp_mb=512, mr_mb=2048
+        )
+        assert plan.num_mr_jobs == 1
+        check_defined_before_use(plan)
+
+    def test_job_reads_var_not_temp_for_inputs(self):
+        plan = plan_of(
+            "X = read($X)\nZ = t(X) %*% X", meta=BIG, cp_mb=512, mr_mb=2048
+        )
+        job = plan.mr_jobs()[0]
+        assert len(job.input_vars) == 1
+
+    def test_broadcast_vars_recorded(self):
+        plan = plan_of(
+            "X = read($X)\ny = read($y)\nq = X %*% y",
+            meta=BIG, cp_mb=512, mr_mb=2048,
+        )
+        job = plan.mr_jobs()[0]
+        assert len(job.broadcast_vars) == 1
+
+    def test_outputs_consumed_by_cp_are_materialized(self):
+        plan = plan_of(
+            "X = read($X)\ns = sum(X)\nt = s + 1",
+            meta=BIG, cp_mb=512, mr_mb=2048,
+        )
+        job = plan.mr_jobs()[0]
+        assert job.steps[0].output in job.output_vars
+
+    def test_steps_have_phases_and_methods(self):
+        plan = plan_of(
+            "X = read($X)\ny = read($y)\nb = t(X) %*% y",
+            meta=BIG, cp_mb=512, mr_mb=2048,
+        )
+        job = plan.mr_jobs()[0]
+        for step in job.steps:
+            assert step.phase is not None
+            assert step.method
+
+    def test_predicate_plan_flattens_to_cp(self):
+        compiled = compile_program(
+            "X = read($X)\nwhile (sum(X) > 1000000) { X = X * 0.5 }",
+            ARGS, BIG, ResourceConfig(512, 512),
+        )
+        from repro.compiler import statement_blocks as SB
+
+        loop = [
+            b for b in compiled.block_program.blocks
+            if isinstance(b, SB.WhileBlock)
+        ][0]
+        assert all(
+            isinstance(ins, CPInstruction)
+            for ins in loop.predicate.plan.instructions
+        )
+        assert loop.predicate.plan.result is not None

@@ -1,0 +1,113 @@
+"""Unit tests for statement-block construction and variable analysis."""
+
+from repro.compiler import statement_blocks as SB
+from repro.compiler.statement_blocks import build_program
+from repro.dml import parse
+
+
+def build(source, args=None):
+    return build_program(parse(source), args or {})
+
+
+class TestBlockStructure:
+    def test_straight_line_single_block(self):
+        program = build("a = 1\nb = a + 1\nc = b * 2")
+        assert len(program.blocks) == 1
+        assert isinstance(program.blocks[0], SB.GenericBlock)
+
+    def test_if_splits_blocks(self):
+        program = build("a = 1\nif (a > 0) { b = 1 }\nc = 2")
+        kinds = [type(b).__name__ for b in program.blocks]
+        assert kinds == ["GenericBlock", "IfBlock", "GenericBlock"]
+
+    def test_while_contains_body_blocks(self):
+        program = build("i = 0\nwhile (i < 3) { i = i + 1 }")
+        loop = program.blocks[1]
+        assert isinstance(loop, SB.WhileBlock)
+        assert len(loop.body) == 1
+
+    def test_nested_loops_counted(self):
+        program = build("""
+i = 0
+while (i < 3) {
+  j = 0
+  while (j < 2) { j = j + 1 }
+  i = i + 1
+}
+""")
+        total = program.num_blocks()
+        # outer generic, while, body generic, inner while, inner body
+        # generic, trailing body generic
+        assert total == 6
+
+    def test_last_level_blocks_are_generic(self):
+        program = build("a = 1\nif (a > 0) { b = 1 } else { b = 2 }")
+        last = [
+            blk
+            for top in program.blocks
+            for blk in top.last_level_blocks()
+        ]
+        assert all(isinstance(b, SB.GenericBlock) for b in last)
+        assert len(last) == 3
+
+    def test_functions_have_own_blocks(self):
+        program = build("""
+f = function(double a) return (double b) {
+  if (a > 0) { b = 1 } else { b = 2 }
+}
+x = f(3)
+""")
+        assert "f" in program.functions
+        assert len(program.functions["f"].blocks) == 1
+
+    def test_block_ids_unique(self):
+        program = build("a = 1\nif (a > 0) { b = 1 }\nwhile (a < 5) { a = a + 1 }")
+        ids = [b.block_id for b in program.all_blocks()]
+        assert len(ids) == len(set(ids))
+
+
+class TestVariableAnalysis:
+    def test_reads_and_updates(self):
+        program = build("b = a + 1\nc = b * 2")
+        block = program.blocks[0]
+        assert block.read_vars == {"a"}
+        assert block.updated_vars == {"b", "c"}
+
+    def test_local_definition_not_a_read(self):
+        program = build("a = 1\nb = a + 1")
+        assert program.blocks[0].read_vars == set()
+
+    def test_left_indexing_reads_target(self):
+        program = build("X[1, 1] = v")
+        block = program.blocks[0]
+        assert "X" in block.read_vars
+        assert "X" in block.updated_vars
+
+    def test_if_block_reads_predicate_and_bodies(self):
+        program = build("if (flag > 0) { y = x } else { y = z }")
+        block = program.blocks[0]
+        assert {"flag", "x", "z"} <= block.read_vars
+        assert "y" in block.updated_vars
+
+    def test_loop_carried_variable_is_read(self):
+        program = build("while (i < 3) { i = i + 1 }")
+        loop = program.blocks[0]
+        assert "i" in loop.read_vars
+        assert "i" in loop.updated_vars
+
+    def test_for_variable_not_an_update(self):
+        program = build("for (i in 1:3) { s = s + i }")
+        loop = program.blocks[0]
+        assert "i" not in loop.updated_vars
+        assert "s" in loop.read_vars
+
+    def test_conditional_assignment_read_after(self):
+        # b assigned only in one branch: later read must also count as a
+        # read of the outer value
+        program = build("""
+b = 0
+if (a > 0) { b = 1 }
+c = b
+""")
+        if_block = program.blocks[1]
+        assert "b" in if_block.updated_vars

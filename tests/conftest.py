@@ -1,0 +1,77 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import ResourceConfig, paper_cluster, small_cluster
+from repro.common import MatrixCharacteristics
+from repro.compiler import compile_program
+from repro.runtime import Interpreter, SimulatedHDFS
+
+
+@pytest.fixture
+def cluster():
+    """The paper's 1+6 node cluster."""
+    return paper_cluster()
+
+
+@pytest.fixture
+def tiny_cluster():
+    """A laptop-scale cluster for fast unit tests."""
+    return small_cluster()
+
+
+@pytest.fixture
+def hdfs():
+    """A simulated HDFS with a small sample cap for fast execution."""
+    return SimulatedHDFS(sample_cap=64)
+
+
+@pytest.fixture
+def default_resource():
+    return ResourceConfig(cp_heap_mb=2048, mr_heap_mb=1024)
+
+
+def make_meta(rows, cols, sparsity=1.0):
+    return MatrixCharacteristics(rows, cols, int(rows * cols * sparsity))
+
+
+@pytest.fixture
+def run_dml(cluster):
+    """Compile and execute a DML snippet on small generated inputs.
+
+    Returns a callable run(source, inputs=..., args=..., resource=...)
+    -> (ExecutionResult, frame-access helper via prints).
+    """
+
+    def _run(source, inputs=None, args=None, resource=None, seed=3,
+             adapter=None, sample_cap=64):
+        local_hdfs = SimulatedHDFS(sample_cap=sample_cap)
+        script_args = dict(args or {})
+        for name, spec in (inputs or {}).items():
+            path = f"data/{name}"
+            if isinstance(spec, np.ndarray):
+                from repro.runtime.matrix import MatrixObject
+
+                obj = MatrixObject.from_sample(spec)
+                local_hdfs.put(path, obj.mc, obj.data)
+            else:
+                rows, cols = spec[:2]
+                sparsity = spec[2] if len(spec) > 2 else 1.0
+                local_hdfs.create_dense_input(
+                    path, rows, cols, sparsity=sparsity, seed=seed
+                )
+            script_args[name] = path
+        resource = resource or ResourceConfig(cp_heap_mb=2048, mr_heap_mb=1024)
+        compiled = compile_program(
+            source, script_args, local_hdfs.input_meta(), resource
+        )
+        interp = Interpreter(
+            cluster, hdfs=local_hdfs, sample_cap=sample_cap, adapter=adapter
+        )
+        result = interp.run(compiled, resource)
+        return result, compiled, local_hdfs
+
+    return _run

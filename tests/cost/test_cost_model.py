@@ -1,0 +1,181 @@
+"""Unit tests for the white-box cost model."""
+
+import pytest
+
+from repro.cluster import ResourceConfig, paper_cluster
+from repro.common import MatrixCharacteristics
+from repro.compiler.pipeline import compile_plans, compile_program
+from repro.cost import CostModel
+from repro.cost.compute_model import operation_flops
+from repro.cost.constants import DEFAULT_PARAMETERS
+from repro.cost import io_model
+
+BIG = {
+    "X": MatrixCharacteristics(10**6, 1000, 10**9),
+    "y": MatrixCharacteristics(10**6, 1, 10**6),
+}
+ARGS = {"X": "X", "y": "y", "B": "B"}
+
+
+@pytest.fixture
+def cost_model():
+    return CostModel(paper_cluster())
+
+
+def estimate(cost_model, source, rc, meta=BIG):
+    compiled = compile_program(source, ARGS, meta, rc)
+    return cost_model.estimate_program(compiled, rc), compiled
+
+
+class TestComputeModel:
+    def test_matmult_flops_scale_with_nnz(self):
+        dense = MatrixCharacteristics(1000, 1000, 10**6)
+        sparse = MatrixCharacteristics(1000, 1000, 10**4)
+        v = MatrixCharacteristics(1000, 1, 1000)
+        out = MatrixCharacteristics(1000, 1, 1000)
+        assert operation_flops("ba+*", out, [dense, v]) > operation_flops(
+            "ba+*", out, [sparse, v]
+        )
+
+    def test_solve_cubic(self):
+        small = MatrixCharacteristics(10, 10, 100)
+        large = MatrixCharacteristics(100, 100, 10000)
+        b = MatrixCharacteristics(100, 1, 100)
+        out = MatrixCharacteristics(100, 1, 100)
+        ratio = operation_flops("solve", out, [large, b]) / operation_flops(
+            "solve", out, [small, b]
+        )
+        assert ratio > 500  # ~cubic
+
+    def test_exp_more_expensive_than_abs(self):
+        mc = MatrixCharacteristics(1000, 1000, 10**6)
+        assert operation_flops("exp", mc, [mc]) > operation_flops(
+            "abs", mc, [mc]
+        )
+
+    def test_scalar_ops_constant(self):
+        mc = MatrixCharacteristics(0, 0, 0)
+        assert operation_flops("nrow", mc, []) == 1.0
+
+
+class TestIOModel:
+    def test_read_time_proportional_to_size(self):
+        params = DEFAULT_PARAMETERS
+        small = MatrixCharacteristics(1000, 10, 10**4)
+        large = MatrixCharacteristics(10**6, 10, 10**7)
+        assert io_model.hdfs_read_time(large, params) > 100 * (
+            io_model.hdfs_read_time(small, params)
+        )
+
+    def test_parallel_read_faster(self):
+        params = DEFAULT_PARAMETERS
+        mc = MatrixCharacteristics(10**6, 100, 10**8)
+        serial = io_model.hdfs_read_time(mc, params, parallelism=1)
+        parallel = io_model.hdfs_read_time(mc, params, parallelism=10)
+        assert parallel == pytest.approx(serial / 10)
+
+    def test_sparse_io_penalty(self):
+        params = DEFAULT_PARAMETERS
+        dense = MatrixCharacteristics(10**5, 100, 10**7)
+        sparse = MatrixCharacteristics(10**5, 100, 10**5)
+        # sparse data is smaller despite the per-byte penalty
+        assert io_model.hdfs_read_time(sparse, params) < (
+            io_model.hdfs_read_time(dense, params)
+        )
+
+    def test_shuffle_scales_with_nodes(self):
+        params = DEFAULT_PARAMETERS
+        t1 = io_model.shuffle_time(10**9, params, 1)
+        t6 = io_model.shuffle_time(10**9, params, 6)
+        assert t6 == pytest.approx(t1 / 6)
+
+
+class TestProgramCosting:
+    def test_invocation_counter(self, cost_model):
+        rc = ResourceConfig(2048, 1024)
+        compiled = compile_program("a = 1", {}, {}, rc)
+        before = cost_model.invocations
+        cost_model.estimate_program(compiled, rc)
+        assert cost_model.invocations == before + 1
+
+    def test_mr_plan_includes_job_latency(self, cost_model):
+        rc = ResourceConfig(512, 2048)
+        cost, _ = estimate(cost_model, "X = read($X)\nZ = t(X) %*% X", rc)
+        assert cost >= DEFAULT_PARAMETERS.mr_job_latency
+
+    def test_cp_plan_dominated_by_read_and_compute(self, cost_model):
+        rc = ResourceConfig(40960, 1024)
+        cost, _ = estimate(
+            cost_model, "X = read($X)\ns = sum(X)\nprint(s)", rc
+        )
+        read_time = io_model.hdfs_read_time(BIG["X"], DEFAULT_PARAMETERS)
+        assert cost == pytest.approx(read_time + 0.5, rel=0.5)
+
+    def test_loop_cold_warm_asymmetry(self, cost_model):
+        """An iterative CP plan reads X once: doubling iterations must
+        NOT double the cost (the read amortizes)."""
+        template = """
+X = read($X)
+v = matrix(1, rows=ncol(X), cols=1)
+i = 0
+for (i in 1:%d) {
+  v = t(X) %%*%% (X %%*%% v)
+}
+"""
+        rc = ResourceConfig(20480, 1024)
+        cost2, _ = estimate(cost_model, template % 2, rc)
+        cost4, _ = estimate(cost_model, template % 4, rc)
+        assert cost4 < 2 * cost2
+
+    def test_branch_costs_weighted(self, cost_model):
+        src = """
+X = read($X)
+m = sum(X)
+if (m > 0) { Z = t(X) %*% X } else { z = 1 }
+"""
+        rc = ResourceConfig(512, 2048)
+        cost, compiled = estimate(cost_model, src, rc)
+        full_src = "X = read($X)\nZ = t(X) %*% X"
+        full_cost, _ = estimate(cost_model, full_src, rc)
+        assert cost < full_cost + 10  # roughly half the tsmm job counted
+
+    def test_provisional_blocks_excluded(self, cost_model):
+        src = """
+X = read($X)
+y = read($y)
+Y = table(seq(1, nrow(X)), y)
+Z = Y * 2
+"""
+        rc = ResourceConfig(512, 512)
+        cost, compiled = estimate(cost_model, src, rc)
+        assert cost == pytest.approx(0.0)
+
+    def test_memory_sensitivity_crossover(self, cost_model):
+        """The Figure 1 CG pattern: iterative scripts get cheaper once X
+        fits the CP budget; DS-style single-pass compute does not."""
+        cg = """
+X = read($X)
+p = matrix(1, rows=ncol(X), cols=1)
+i = 0
+while (i < 5) {
+  p = t(X) %*% (X %*% p) * 0.001
+  i = i + 1
+}
+"""
+        small = ResourceConfig(1024, 2048)
+        large = ResourceConfig(20480, 2048)
+        cost_small, compiled = estimate(cost_model, cg, small)
+        compile_plans(compiled, large)
+        cost_large = cost_model.estimate_program(compiled, large)
+        assert cost_large < cost_small / 2
+
+    def test_export_charged_for_dirty_inputs(self, cost_model):
+        src = """
+X = read($X)
+y = read($y)
+v = y * 2
+q = X %*% v
+"""
+        rc = ResourceConfig(512, 2048)
+        cost, compiled = estimate(cost_model, src, rc)
+        assert cost > DEFAULT_PARAMETERS.mr_job_latency

@@ -1,0 +1,109 @@
+"""Unit tests for cost-state tracking (variable residency/merging)."""
+
+import pytest
+
+from repro.cluster import ResourceConfig, paper_cluster
+from repro.common import FileFormat, MatrixCharacteristics
+from repro.cost.model import CostModel, CostState, VarCostState
+
+
+def state_of(rows=1000, cols=100, in_memory=False, dirty=False):
+    return VarCostState(
+        MatrixCharacteristics(rows, cols, rows * cols), in_memory, dirty
+    )
+
+
+class TestVarCostState:
+    def test_copy_is_deep_for_mc(self):
+        a = state_of()
+        b = a.copy()
+        b.mc.rows = 5
+        assert a.mc.rows == 1000
+
+    def test_default_format(self):
+        assert state_of().fmt is FileFormat.BINARY_BLOCK
+
+
+class TestCostStateMerge:
+    def test_in_memory_requires_both_branches(self):
+        left = CostState({"X": state_of(in_memory=True)})
+        right = CostState({"X": state_of(in_memory=False)})
+        merged = left.merge_with(right)
+        assert not merged["X"].in_memory
+
+    def test_dirty_if_either_branch(self):
+        left = CostState({"X": state_of(dirty=False)})
+        right = CostState({"X": state_of(dirty=True)})
+        merged = left.merge_with(right)
+        assert merged["X"].dirty
+
+    def test_one_sided_variables_kept(self):
+        left = CostState({"X": state_of()})
+        right = CostState({"Y": state_of()})
+        merged = left.merge_with(right)
+        assert set(merged) == {"X", "Y"}
+
+    def test_copy_independent(self):
+        original = CostState({"X": state_of(in_memory=True)})
+        clone = original.copy()
+        clone["X"].in_memory = False
+        assert original["X"].in_memory
+
+
+class TestWorkingSetApproximation:
+    def make_model(self):
+        return CostModel(paper_cluster())
+
+    def test_oversized_output_not_retained(self):
+        from repro.compiler.runtime_prog import CPInstruction, Operand
+
+        model = self.make_model()
+        rc = ResourceConfig(512, 512)  # 358 MB budget
+        state = CostState()
+        big = MatrixCharacteristics(10**6, 100, 10**8)  # 800 MB output
+        ins = CPInstruction(
+            opcode="abs", inputs=[Operand(name="X")], output="_t1",
+            out_mc=big, in_mcs=[big], out_is_matrix=True,
+        )
+        state["X"] = VarCostState(big, in_memory=False, dirty=False)
+        model._cost_cp(ins, rc, state)
+        assert not state["_t1"].in_memory
+
+    def test_working_set_pressure_drops_oldest(self):
+        from repro.compiler.runtime_prog import CPInstruction, Operand
+
+        model = self.make_model()
+        rc = ResourceConfig(1024, 512)  # ~717 MB budget
+        state = CostState()
+        mc = MatrixCharacteristics(10**6, 50, 5 * 10**7)  # 400 MB each
+        for idx in range(3):
+            ins = CPInstruction(
+                opcode="abs", inputs=[Operand(name=f"in{idx}")],
+                output=f"out{idx}", out_mc=mc, in_mcs=[mc],
+                out_is_matrix=True,
+            )
+            state[f"in{idx}"] = VarCostState(mc, in_memory=True, dirty=False)
+            model._cost_cp(ins, rc, state)
+        resident = sum(
+            1 for v in state.values() if v.in_memory
+        )
+        # 6 x 400 MB cannot be resident in a 717 MB budget
+        assert resident <= 2
+
+    def test_rereading_charged_after_drop(self):
+        """A matrix exceeding the budget is re-read on each access."""
+        from repro.compiler.runtime_prog import CPInstruction, Operand
+
+        model = self.make_model()
+        rc = ResourceConfig(512, 512)
+        state = CostState()
+        big = MatrixCharacteristics(10**6, 100, 10**8)
+        state["X"] = VarCostState(big, in_memory=False, dirty=False)
+        ins = CPInstruction(
+            opcode="uamax", inputs=[Operand(name="X")], output="m",
+            out_mc=MatrixCharacteristics(0, 0, 0), in_mcs=[big],
+        )
+        first = model._cost_cp(ins, rc, state)
+        second = model._cost_cp(ins, rc, state)
+        assert first == pytest.approx(second)
+        assert first > 1.0  # dominated by the 800 MB read

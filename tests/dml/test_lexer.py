@@ -1,0 +1,146 @@
+"""Unit tests for the DML tokenizer."""
+
+import pytest
+
+from repro.dml.lexer import Token, tokenize
+from repro.errors import DMLSyntaxError
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source) if t.kind != "EOF"]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source) if t.kind not in ("EOF", "NEWLINE")]
+
+
+class TestBasicTokens:
+    def test_identifier(self):
+        assert texts("abc") == ["abc"]
+        assert kinds("abc") == ["ID"]
+
+    def test_identifier_with_dots_and_underscores(self):
+        assert texts("as.scalar my_var") == ["as.scalar", "my_var"]
+
+    def test_integer_literal(self):
+        tokens = tokenize("42")
+        assert tokens[0].kind == "INT"
+        assert tokens[0].text == "42"
+
+    def test_double_literal(self):
+        assert tokenize("3.14")[0].kind == "DOUBLE"
+
+    def test_double_without_leading_digit(self):
+        assert tokenize(".5")[0].kind == "DOUBLE"
+
+    def test_scientific_notation(self):
+        for text in ("1e9", "1.5e-3", "2E+4"):
+            token = tokenize(text)[0]
+            assert token.kind == "DOUBLE"
+            assert token.text == text
+
+    def test_malformed_exponent_raises(self):
+        with pytest.raises(DMLSyntaxError):
+            tokenize("1e")
+
+    def test_keywords_recognized(self):
+        for kw in ("if", "else", "while", "for", "in", "function",
+                   "return", "TRUE", "FALSE"):
+            assert tokenize(kw)[0].kind == "KEYWORD"
+
+    def test_keyword_prefix_is_identifier(self):
+        assert tokenize("iffy")[0].kind == "ID"
+
+
+class TestOperators:
+    def test_matmult_operator(self):
+        assert texts("A %*% B") == ["A", "%*%", "B"]
+
+    def test_modulo_operators(self):
+        assert texts("a %% b %/% c") == ["a", "%%", "b", "%/%", "c"]
+
+    def test_relational_operators(self):
+        assert texts("a <= b >= c == d != e") == [
+            "a", "<=", "b", ">=", "c", "==", "d", "!=", "e",
+        ]
+
+    def test_maximal_munch_prefers_long_ops(self):
+        # '<=' must not tokenize as '<' '='
+        tokens = texts("a<=b")
+        assert "<=" in tokens
+
+    def test_boolean_operators(self):
+        assert texts("a & b | !c") == ["a", "&", "b", "|", "!", "c"]
+
+    def test_double_boolean_operators(self):
+        assert texts("a && b || c") == ["a", "&&", "b", "||", "c"]
+
+    def test_arrow_assignment(self):
+        assert "<-" in texts("x <- 5")
+
+
+class TestStringsAndComments:
+    def test_double_quoted_string(self):
+        token = tokenize('"hello world"')[0]
+        assert token.kind == "STRING"
+        assert token.text == "hello world"
+
+    def test_single_quoted_string(self):
+        assert tokenize("'abc'")[0].text == "abc"
+
+    def test_escape_sequences(self):
+        assert tokenize(r'"a\nb"')[0].text == "a\nb"
+        assert tokenize(r'"a\"b"')[0].text == 'a"b'
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(DMLSyntaxError):
+            tokenize('"unterminated')
+
+    def test_string_across_newline_raises(self):
+        with pytest.raises(DMLSyntaxError):
+            tokenize('"multi\nline"')
+
+    def test_comment_skipped(self):
+        assert texts("a = 1 # a comment\nb = 2") == [
+            "a", "=", "1", "b", "=", "2",
+        ]
+
+    def test_comment_only_line(self):
+        assert texts("# nothing here") == []
+
+
+class TestPositions:
+    def test_line_numbers(self):
+        tokens = tokenize("a = 1\nb = 2")
+        b_token = [t for t in tokens if t.text == "b"][0]
+        assert b_token.line == 2
+
+    def test_column_numbers(self):
+        tokens = tokenize("ab = cd")
+        cd_token = [t for t in tokens if t.text == "cd"][0]
+        assert cd_token.column == 6
+
+    def test_error_carries_position(self):
+        with pytest.raises(DMLSyntaxError) as exc:
+            tokenize("a = @")
+        assert exc.value.line == 1
+        assert exc.value.column == 5
+
+
+class TestStructure:
+    def test_newline_tokens_emitted(self):
+        assert kinds("a\nb") == ["ID", "NEWLINE", "ID"]
+
+    def test_always_ends_with_eof(self):
+        assert tokenize("")[-1].kind == "EOF"
+        assert tokenize("x")[-1].kind == "EOF"
+
+    def test_cmdline_arg_tokens(self):
+        assert texts("$X") == ["$", "X"]
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(DMLSyntaxError):
+            tokenize("a ~ b")
+
+    def test_token_repr(self):
+        assert "ID" in repr(Token("ID", "x", 1, 1))

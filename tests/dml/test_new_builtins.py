@@ -1,0 +1,117 @@
+"""Tests for the cumsum and removeEmpty builtins."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ResourceConfig, paper_cluster
+from repro.common import MatrixCharacteristics
+from repro.compiler import compile_program
+from repro.errors import CompilerError
+from repro.runtime import Interpreter, SimulatedHDFS
+from repro.runtime.kernels import execute_kernel
+from repro.runtime.matrix import MatrixObject
+
+
+def run_src(src, data, cp_mb=2048):
+    hdfs = SimulatedHDFS(sample_cap=32)
+    obj = MatrixObject.from_sample(np.asarray(data, dtype=float))
+    hdfs.put("X", obj.mc, obj.data)
+    rc = ResourceConfig(cp_mb, 512)
+    compiled = compile_program(src, {"X": "X"}, hdfs.input_meta(), rc)
+    interp = Interpreter(paper_cluster(), hdfs=hdfs, sample_cap=32)
+    return interp.run(compiled, rc), compiled, hdfs
+
+
+class TestCumsum:
+    def test_column_wise_prefix_sums(self):
+        _, data, mc = execute_kernel(
+            "ucumk+", [MatrixObject.from_sample(np.ones((4, 2)))]
+        )
+        assert data[:, 0].tolist() == [1, 2, 3, 4]
+        assert (mc.rows, mc.cols) == (4, 2)
+
+    def test_in_script(self):
+        result, _, _ = run_src(
+            "X = read($X)\nc = cumsum(X)\nprint(as.scalar(c[3, 1]))",
+            [[1.0], [2.0], [3.0]],
+        )
+        assert result.prints == ["6.0"]
+
+    def test_size_propagation_keeps_dims(self):
+        src = "X = read($X)\nc = cumsum(X)\nprint(nrow(c) + ncol(c))"
+        result, compiled, _ = run_src(src, np.ones((5, 3)))
+        assert result.prints == ["8"]
+        assert not any(
+            b.requires_recompile for b in compiled.last_level_blocks()
+        )
+
+
+class TestRemoveEmpty:
+    def test_rows_margin(self):
+        data = [[0, 0], [1, 2], [0, 0], [3, 0]]
+        result, _, _ = run_src(
+            'X = read($X)\nZ = removeEmpty(target=X, margin="rows")\n'
+            "print(nrow(Z))",
+            data,
+        )
+        assert result.prints == ["2"]
+
+    def test_cols_margin(self):
+        data = [[0, 1, 0], [0, 2, 0]]
+        result, _, _ = run_src(
+            'X = read($X)\nZ = removeEmpty(target=X, margin="cols")\n'
+            "print(ncol(Z))",
+            data,
+        )
+        assert result.prints == ["1"]
+
+    def test_all_empty_keeps_one(self):
+        result, _, _ = run_src(
+            'X = read($X)\nZ = removeEmpty(target=X, margin="rows")\n'
+            "print(nrow(Z))",
+            np.zeros((4, 2)),
+        )
+        assert int(result.prints[0]) >= 1
+
+    def test_output_size_unknown_at_compile_time(self):
+        src = 'X = read($X)\nZ = removeEmpty(target=X, margin="rows")'
+        compiled = compile_program(
+            src, {"X": "X"}, {"X": MatrixCharacteristics(100, 10, 500)},
+            ResourceConfig(512, 512),
+        )
+        assert any(
+            b.requires_recompile for b in compiled.last_level_blocks()
+        )
+
+    def test_invalid_margin_rejected(self):
+        with pytest.raises(CompilerError):
+            compile_program(
+                'X = read($X)\nZ = removeEmpty(target=X, margin="diag")',
+                {"X": "X"}, {"X": MatrixCharacteristics(4, 4, 16)},
+            )
+
+    def test_missing_target_rejected(self):
+        with pytest.raises(CompilerError):
+            compile_program(
+                'Z = removeEmpty(margin="rows")', {}, {},
+            )
+
+    def test_logical_scaling(self):
+        """The compacted logical dimension scales by the sample's
+        non-empty fraction."""
+        rng = np.random.default_rng(0)
+        sample = rng.random((32, 4))
+        sample[::2] = 0.0  # half the rows empty
+        hdfs = SimulatedHDFS(sample_cap=32)
+        obj = MatrixObject.from_sample(sample, logical_rows=10**6)
+        hdfs.put("X", obj.mc, obj.data)
+        rc = ResourceConfig(2048, 512)
+        compiled = compile_program(
+            'X = read($X)\nZ = removeEmpty(target=X, margin="rows")\n'
+            "print(nrow(Z))",
+            {"X": "X"}, hdfs.input_meta(), rc,
+        )
+        result = Interpreter(paper_cluster(), hdfs=hdfs, sample_cap=32).run(
+            compiled, rc
+        )
+        assert int(result.prints[0]) == 500000

@@ -1,0 +1,268 @@
+"""Unit tests for the DML parser."""
+
+import pytest
+
+from repro.dml import ast, parse
+from repro.errors import DMLSyntaxError
+
+
+def parse_expr(text):
+    program = parse(f"x = {text}")
+    return program.statements[0].expr
+
+
+class TestExpressions:
+    def test_literal_types(self):
+        assert parse_expr("42").vtype == "int"
+        assert parse_expr("4.2").vtype == "double"
+        assert parse_expr('"s"').vtype == "string"
+        assert parse_expr("TRUE").value is True
+
+    def test_negative_literal_folded(self):
+        expr = parse_expr("-3")
+        assert isinstance(expr, ast.Literal)
+        assert expr.value == -3
+
+    def test_addition_left_associative(self):
+        expr = parse_expr("a + b + c")
+        assert expr.op == "+"
+        assert expr.left.op == "+"
+
+    def test_multiplication_binds_tighter_than_addition(self):
+        expr = parse_expr("a + b * c")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_matmult_binds_tighter_than_elementwise(self):
+        expr = parse_expr("a * X %*% v")
+        assert expr.op == "*"
+        assert expr.right.op == "%*%"
+
+    def test_power_binds_tightest(self):
+        expr = parse_expr("a * b ^ 2")
+        assert expr.op == "*"
+        assert expr.right.op == "^"
+
+    def test_power_right_associative(self):
+        expr = parse_expr("a ^ b ^ c")
+        assert expr.op == "^"
+        assert expr.right.op == "^"
+
+    def test_unary_minus_on_expression(self):
+        expr = parse_expr("-(a + b)")
+        assert isinstance(expr, ast.UnaryExpr)
+        assert expr.op == "-"
+
+    def test_relational_lower_than_arithmetic(self):
+        expr = parse_expr("a + b < c * d")
+        assert expr.op == "<"
+
+    def test_boolean_precedence(self):
+        expr = parse_expr("a < b & c > d | e == f")
+        assert expr.op == "|"
+        assert expr.left.op == "&"
+
+    def test_not_operator(self):
+        expr = parse_expr("!converged")
+        assert isinstance(expr, ast.UnaryExpr)
+        assert expr.op == "!"
+
+    def test_parenthesized_grouping(self):
+        expr = parse_expr("(a + b) * c")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_command_line_arg(self):
+        expr = parse_expr("$X")
+        assert isinstance(expr, ast.CommandLineArg)
+        assert expr.name == "X"
+
+
+class TestFunctionCalls:
+    def test_positional_args(self):
+        expr = parse_expr("solve(A, b)")
+        assert expr.name == "solve"
+        assert len(expr.args) == 2
+
+    def test_named_args(self):
+        expr = parse_expr("matrix(0, rows=10, cols=2)")
+        assert len(expr.args) == 1
+        assert set(expr.named_args) == {"rows", "cols"}
+
+    def test_positional_after_named_raises(self):
+        with pytest.raises(DMLSyntaxError):
+            parse("x = matrix(rows=10, 0)")
+
+    def test_nested_calls(self):
+        expr = parse_expr("sum(exp(X))")
+        assert expr.name == "sum"
+        assert expr.args[0].name == "exp"
+
+    def test_no_arg_call(self):
+        expr = parse_expr("rand()")
+        assert expr.args == []
+
+
+class TestIndexing:
+    def test_full_column_range(self):
+        expr = parse_expr("X[, 1:3]")
+        assert isinstance(expr, ast.IndexingExpr)
+        assert expr.row_range.is_all
+        assert expr.col_range.is_range
+
+    def test_single_cell(self):
+        expr = parse_expr("X[i, j]")
+        assert not expr.row_range.is_range
+        assert not expr.col_range.is_range
+
+    def test_row_range_only(self):
+        expr = parse_expr("X[1:5, ]")
+        assert expr.row_range.is_range
+        assert expr.col_range.is_all
+
+    def test_open_ended_range(self):
+        expr = parse_expr("X[2:, ]")
+        assert expr.row_range.lower is not None
+        assert expr.row_range.upper is None
+
+    def test_indexing_binds_postfix(self):
+        expr = parse_expr("t(X)[1, ]")
+        assert isinstance(expr, ast.IndexingExpr)
+        assert expr.target.name == "t"
+
+
+class TestStatements:
+    def test_assignment(self):
+        program = parse("x = 5")
+        stmt = program.statements[0]
+        assert isinstance(stmt, ast.Assignment)
+        assert stmt.target == "x"
+
+    def test_arrow_assignment(self):
+        stmt = parse("x <- 5").statements[0]
+        assert stmt.target == "x"
+
+    def test_semicolon_separated(self):
+        program = parse("a = 1; b = 2")
+        assert len(program.statements) == 2
+
+    def test_left_indexing_assignment(self):
+        stmt = parse("X[1:2, ] = Y").statements[0]
+        assert stmt.is_left_indexing
+
+    def test_multi_assignment(self):
+        prog = parse("""
+f = function(Matrix[double] A) return (Matrix[double] B, double c) {
+  B = A
+  c = 1
+}
+[P, q] = f(X)
+""")
+        stmt = prog.statements[0]
+        assert isinstance(stmt, ast.MultiAssignment)
+        assert stmt.targets == ["P", "q"]
+
+    def test_print_statement(self):
+        stmt = parse('print("hi")').statements[0]
+        assert isinstance(stmt, ast.ExprStatement)
+
+    def test_if_else(self):
+        stmt = parse("if (a > 0) { b = 1 } else { b = 2 }").statements[0]
+        assert isinstance(stmt, ast.IfStatement)
+        assert len(stmt.body) == 1
+        assert len(stmt.else_body) == 1
+
+    def test_if_without_braces(self):
+        stmt = parse("if (a > 0) b = 1").statements[0]
+        assert isinstance(stmt, ast.IfStatement)
+        assert len(stmt.body) == 1
+
+    def test_else_if_chain(self):
+        stmt = parse(
+            "if (a == 1) { b = 1 } else { if (a == 2) { b = 2 } }"
+        ).statements[0]
+        assert isinstance(stmt.else_body[0], ast.IfStatement)
+
+    def test_else_on_next_line(self):
+        source = "if (a > 0) {\n  b = 1\n}\nelse {\n  b = 2\n}"
+        stmt = parse(source).statements[0]
+        assert len(stmt.else_body) == 1
+
+    def test_while_loop(self):
+        stmt = parse("while (i < 10) { i = i + 1 }").statements[0]
+        assert isinstance(stmt, ast.WhileStatement)
+
+    def test_for_loop(self):
+        stmt = parse("for (i in 1:10) { s = s + i }").statements[0]
+        assert isinstance(stmt, ast.ForStatement)
+        assert stmt.var == "i"
+
+    def test_for_loop_with_seq(self):
+        stmt = parse("for (i in seq(1, 9, 2)) { s = s + i }").statements[0]
+        assert stmt.increment is not None
+
+    def test_parfor_parsed_as_for(self):
+        stmt = parse("parfor (i in 1:3) { s = i }").statements[0]
+        assert isinstance(stmt, ast.ForStatement)
+
+    def test_multiline_expression_in_parens(self):
+        program = parse("x = (a +\n  b)")
+        assert program.statements[0].expr.op == "+"
+
+    def test_trailing_operator_continues_line(self):
+        program = parse("x = a +\n b")
+        assert program.statements[0].expr.op == "+"
+
+
+class TestFunctions:
+    def test_function_definition(self):
+        prog = parse("""
+f = function(Matrix[double] X, double s = 0.5) return (Matrix[double] Y) {
+  Y = X * s
+}
+""")
+        func = prog.functions["f"]
+        assert [p.name for p in func.inputs] == ["X", "s"]
+        assert func.inputs[1].default is not None
+        assert func.outputs[0].data_type == "matrix"
+
+    def test_scalar_param_types(self):
+        prog = parse("""
+g = function(int n, boolean flag, string s) return (double out) {
+  out = n
+}
+""")
+        types = [(p.data_type, p.value_type) for p in prog.functions["g"].inputs]
+        assert types == [
+            ("scalar", "int"), ("scalar", "boolean"), ("scalar", "string"),
+        ]
+
+    def test_duplicate_function_raises(self):
+        source = """
+f = function(double x) return (double y) { y = x }
+f = function(double x) return (double y) { y = x }
+"""
+        with pytest.raises(DMLSyntaxError):
+            parse(source)
+
+    def test_unknown_param_type_raises(self):
+        with pytest.raises(DMLSyntaxError):
+            parse("f = function(frame F) return (double y) { y = 1 }")
+
+
+class TestErrors:
+    def test_unterminated_block(self):
+        with pytest.raises(DMLSyntaxError):
+            parse("while (a) { b = 1")
+
+    def test_missing_assignment_operator(self):
+        with pytest.raises(DMLSyntaxError):
+            parse("x 5")
+
+    def test_unexpected_token_in_expression(self):
+        with pytest.raises(DMLSyntaxError):
+            parse("x = *")
+
+    def test_keyword_as_statement(self):
+        with pytest.raises(DMLSyntaxError):
+            parse("else { x = 1 }")

@@ -1,0 +1,117 @@
+"""Round-trip tests for the DML pretty-printer."""
+
+import dataclasses
+
+import pytest
+
+from repro.dml import ast, parse
+from repro.dml.printer import print_expr, print_program
+from repro.scripts import SCRIPTS, load_script
+
+
+def ast_equal(a, b):
+    """Structural AST equality ignoring source positions."""
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, (list, tuple)):
+        return len(a) == len(b) and all(
+            ast_equal(x, y) for x, y in zip(a, b)
+        )
+    if isinstance(a, dict):
+        return set(a) == set(b) and all(ast_equal(a[k], b[k]) for k in a)
+    if dataclasses.is_dataclass(a):
+        for f in dataclasses.fields(a):
+            if f.name == "line":
+                continue
+            if not ast_equal(getattr(a, f.name), getattr(b, f.name)):
+                return False
+        return True
+    return a == b
+
+
+def round_trip(source):
+    first = parse(source)
+    printed = print_program(first)
+    second = parse(printed)
+    assert ast_equal(first, second), printed
+    return printed
+
+
+class TestExpressions:
+    def test_precedence_preserved(self):
+        cases = [
+            "x = a + b * c",
+            "x = (a + b) * c",
+            "x = a - b - c",
+            "x = a / (b / c)",
+            "x = a ^ b ^ c",
+            "x = (a ^ b) ^ c",
+            "x = -(a + b)",
+            "x = !p & q | r",
+            "x = a %*% b + c",
+            "x = (a < b) == (c > d)",
+        ]
+        for case in cases:
+            round_trip(case)
+
+    def test_literals(self):
+        round_trip('x = 1\ny = 2.5\nz = "hi \\"there\\""\nw = TRUE')
+
+    def test_calls_and_indexing(self):
+        round_trip("x = solve(t(A) %*% A, t(A) %*% b)")
+        round_trip("x = matrix(0, rows=n, cols=k)[1:3, ]")
+        round_trip("x = X[, i]")
+        round_trip("x = X[2:, 1:k]")
+
+    def test_cmdline_args(self):
+        round_trip("x = read($X)\ny = ifdef($tol, 0.001)")
+
+
+class TestStatements:
+    def test_control_flow(self):
+        round_trip("""
+if (a > 0) {
+  b = 1
+} else {
+  if (a < 0) { b = 2 } else { b = 3 }
+}
+while (b < 10) { b = b + 1 }
+for (i in 1:5) { s = s + i }
+parfor (i in seq(1, 9, 2)) { s = s + i }
+""")
+
+    def test_left_indexing_and_multi_assign(self):
+        round_trip("""
+f = function(double a) return (double b, double c) {
+  b = a
+  c = a * 2
+}
+X = matrix(0, rows=3, cols=3)
+X[1:2, ] = matrix(1, rows=2, cols=3)
+[p, q] = f(4)
+""")
+
+    def test_functions_with_defaults(self):
+        round_trip("""
+g = function(Matrix[double] X, double reg = 0.01, int k = 5)
+    return (Matrix[double] Y) {
+  Y = X * reg + k
+}
+Z = g(matrix(1, rows=2, cols=2))
+""")
+
+
+class TestBundledScripts:
+    @pytest.mark.parametrize("name", sorted(SCRIPTS))
+    def test_all_scripts_round_trip(self, name):
+        round_trip(load_script(name))
+
+
+class TestPrintExpr:
+    def test_matmult_parenthesization(self):
+        expr = parse("x = a * (b + c)").statements[0].expr
+        assert print_expr(expr) == "a * (b + c)"
+
+    def test_no_spurious_parens_at_top(self):
+        expr = parse("x = a + b").statements[0].expr
+        assert print_expr(expr) == "a + b"

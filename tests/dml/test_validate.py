@@ -1,0 +1,140 @@
+"""Unit tests for semantic validation."""
+
+import pytest
+
+from repro.common import DataType
+from repro.dml import parse, validate
+from repro.errors import ValidationError
+
+
+def check(source, args=None):
+    return validate(parse(source), args)
+
+
+class TestVariableDefinition:
+    def test_use_before_definition_raises(self):
+        with pytest.raises(ValidationError):
+            check("y = x + 1")
+
+    def test_definition_then_use(self):
+        result = check("x = 1\ny = x + 1")
+        assert result.variable_types["y"] is DataType.SCALAR
+
+    def test_conditional_definition_accepted(self):
+        # DML permissively accepts vars assigned in only one branch
+        result = check("a = 1\nif (a > 0) { b = 2 }\nc = b")
+        assert "c" in result.variable_types
+
+    def test_loop_body_can_read_loop_carried_var(self):
+        check("x = 0\nwhile (x < 3) { x = x + 1 }")
+
+    def test_for_variable_visible_in_body(self):
+        check("s = 0\nfor (i in 1:3) { s = s + i }")
+
+    def test_undefined_in_function_body_raises(self):
+        source = """
+f = function(double a) return (double b) { b = a + missing }
+"""
+        with pytest.raises(ValidationError):
+            check(source)
+
+    def test_function_params_are_defined(self):
+        check("""
+f = function(Matrix[double] X) return (double s) { s = sum(X) }
+""")
+
+    def test_missing_function_output_raises(self):
+        with pytest.raises(ValidationError):
+            check("f = function(double a) return (double b) { c = a }")
+
+
+class TestTypes:
+    def test_matmult_requires_matrices(self):
+        with pytest.raises(ValidationError):
+            check("a = 1\nb = 2\nc = a %*% b")
+
+    def test_matrix_scalar_arithmetic_is_matrix(self):
+        result = check("X = rand(rows=3, cols=3)\nY = X * 2")
+        assert result.variable_types["Y"] is DataType.MATRIX
+
+    def test_aggregate_is_scalar(self):
+        result = check("X = rand(rows=3, cols=3)\ns = sum(X)")
+        assert result.variable_types["s"] is DataType.SCALAR
+
+    def test_matrix_predicate_raises(self):
+        with pytest.raises(ValidationError):
+            check("X = rand(rows=3, cols=3)\nif (X) { y = 1 }")
+
+    def test_indexing_non_matrix_raises(self):
+        with pytest.raises(ValidationError):
+            check("a = 1\nb = a[1, 1]")
+
+    def test_left_indexing_undefined_target_raises(self):
+        with pytest.raises(ValidationError):
+            check("X[1, 1] = 5")
+
+    def test_left_indexing_scalar_target_raises(self):
+        with pytest.raises(ValidationError):
+            check("a = 1\na[1, 1] = 5")
+
+    def test_matrix_index_bound_raises(self):
+        with pytest.raises(ValidationError):
+            check("X = rand(rows=3, cols=3)\nY = X[X, 1]")
+
+
+class TestCalls:
+    def test_unknown_function_raises(self):
+        with pytest.raises(ValidationError):
+            check("y = nosuchfn(1)")
+
+    def test_builtin_arity_too_few(self):
+        with pytest.raises(ValidationError):
+            check("y = solve(1)")
+
+    def test_builtin_arity_too_many(self):
+        with pytest.raises(ValidationError):
+            check("X = rand(rows=2, cols=2)\ny = t(X, X)")
+
+    def test_unknown_named_arg_raises(self):
+        with pytest.raises(ValidationError):
+            check("X = matrix(0, rows=2, cols=2, depth=3)")
+
+    def test_udf_wrong_arity_raises(self):
+        source = """
+f = function(double a, double b) return (double c) { c = a + b }
+y = f(1)
+"""
+        with pytest.raises(ValidationError):
+            check(source)
+
+    def test_udf_unknown_named_arg_raises(self):
+        source = """
+f = function(double a) return (double c) { c = a }
+y = f(b=1)
+"""
+        with pytest.raises(ValidationError):
+            check(source)
+
+    def test_multi_assignment_count_mismatch_raises(self):
+        source = """
+f = function(double a) return (double b, double c) { b = a; c = a }
+[x] = f(1)
+"""
+        with pytest.raises(ValidationError):
+            check(source)
+
+    def test_multi_output_in_expression_raises(self):
+        source = """
+f = function(double a) return (double b, double c) { b = a; c = a }
+x = f(1) + 1
+"""
+        with pytest.raises(ValidationError):
+            check(source)
+
+    def test_ifdef_requires_dollar_arg(self):
+        with pytest.raises(ValidationError):
+            check("a = 1\nb = ifdef(a, 2)")
+
+    def test_cmdline_args_collected(self):
+        result = check("X = read($X)\nout = ifdef($tol, 0.1)")
+        assert result.cmdline_args == {"X", "tol"}

@@ -1,0 +1,150 @@
+"""Integration tests: the paper's end-to-end behaviours.
+
+These assert the *shape* claims of the evaluation section on scaled
+scenarios: Opt tracks the best static baseline, avoids over-provisioning,
+runtime adaptation rescues unknown-ridden programs, and throughput
+scales with right-sized containers.
+"""
+
+import pytest
+
+from repro import ElasticMLSession
+from repro.cluster import paper_cluster
+from repro.cluster.events import simulate_throughput
+from repro.compiler import compile_program
+from repro.optimizer import ResourceAdapter, ResourceOptimizer
+from repro.runtime import Interpreter, SimulatedHDFS
+from repro.scripts import load_script
+from repro.workloads import paper_baselines, prepare_inputs, scenario
+
+
+def run_modes(script, scn, modes=("baselines", "opt"), adapt=False,
+              glm_family=2):
+    """Execute a script under all baselines and/or the optimizer."""
+    cluster = paper_cluster()
+    times = {}
+    resources = {}
+
+    def execute(rc, adapter=None, compiled=None, hdfs=None):
+        if compiled is None:
+            hdfs = SimulatedHDFS(sample_cap=64)
+            args = prepare_inputs(hdfs, script, scn, glm_family=glm_family)
+            compiled = compile_program(load_script(script), args,
+                                       hdfs.input_meta())
+        interp = Interpreter(cluster, hdfs=hdfs, sample_cap=64,
+                             adapter=adapter)
+        return interp.run(compiled, rc)
+
+    if "baselines" in modes:
+        for name, rc in paper_baselines(cluster).items():
+            times[name] = execute(rc).total_time
+            resources[name] = rc
+    if "opt" in modes:
+        hdfs = SimulatedHDFS(sample_cap=64)
+        args = prepare_inputs(hdfs, script, scn, glm_family=glm_family)
+        compiled = compile_program(load_script(script), args,
+                                   hdfs.input_meta())
+        opt = ResourceOptimizer(cluster).optimize(compiled)
+        adapter = (
+            ResourceAdapter(ResourceOptimizer(cluster)) if adapt else None
+        )
+        # reuse the optimized program: per-block MR entries reference
+        # its block ids
+        result = execute(opt.resource, adapter, compiled, hdfs)
+        times["Opt"] = result.total_time
+        resources["Opt"] = opt.resource
+        times["_result"] = result
+    return times, resources
+
+
+class TestEndToEndBaselines:
+    @pytest.mark.parametrize("script", ["LinregDS", "LinregCG", "L2SVM"])
+    def test_opt_tracks_best_baseline_on_M(self, script):
+        """Figures 7-9: Opt achieves execution time close to the best
+        baseline (within 25%) on scenario M dense1000."""
+        times, _ = run_modes(script, scenario("M"))
+        best = min(v for k, v in times.items() if k.startswith("B-"))
+        assert times["Opt"] <= best * 1.25
+
+    def test_opt_avoids_over_provisioning(self):
+        """Opt requests far less memory than B-LL while staying
+        competitive (the Section 5.3 motivation)."""
+        times, resources = run_modes("LinregCG", scenario("S"))
+        bll_total = resources["B-LL"].cp_heap_mb
+        assert resources["Opt"].cp_heap_mb < bll_total / 4
+
+    def test_different_baselines_win_on_different_scripts(self):
+        """The core motivation (Figure 1): no static configuration is
+        best for both DS (distributed) and CG (in-memory)."""
+        ds_times, _ = run_modes("LinregDS", scenario("M"))
+        cg_times, _ = run_modes("LinregCG", scenario("M"))
+
+        def best_baseline(times):
+            candidates = {k: v for k, v in times.items() if k.startswith("B-")}
+            return min(candidates, key=candidates.get)
+
+        ds_best = best_baseline(ds_times)
+        cg_best = best_baseline(cg_times)
+        # DS prefers small CP, CG prefers large CP
+        assert ds_best in ("B-SS", "B-SL")
+        assert cg_best in ("B-LS", "B-LL")
+
+    def test_sparse_prefers_in_memory(self):
+        """Figure 7(b)/(d): sparse scenarios execute in memory even at
+        moderate CP sizes — Opt picks a small-but-sufficient CP."""
+        times, resources = run_modes("LinregDS", scenario("M", sparse=True))
+        assert times["Opt"] <= min(
+            v for k, v in times.items() if k.startswith("B-")
+        ) * 1.3
+
+
+class TestRuntimeAdaptation:
+    def test_mlogreg_rescued_by_adaptation(self):
+        """Figure 15: with unknowns, Opt alone is far from the best
+        baseline; ReOpt with <= 2 migrations comes close."""
+        no_adapt, _ = run_modes("MLogreg", scenario("M"), modes=("opt",))
+        with_adapt, _ = run_modes(
+            "MLogreg", scenario("M"), modes=("opt",), adapt=True
+        )
+        result = with_adapt["_result"]
+        assert result.migrations in (1, 2)
+        assert with_adapt["Opt"] < no_adapt["Opt"] * 0.7
+
+    def test_adaptation_no_regression_when_not_needed(self):
+        """Figure 15(a): no negative impact on cases where no
+        adaptation is required."""
+        no_adapt, _ = run_modes("LinregCG", scenario("S"), modes=("opt",))
+        with_adapt, _ = run_modes(
+            "LinregCG", scenario("S"), modes=("opt",), adapt=True
+        )
+        assert with_adapt["_result"].migrations == 0
+        assert with_adapt["Opt"] == pytest.approx(no_adapt["Opt"], rel=0.05)
+
+
+class TestThroughputIntegration:
+    def test_opt_throughput_beats_bll(self):
+        """Figure 12 shape: right-sized Opt containers admit 6x more
+        parallel applications than B-LL."""
+        cluster = paper_cluster()
+        opt_out = simulate_throughput(
+            cluster, 64, 8, app_duration=30.0,
+            container_mb=cluster.container_mb_for_heap(8192),
+        )
+        bll_out = simulate_throughput(
+            cluster, 64, 8, app_duration=30.0,
+            container_mb=cluster.max_allocation_mb,
+        )
+        assert opt_out.max_concurrency == 36
+        assert bll_out.max_concurrency == 6
+        assert opt_out.apps_per_minute > 5 * bll_out.apps_per_minute
+
+
+class TestSessionLevel:
+    def test_full_pipeline_produces_model(self):
+        session = ElasticMLSession(sample_cap=64)
+        args = prepare_inputs(
+            session.hdfs, "L2SVM", scenario("S", cols=100)
+        )
+        outcome = session.run_registered("L2SVM", args)
+        assert session.hdfs.exists(args["model"])
+        assert outcome.result.total_time > 0

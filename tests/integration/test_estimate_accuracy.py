@@ -1,0 +1,94 @@
+"""Estimate-vs-actual consistency: for programs whose sizes are fully
+known at compile time, the optimizer's what-if estimate and the runtime
+simulator must agree closely — they share the component models and only
+diverge through buffer-pool effects and loop-iteration defaults.
+"""
+
+import pytest
+
+from repro.cluster import ResourceConfig, paper_cluster
+from repro.compiler import compile_program
+from repro.compiler.pipeline import compile_plans
+from repro.cost import CostModel
+from repro.runtime import Interpreter, SimulatedHDFS
+from repro.scripts import load_script
+from repro.workloads import paper_baselines, prepare_inputs, scenario
+
+
+def estimate_and_actual(script, scn, rc, startup=12.0):
+    cluster = paper_cluster()
+    hdfs = SimulatedHDFS(sample_cap=128)
+    args = prepare_inputs(hdfs, script, scn)
+    compiled = compile_program(load_script(script), args, hdfs.input_meta(),
+                               rc)
+    estimate = CostModel(cluster).estimate_program(compiled, rc)
+    result = Interpreter(cluster, hdfs=hdfs, sample_cap=128).run(compiled, rc)
+    # the estimate excludes AM startup; compare against the rest
+    actual = result.total_time - result.breakdown.get("startup", 0.0)
+    return estimate, actual, result
+
+
+class TestKnownSizePrograms:
+    @pytest.mark.parametrize("cp_mb,mr_mb", [(512, 2048), (20480, 2048)])
+    def test_linreg_ds_estimate_close(self, cp_mb, mr_mb):
+        estimate, actual, _ = estimate_and_actual(
+            "LinregDS", scenario("M"), ResourceConfig(cp_mb, mr_mb)
+        )
+        assert estimate == pytest.approx(actual, rel=0.35)
+
+    def test_linreg_cg_large_cp_close(self):
+        # fully in-memory plan, 5 actual iterations vs the default 10
+        # assumed by the estimate: actual must be bounded by the estimate
+        estimate, actual, result = estimate_and_actual(
+            "LinregCG", scenario("M"), ResourceConfig(20480, 2048)
+        )
+        assert result.mr_jobs == 0
+        assert actual <= estimate * 1.1
+
+    def test_l2svm_small_scenario(self):
+        estimate, actual, _ = estimate_and_actual(
+            "L2SVM", scenario("S"), ResourceConfig(8192, 1024)
+        )
+        # iterative script: estimate assumes 10 outer iterations, the
+        # script converges in <= 5 -> estimate is an upper bound
+        assert actual <= estimate * 1.2
+
+    def test_estimates_rank_configurations_correctly(self):
+        """Even when absolute estimates drift, their *ordering* across
+        configurations must match the runtime's ordering — that is all
+        the optimizer needs."""
+        scn = scenario("M")
+        cluster = paper_cluster()
+        configs = [
+            ResourceConfig(512, 2048),
+            ResourceConfig(20480, 2048),
+        ]
+        estimates = []
+        actuals = []
+        for rc in configs:
+            estimate, actual, _ = estimate_and_actual("LinregCG", scn, rc)
+            estimates.append(estimate)
+            actuals.append(actual)
+        assert (estimates[0] > estimates[1]) == (actuals[0] > actuals[1])
+
+
+class TestDivergenceSources:
+    def test_unknown_programs_underestimated(self):
+        """With unknowns the initial estimate is meaningless (provisional
+        blocks excluded): actual exceeds it — the gap runtime
+        adaptation exists to close."""
+        estimate, actual, result = estimate_and_actual(
+            "MLogreg", scenario("M"), ResourceConfig(512, 2048)
+        )
+        assert estimate < actual
+
+    def test_eviction_gap_on_small_heap(self):
+        """Buffer-pool evictions are charged at runtime but only
+        approximated in the estimate: under memory pressure the actual
+        exceeds the estimate."""
+        estimate, actual, result = estimate_and_actual(
+            "L2SVM", scenario("M", cols=100, sparse=True),
+            ResourceConfig(4096, 512),
+        )
+        if result.evictions:
+            assert actual > estimate

@@ -1,0 +1,78 @@
+"""Unit tests for runtime resource adaptation (Section 4)."""
+
+import pytest
+
+from repro.cluster import ResourceConfig, paper_cluster
+from repro.compiler.pipeline import compile_program
+from repro.optimizer import ResourceAdapter, ResourceOptimizer
+from repro.runtime import Interpreter, SimulatedHDFS
+
+MLOGREG_LIKE = """
+X = read($X)
+y = read($y)
+Y = table(seq(1, nrow(X)), y)
+B = matrix(0, rows=ncol(X), cols=ncol(Y))
+i = 0
+while (i < 3) {
+  P = exp(X %*% B)
+  P = P / rowSums(P)
+  B = B - 0.1 * (t(X) %*% (P - Y))
+  i = i + 1
+}
+write(B, $B, format="binary")
+"""
+
+
+@pytest.fixture
+def cluster():
+    return paper_cluster()
+
+
+def run_with_adaptation(cluster, resource, adapt=True, rows=10**6,
+                        cols=1000):
+    hdfs = SimulatedHDFS(sample_cap=64)
+    hdfs.create_dense_input("X", rows, cols, seed=1)
+    hdfs.create_label_input("y", rows, num_classes=3, seed=2)
+    args = {"X": "X", "y": "y", "B": "B"}
+    compiled = compile_program(MLOGREG_LIKE, args, hdfs.input_meta())
+    adapter = (
+        ResourceAdapter(ResourceOptimizer(cluster)) if adapt else None
+    )
+    interp = Interpreter(cluster, hdfs=hdfs, sample_cap=64, adapter=adapter)
+    return interp.run(compiled, resource)
+
+
+class TestAdaptation:
+    def test_migration_extends_cp_memory(self, cluster):
+        start = ResourceConfig(512, 512)
+        result = run_with_adaptation(cluster, start)
+        assert result.migrations >= 1
+        assert result.final_resource.cp_heap_mb > 512
+
+    def test_adaptation_improves_over_static(self, cluster):
+        start = ResourceConfig(512, 512)
+        static = run_with_adaptation(cluster, start, adapt=False)
+        adapted = run_with_adaptation(cluster, start, adapt=True)
+        assert adapted.total_time < static.total_time
+
+    def test_migration_cost_charged(self, cluster):
+        result = run_with_adaptation(cluster, ResourceConfig(512, 512))
+        if result.migrations:
+            assert result.breakdown.get("migration", 0) > 0
+
+    def test_few_migrations_suffice(self, cluster):
+        """The paper: 'only up to two migrations were necessary'."""
+        result = run_with_adaptation(cluster, ResourceConfig(512, 512))
+        assert result.migrations <= 2
+
+    def test_no_adaptation_when_well_provisioned(self, cluster):
+        result = run_with_adaptation(cluster, ResourceConfig(30000, 4096))
+        assert result.migrations == 0
+
+    def test_small_data_no_migration_needed(self, cluster):
+        # everything fits even a small CP: adaptation may update MR
+        # configs but should not migrate
+        result = run_with_adaptation(
+            cluster, ResourceConfig(2048, 512), rows=10**4, cols=100
+        )
+        assert result.migrations == 0

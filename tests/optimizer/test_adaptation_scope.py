@@ -1,0 +1,109 @@
+"""Tests for the re-optimization scope heuristic (Section 4.2)."""
+
+import pytest
+
+from repro.cluster import ResourceConfig, paper_cluster
+from repro.common import MatrixCharacteristics
+from repro.compiler import compile_program
+from repro.compiler import statement_blocks as SB
+from repro.optimizer import ResourceAdapter, ResourceOptimizer
+
+META = {
+    "X": MatrixCharacteristics(10**5, 100, 10**7),
+    "y": MatrixCharacteristics(10**5, 1, 10**5),
+}
+ARGS = {"X": "X", "y": "y"}
+
+SOURCE = """
+X = read($X)
+y = read($y)
+s0 = sum(X)
+while (s0 > 0) {
+  inner = 0
+  while (inner < 3) {
+    q = t(X) %*% (X %*% y)
+    inner = inner + 1
+  }
+  s0 = s0 - 1
+}
+tail = sum(X) + 1
+print(tail)
+"""
+
+
+@pytest.fixture
+def adapter():
+    return ResourceAdapter(ResourceOptimizer(paper_cluster()))
+
+
+@pytest.fixture
+def compiled():
+    return compile_program(SOURCE, ARGS, META, ResourceConfig(512, 512))
+
+
+def block_containing(compiled, needle):
+    """Find the last-level block whose source mentions ``needle``."""
+    from repro.compiler import hops as H
+
+    for block in compiled.last_level_blocks():
+        for hop in H.iter_dag(block.hop_roots):
+            if isinstance(hop, H.DataOp) and hop.name == needle:
+                if hop.kind is H.DataOpKind.TRANSIENT_WRITE:
+                    return block
+    raise AssertionError(f"no block writes {needle}")
+
+
+class TestScope:
+    def test_inner_block_expands_to_outer_loop(self, adapter, compiled):
+        # the q-block lives in the doubly-nested loop: the scope starts
+        # at the outermost while and runs to the end of the program
+        q_block = block_containing(compiled, "q")
+        scope = adapter._reopt_scope(compiled, q_block)
+        assert isinstance(scope[0], SB.WhileBlock)
+        # the trailing top-level block is included ("to the end of this
+        # context")
+        assert any(
+            block is blk
+            for blk in scope
+            for block in [block_containing(compiled, "tail")]
+        )
+
+    def test_top_level_block_scopes_from_itself(self, adapter, compiled):
+        tail_block = block_containing(compiled, "tail")
+        scope = adapter._reopt_scope(compiled, tail_block)
+        assert scope[0] is tail_block
+
+    def test_earlier_blocks_excluded(self, adapter, compiled):
+        q_block = block_containing(compiled, "q")
+        scope = adapter._reopt_scope(compiled, q_block)
+        first_block = list(compiled.last_level_blocks())[0]
+        assert all(
+            first_block is not blk
+            for top in scope
+            for blk in top.all_blocks()
+        )
+
+    def test_function_context_scoped_to_function(self, adapter):
+        source = """
+helper = function(Matrix[double] A) return (double s) {
+  B = A * 2
+  s = sum(B)
+}
+X = read($X)
+out = helper(X)
+print(out)
+"""
+        compiled = compile_program(source, {"X": "X"},
+                                   {"X": META["X"]}, ResourceConfig(512, 512))
+        func_block = compiled.functions["helper"].blocks[0]
+        inner = next(iter(func_block.last_level_blocks()))
+        scope = adapter._reopt_scope(compiled, inner)
+        # scope stays within the function's block list
+        func_blocks = set(
+            id(b) for b in compiled.functions["helper"].blocks
+        )
+        assert all(id(b) in func_blocks for b in scope)
+
+    def test_unknown_block_returns_empty(self, adapter, compiled):
+        ghost = SB.GenericBlock()
+        assert adapter._reopt_scope(compiled, ghost) == []

@@ -1,0 +1,82 @@
+"""Unit tests for the task-parallel optimizer (Appendix C)."""
+
+import pytest
+
+from repro.cluster import paper_cluster
+from repro.common import MatrixCharacteristics
+from repro.compiler.pipeline import compile_program
+from repro.optimizer import ParallelResourceOptimizer, ResourceOptimizer
+from repro.optimizer.parallel import schedule_makespan
+
+BIG = {
+    "X": MatrixCharacteristics(10**6, 1000, 10**9),
+    "y": MatrixCharacteristics(10**6, 1, 10**6),
+}
+ARGS = {"X": "X", "y": "y", "B": "B"}
+
+SOURCE = """
+X = read($X)
+y = read($y)
+A = t(X) %*% X
+b = t(X) %*% y
+beta = solve(A, b)
+r = y - X %*% beta
+s = sum(r ^ 2)
+print(s)
+write(beta, $B, format="binary")
+"""
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return paper_cluster()
+
+
+class TestParallelOptimizer:
+    def test_same_choice_as_serial(self, cluster):
+        compiled = compile_program(SOURCE, ARGS, BIG)
+        serial = ResourceOptimizer(cluster).optimize(compiled)
+        compiled2 = compile_program(SOURCE, ARGS, BIG)
+        parallel = ParallelResourceOptimizer(
+            cluster, num_workers=3
+        ).optimize(compiled2)
+        assert parallel.resource.cp_heap_mb == serial.resource.cp_heap_mb
+        assert parallel.cost == pytest.approx(serial.cost, rel=0.01)
+
+    def test_task_records_collected(self, cluster):
+        compiled = compile_program(SOURCE, ARGS, BIG)
+        result = ParallelResourceOptimizer(
+            cluster, num_workers=2
+        ).optimize(compiled)
+        kinds = {rec.kind for rec in result.task_records}
+        assert "baseline" in kinds
+        assert "agg" in kinds
+
+    def test_single_worker_works(self, cluster):
+        compiled = compile_program(SOURCE, ARGS, BIG)
+        result = ParallelResourceOptimizer(
+            cluster, num_workers=1
+        ).optimize(compiled)
+        assert result.resource is not None
+
+
+class TestMakespanModel:
+    def _records(self, cluster):
+        compiled = compile_program(SOURCE, ARGS, BIG)
+        return ParallelResourceOptimizer(
+            cluster, num_workers=1
+        ).optimize(compiled).task_records
+
+    def test_more_workers_never_slower(self, cluster):
+        records = self._records(cluster)
+        times = [
+            schedule_makespan(records, k) for k in (1, 2, 4, 8)
+        ]
+        for earlier, later in zip(times, times[1:]):
+            assert later <= earlier + 1e-9
+
+    def test_pipelining_helps(self, cluster):
+        records = self._records(cluster)
+        with_pipe = schedule_makespan(records, 1, include_pipelining=True)
+        without = schedule_makespan(records, 1, include_pipelining=False)
+        assert with_pipe <= without

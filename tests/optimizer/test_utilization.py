@@ -1,0 +1,102 @@
+"""Tests for cluster-utilization-based adaptation (Section 6)."""
+
+import pytest
+
+from repro.cluster import ClusterLoad, ResourceConfig, paper_cluster
+from repro.compiler import compile_program
+from repro.cost.constants import DEFAULT_PARAMETERS
+from repro.optimizer import ResourceOptimizer, UtilizationAwareAdapter
+from repro.optimizer.utilization import degraded_parameters
+from repro.runtime import Interpreter, SimulatedHDFS
+from repro.scripts import load_script
+from repro.workloads import prepare_inputs, scenario
+
+
+@pytest.fixture
+def cluster():
+    return paper_cluster()
+
+
+def run_linreg_ds(cluster, load, adapter=None, resource=None):
+    hdfs = SimulatedHDFS(sample_cap=64)
+    args = prepare_inputs(hdfs, "LinregDS", scenario("M"))
+    compiled = compile_program(load_script("LinregDS"), args,
+                               hdfs.input_meta())
+    if resource is None:
+        resource = ResourceOptimizer(cluster).optimize(compiled).resource
+    interp = Interpreter(cluster, hdfs=hdfs, sample_cap=64, adapter=adapter,
+                         cluster_load=load)
+    return interp.run(compiled, resource)
+
+
+class TestDegradedParameters:
+    def test_mr_rates_scaled(self):
+        degraded = degraded_parameters(DEFAULT_PARAMETERS, 4.0)
+        assert degraded.mr_task_flops == DEFAULT_PARAMETERS.mr_task_flops / 4
+        assert degraded.mr_job_latency == DEFAULT_PARAMETERS.mr_job_latency * 4
+
+    def test_cp_rates_untouched(self):
+        degraded = degraded_parameters(DEFAULT_PARAMETERS, 4.0)
+        assert degraded.cp_flops == DEFAULT_PARAMETERS.cp_flops
+        assert degraded.hdfs_read_bw == DEFAULT_PARAMETERS.hdfs_read_bw
+
+    def test_original_not_mutated(self):
+        before = DEFAULT_PARAMETERS.mr_task_flops
+        degraded_parameters(DEFAULT_PARAMETERS, 8.0)
+        assert DEFAULT_PARAMETERS.mr_task_flops == before
+
+
+class TestLoadedExecution:
+    def test_load_slows_mr_jobs_only(self, cluster):
+        idle = run_linreg_ds(cluster, ClusterLoad.idle())
+        loaded = run_linreg_ds(cluster, ClusterLoad.constant(0.8))
+        assert loaded.total_time > 3 * idle.total_time
+        assert loaded.breakdown["mr_jobs"] > 3 * idle.breakdown["mr_jobs"]
+
+    def test_cp_plans_unaffected_by_load(self, cluster):
+        big = ResourceConfig(30000, 512)  # all-CP plan
+        idle = run_linreg_ds(cluster, ClusterLoad.idle(), resource=big)
+        loaded = run_linreg_ds(
+            cluster, ClusterLoad.constant(0.8), resource=big
+        )
+        assert loaded.total_time == pytest.approx(idle.total_time, rel=0.01)
+
+
+class TestUtilizationAdapter:
+    def test_fallback_to_single_node_under_load(self, cluster):
+        load = ClusterLoad.constant(0.85)
+        adapter = UtilizationAwareAdapter(
+            ResourceOptimizer(cluster), load, utilization_threshold=0.5
+        )
+        result = run_linreg_ds(cluster, load, adapter=adapter)
+        blind = run_linreg_ds(cluster, load)
+        assert result.migrations >= 1
+        assert result.final_resource.cp_heap_mb > 2048
+        assert result.total_time < blind.total_time
+
+    def test_no_trigger_when_idle(self, cluster):
+        load = ClusterLoad.idle()
+        adapter = UtilizationAwareAdapter(
+            ResourceOptimizer(cluster), load, utilization_threshold=0.5
+        )
+        result = run_linreg_ds(cluster, load, adapter=adapter)
+        assert result.migrations == 0
+
+    def test_retrigger_requires_delta(self, cluster):
+        load = ClusterLoad.constant(0.85)
+        adapter = UtilizationAwareAdapter(
+            ResourceOptimizer(cluster), load, utilization_threshold=0.5,
+            retrigger_delta=0.25,
+        )
+
+        class FakeInterp:
+            clock = 0.0
+
+        # first decision at 0.85 (above the threshold)
+        assert adapter.should_trigger(FakeInterp(), None)
+        adapter._last_decision_utilization = 0.85
+        # stable load: no retrigger
+        assert not adapter.should_trigger(FakeInterp(), None)
+        # big shift: retrigger
+        adapter.cluster_load = ClusterLoad.constant(0.2)
+        assert adapter.should_trigger(FakeInterp(), None)

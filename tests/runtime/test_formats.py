@@ -1,0 +1,62 @@
+"""Tests for file-format handling (binary vs CSV/text IO costs)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ResourceConfig, paper_cluster
+from repro.common import FileFormat, MatrixCharacteristics
+from repro.compiler import compile_program
+from repro.cost import io_model
+from repro.cost.constants import DEFAULT_PARAMETERS
+from repro.runtime import Interpreter, SimulatedHDFS
+from repro.runtime.matrix import MatrixObject
+
+
+class TestIOModelFormats:
+    def test_csv_read_slower_than_binary(self):
+        mc = MatrixCharacteristics(10**6, 100, 10**8)
+        binary = io_model.hdfs_read_time(mc, DEFAULT_PARAMETERS,
+                                         FileFormat.BINARY_BLOCK)
+        csv = io_model.hdfs_read_time(mc, DEFAULT_PARAMETERS,
+                                      FileFormat.CSV)
+        assert csv > 2 * binary
+
+    def test_serialized_size_format_dependent(self):
+        mc = MatrixCharacteristics(1000, 100, 10**5)
+        assert io_model.serialized_bytes(mc, FileFormat.CSV) > (
+            io_model.serialized_bytes(mc, FileFormat.BINARY_BLOCK)
+        )
+
+
+class TestEndToEndFormats:
+    def run_read(self, fmt_arg):
+        hdfs = SimulatedHDFS(sample_cap=64)
+        obj = MatrixObject.generate(10**6, 100, sample_cap=64)
+        fmt = FileFormat.CSV if fmt_arg == "csv" else FileFormat.BINARY_BLOCK
+        hdfs.put("X", obj.mc, obj.data, fmt)
+        source = f'X = read($X, format="{fmt_arg}")\nprint(sum(X))'
+        rc = ResourceConfig(4096, 512)
+        compiled = compile_program(source, {"X": "X"}, hdfs.input_meta(), rc)
+        interp = Interpreter(paper_cluster(), hdfs=hdfs, sample_cap=64)
+        return interp.run(compiled, rc)
+
+    def test_csv_read_charged_more(self):
+        binary = self.run_read("binary")
+        csv = self.run_read("csv")
+        assert csv.breakdown["read"] > 2 * binary.breakdown["read"]
+
+    def test_csv_write(self):
+        hdfs = SimulatedHDFS(sample_cap=32)
+        obj = MatrixObject.from_sample(np.ones((8, 2)))
+        hdfs.put("X", obj.mc, obj.data)
+        rc = ResourceConfig(512, 512)
+        compiled = compile_program(
+            'X = read($X)\nwrite(X, "out.csv", format="csv")',
+            {"X": "X"}, hdfs.input_meta(), rc,
+        )
+        result = Interpreter(paper_cluster(), hdfs=hdfs, sample_cap=32).run(
+            compiled, rc
+        )
+        assert hdfs.exists("out.csv")
+        assert hdfs.get("out.csv").fmt is FileFormat.CSV
+        assert result.breakdown["write"] > 0

@@ -1,0 +1,84 @@
+"""Unit tests for the simulated HDFS."""
+
+import numpy as np
+import pytest
+
+from repro.common import FileFormat, MatrixCharacteristics
+from repro.errors import ExecutionError
+from repro.runtime.hdfs import SimulatedHDFS
+from repro.runtime.matrix import MatrixObject
+
+
+@pytest.fixture
+def hdfs():
+    return SimulatedHDFS(sample_cap=32)
+
+
+class TestFileOperations:
+    def test_put_and_get(self, hdfs):
+        mc = MatrixCharacteristics(100, 10, 1000)
+        hdfs.put("a/b", mc, np.ones((32, 10)))
+        f = hdfs.get("a/b")
+        assert f.mc.rows == 100
+        assert f.size_bytes > 0
+
+    def test_get_missing_raises(self, hdfs):
+        with pytest.raises(ExecutionError):
+            hdfs.get("nope")
+
+    def test_exists_and_delete(self, hdfs):
+        hdfs.put("x", MatrixCharacteristics(1, 1, 1), np.ones((1, 1)))
+        assert hdfs.exists("x")
+        hdfs.delete("x")
+        assert not hdfs.exists("x")
+
+    def test_read_matrix_round_trip(self, hdfs):
+        obj = MatrixObject.from_sample(np.eye(4))
+        hdfs.write_matrix("m", obj)
+        back = hdfs.read_matrix("m")
+        assert np.allclose(back.data, np.eye(4))
+        assert back.hdfs_path == "m"
+        assert not back.dirty
+
+    def test_read_metadata_only_file_raises(self, hdfs):
+        hdfs.put("meta", MatrixCharacteristics(5, 5, 25))
+        with pytest.raises(ExecutionError):
+            hdfs.read_matrix("meta")
+
+    def test_input_meta_copies(self, hdfs):
+        hdfs.put("x", MatrixCharacteristics(7, 3, 21), np.ones((7, 3)))
+        meta = hdfs.input_meta()
+        meta["x"].rows = 999
+        assert hdfs.get("x").mc.rows == 7
+
+
+class TestGenerators:
+    def test_dense_input(self, hdfs):
+        hdfs.create_dense_input("X", 10**5, 20, seed=1)
+        f = hdfs.get("X")
+        assert f.mc.rows == 10**5
+        assert f.data.shape == (32, 20)
+
+    def test_sparse_input_nnz(self, hdfs):
+        hdfs.create_dense_input("X", 10**5, 20, sparsity=0.01)
+        f = hdfs.get("X")
+        assert f.mc.nnz == 10**5 * 20 * 0.01
+
+    def test_label_input_classes(self, hdfs):
+        hdfs.create_label_input("y", 10**4, num_classes=3)
+        values = set(np.unique(hdfs.get("y").data))
+        assert values == {1.0, 2.0, 3.0}
+
+    def test_regression_target(self, hdfs):
+        hdfs.create_regression_target("y", 500)
+        f = hdfs.get("y")
+        assert f.mc.cols == 1
+
+    def test_total_bytes_positive(self, hdfs):
+        hdfs.create_dense_input("X", 1000, 10)
+        assert hdfs.total_bytes() > 0
+
+    def test_sparse_serialized_smaller_than_dense(self, hdfs):
+        hdfs.create_dense_input("D", 10**5, 100, sparsity=1.0)
+        hdfs.create_dense_input("S", 10**5, 100, sparsity=0.01)
+        assert hdfs.get("S").size_bytes < hdfs.get("D").size_bytes

@@ -1,0 +1,225 @@
+"""Unit tests for the program interpreter."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ResourceConfig
+from repro.errors import ExecutionError
+
+
+class TestScalarExecution:
+    def test_arithmetic_and_print(self, run_dml):
+        result, _, _ = run_dml('a = 2\nb = a * 3 + 1\nprint("b=" + b)')
+        assert result.prints == ["b=7"]
+
+    def test_if_else_branching(self, run_dml):
+        src = """
+a = 5
+if (a > 3) { msg = "big" } else { msg = "small" }
+print(msg)
+"""
+        result, _, _ = run_dml(src)
+        assert result.prints == ["big"]
+
+    def test_while_loop_counts(self, run_dml):
+        src = """
+i = 0
+while (i < 5) { i = i + 1 }
+print(i)
+"""
+        result, _, _ = run_dml(src)
+        assert result.prints == ["5"]
+
+    def test_for_loop_accumulates(self, run_dml):
+        src = """
+s = 0
+for (k in 1:4) { s = s + k }
+print(s)
+"""
+        result, _, _ = run_dml(src)
+        assert result.prints == ["10"]
+
+    def test_for_loop_with_increment(self, run_dml):
+        src = """
+s = 0
+for (k in seq(1, 9, 4)) { s = s + k }
+print(s)
+"""
+        result, _, _ = run_dml(src)
+        assert result.prints == ["15"]
+
+    def test_stop_raises(self, run_dml):
+        with pytest.raises(ExecutionError):
+            run_dml('stop("failure")')
+
+    def test_runaway_loop_guard(self, run_dml):
+        with pytest.raises(ExecutionError):
+            run_dml("i = 0\nwhile (i < 1) { i = i * 1 }")
+
+
+class TestMatrixExecution:
+    def test_linear_algebra_values(self, run_dml):
+        src = """
+X = read($X)
+A = t(X) %*% X
+s = sum(A)
+print("s=" + s)
+"""
+        X = np.array([[1.0, 2.0], [3.0, 4.0]])
+        result, _, _ = run_dml(src, inputs={"X": X})
+        expected = (X.T @ X).sum()
+        assert result.prints[0] == f"s={expected}"
+
+    def test_solve_recovers_coefficients(self, run_dml):
+        src = """
+X = read($X)
+y = read($y)
+beta = solve(t(X) %*% X, t(X) %*% y)
+print("b0=" + as.scalar(beta[1, 1]))
+print("b1=" + as.scalar(beta[2, 1]))
+"""
+        rng = np.random.default_rng(5)
+        X = rng.normal(size=(40, 2))
+        y = X @ np.array([[2.0], [-1.0]])
+        result, _, _ = run_dml(src, inputs={"X": X, "y": y})
+        assert float(result.prints[0][3:]) == pytest.approx(2.0, abs=1e-8)
+        assert float(result.prints[1][3:]) == pytest.approx(-1.0, abs=1e-8)
+
+    def test_write_persists_output(self, run_dml):
+        src = 'X = read($X)\nwrite(X, $out, format="binary")'
+        result, compiled, hdfs = run_dml(
+            src, inputs={"X": np.ones((4, 2))}, args={"out": "result/X"}
+        )
+        assert hdfs.exists("result/X")
+        assert np.allclose(hdfs.get("result/X").data, 1.0)
+
+    def test_function_call_executes(self, run_dml):
+        src = """
+normsq = function(Matrix[double] v) return (double n2) {
+  n2 = sum(v ^ 2)
+}
+y = read($y)
+print("n2=" + normsq(y))
+"""
+        y = np.array([[3.0], [4.0]])
+        result, _, _ = run_dml(src, inputs={"y": y})
+        assert float(result.prints[0][3:]) == pytest.approx(25.0)
+
+    def test_multi_output_function(self, run_dml):
+        src = """
+stats = function(Matrix[double] v) return (double s, double m) {
+  s = sum(v)
+  m = max(v)
+}
+y = read($y)
+[total, biggest] = stats(y)
+print(total + "/" + biggest)
+"""
+        y = np.array([[1.0], [2.0], [5.0]])
+        result, _, _ = run_dml(src, inputs={"y": y})
+        assert result.prints == ["8.0/5.0"]
+
+    def test_left_indexing_updates_region(self, run_dml):
+        src = """
+X = matrix(0, rows=3, cols=3)
+X[1:2, ] = matrix(1, rows=2, cols=3)
+print(sum(X))
+"""
+        result, _, _ = run_dml(src)
+        assert result.prints == ["6.0"]
+
+    def test_table_expansion_and_k(self, run_dml):
+        src = """
+y = read($y)
+Y = table(seq(1, nrow(y)), y)
+print("k=" + ncol(Y))
+"""
+        labels = np.array([[1.0], [3.0], [2.0], [3.0]])
+        result, _, _ = run_dml(src, inputs={"y": labels})
+        assert result.prints == ["k=3"]
+
+
+class TestTimeAccounting:
+    def test_clock_monotonically_positive(self, run_dml):
+        result, _, _ = run_dml("a = 1")
+        assert result.total_time > 0  # AM startup at minimum
+
+    def test_startup_charged(self, run_dml):
+        result, _, _ = run_dml("a = 1")
+        assert result.breakdown.get("startup", 0) > 0
+
+    def test_large_logical_read_charged(self, run_dml):
+        src = "X = read($X)\ns = sum(X)\nprint(s)"
+        result, _, _ = run_dml(src, inputs={"X": (10**6, 100)})
+        # 800 MB at ~150 MB/s: seconds of read time
+        assert result.breakdown.get("read", 0) > 1.0
+
+    def test_mr_jobs_counted_and_charged(self, run_dml):
+        src = "X = read($X)\nZ = t(X) %*% X\nprint(sum(Z))"
+        result, _, _ = run_dml(
+            src,
+            inputs={"X": (10**7, 100)},
+            resource=ResourceConfig(512, 1024),
+        )
+        assert result.mr_jobs >= 1
+        assert result.breakdown.get("mr_jobs", 0) > 10  # job latency
+
+    def test_export_charged_for_dirty_inputs(self, run_dml):
+        # Z is computed in CP, then consumed by an MR job -> export
+        src = """
+X = read($X)
+Y = read($Y)
+Z = X * 2
+W = Z * Y
+print(sum(W))
+"""
+        result, _, _ = run_dml(
+            src,
+            inputs={"X": (10**6, 100), "Y": (10**6, 100)},
+            resource=ResourceConfig(2560, 1024),
+        )
+        assert result.mr_jobs >= 1  # Z*Y exceeds the CP budget
+        assert result.breakdown.get("export", 0) > 0
+
+    def test_eviction_accounting_small_pool(self, run_dml):
+        src = """
+X = read($X)
+A = X * 2
+B = X + 1
+C = A + B
+print(sum(C))
+"""
+        result, _, _ = run_dml(
+            src,
+            inputs={"X": (3 * 10**5, 100)},  # ~240 MB each intermediate
+            resource=ResourceConfig(700, 512),
+        )
+        assert result.evictions > 0
+
+
+class TestDynamicRecompilation:
+    def test_unknown_sizes_resolved_at_runtime(self, run_dml):
+        src = """
+y = read($y)
+Y = table(seq(1, nrow(y)), y)
+Z = Y + 0.0
+print(ncol(Z))
+"""
+        labels = np.array([[2.0], [1.0], [2.0]])
+        result, _, _ = run_dml(src, inputs={"y": labels})
+        assert result.prints == ["2"]
+        assert result.recompilations >= 1
+
+    def test_recompilation_counted_per_execution(self, run_dml):
+        src = """
+y = read($y)
+i = 0
+while (i < 3) {
+  Y = table(seq(1, nrow(y)), y)
+  i = i + 1
+}
+print(i)
+"""
+        labels = np.array([[1.0], [2.0]])
+        result, _, _ = run_dml(src, inputs={"y": labels})
+        assert result.recompilations >= 3

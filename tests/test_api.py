@@ -1,0 +1,72 @@
+"""Tests for the high-level ElasticMLSession API."""
+
+import pytest
+
+from repro import ElasticMLSession, ResourceConfig, small_cluster
+from repro.workloads import prepare_inputs, scenario
+
+
+@pytest.fixture
+def session():
+    return ElasticMLSession(sample_cap=64)
+
+
+class TestSession:
+    def test_run_registered_end_to_end(self, session):
+        args = prepare_inputs(
+            session.hdfs, "LinregDS", scenario("XS", cols=100)
+        )
+        outcome = session.run_registered("LinregDS", args)
+        assert outcome.total_time > 0
+        assert outcome.resource is not None
+        assert outcome.optimizer_result is not None
+        assert any("R2=" in p for p in outcome.prints)
+
+    def test_run_with_explicit_resource_skips_optimizer(self, session):
+        args = prepare_inputs(
+            session.hdfs, "LinregDS", scenario("XS", cols=100)
+        )
+        outcome = session.run_registered(
+            "LinregDS", args, resource=ResourceConfig(2048, 512)
+        )
+        assert outcome.optimizer_result is None
+        assert outcome.resource.cp_heap_mb == 2048
+
+    def test_run_inline_script(self, session):
+        session.hdfs.create_dense_input("X", 1000, 10)
+        outcome = session.run_script(
+            "X = read($X)\nprint(sum(X))", {"X": "X"}
+        )
+        assert len(outcome.prints) == 1
+
+    def test_estimate_cost_positive(self, session):
+        args = prepare_inputs(
+            session.hdfs, "LinregCG", scenario("S", cols=100)
+        )
+        compiled = session.compile_registered("LinregCG", args)
+        cost = session.estimate_cost(compiled, ResourceConfig(2048, 512))
+        assert cost > 0
+
+    def test_optimizer_defaults_configurable(self):
+        session = ElasticMLSession(grid_cp="equi", grid_m=5, sample_cap=64)
+        args = prepare_inputs(
+            session.hdfs, "LinregDS", scenario("XS", cols=100)
+        )
+        compiled = session.compile_registered("LinregDS", args)
+        result = session.optimize(compiled)
+        assert result.stats.cp_points == 5
+
+    def test_custom_cluster(self):
+        session = ElasticMLSession(cluster=small_cluster(), sample_cap=64)
+        args = prepare_inputs(
+            session.hdfs, "LinregDS", scenario("XS", cols=100)
+        )
+        outcome = session.run_registered("LinregDS", args)
+        assert outcome.resource.cp_heap_mb <= session.cluster.max_heap_mb
+
+    def test_adaptation_toggle(self, session):
+        args = prepare_inputs(
+            session.hdfs, "MLogreg", scenario("XS", cols=100)
+        )
+        outcome = session.run_registered("MLogreg", args, adapt=False)
+        assert outcome.result.migrations == 0

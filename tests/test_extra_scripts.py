@@ -1,0 +1,130 @@
+"""Tests specific to the extension scripts (KMeans, PCA)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ResourceConfig, paper_cluster
+from repro.compiler import compile_program
+from repro.optimizer import ResourceOptimizer
+from repro.runtime import Interpreter, SimulatedHDFS
+from repro.runtime.matrix import MatrixObject
+from repro.scripts import load_script
+from repro.workloads import prepare_inputs, scenario
+
+
+def run(name, hdfs, args, cp_mb=8192):
+    rc = ResourceConfig(cp_mb, 1024)
+    compiled = compile_program(load_script(name), args, hdfs.input_meta(), rc)
+    interp = Interpreter(paper_cluster(), hdfs=hdfs,
+                         sample_cap=hdfs.sample_cap)
+    return interp.run(compiled, rc), hdfs
+
+
+class TestKMeans:
+    def make_clustered_input(self, hdfs, k=3, per_cluster=40, cols=10):
+        """Well-separated Gaussian blobs so Lloyd's converges cleanly."""
+        rng = np.random.default_rng(0)
+        blobs = []
+        for i in range(k):
+            center = np.zeros(cols)
+            center[i % cols] = 50.0 * (i + 1)
+            blobs.append(center + rng.normal(size=(per_cluster, cols)))
+        data = np.vstack(blobs)
+        rng.shuffle(data)
+        obj = MatrixObject.from_sample(data)
+        hdfs.put("X", obj.mc, obj.data)
+
+    def test_wcss_decreases(self):
+        hdfs = SimulatedHDFS(sample_cap=256)
+        self.make_clustered_input(hdfs)
+        args = {"X": "X", "C": "C", "k": 3, "maxi": 5}
+        result, _ = run("KMeans", hdfs, args)
+        wcss = [
+            float(p.split("WCSS=")[1])
+            for p in result.prints
+            if p.startswith("k-means iteration")
+        ]
+        assert len(wcss) >= 2
+        assert wcss[-1] <= wcss[0]
+
+    def test_centroids_written_with_shape(self):
+        hdfs = SimulatedHDFS(sample_cap=256)
+        self.make_clustered_input(hdfs, k=4)
+        args = {"X": "X", "C": "C", "k": 4, "maxi": 3}
+        _, hdfs = run("KMeans", hdfs, args)
+        centroids = hdfs.get("C")
+        assert (centroids.mc.rows, centroids.mc.cols) == (4, 10)
+
+    def test_separated_blobs_recovered(self):
+        hdfs = SimulatedHDFS(sample_cap=256)
+        self.make_clustered_input(hdfs, k=2, per_cluster=60)
+        args = {"X": "X", "C": "C", "k": 2, "maxi": 5}
+        result, hdfs = run("KMeans", hdfs, args)
+        centroids = hdfs.get("C").data
+        # the two centroids are far apart (the blobs are 50+ apart)
+        spread = np.linalg.norm(centroids[0] - centroids[1])
+        assert spread > 20
+
+    def test_scales_to_paper_scenarios(self):
+        hdfs = SimulatedHDFS(sample_cap=128)
+        args = prepare_inputs(hdfs, "KMeans", scenario("M", cols=100))
+        compiled = compile_program(load_script("KMeans"), args,
+                                   hdfs.input_meta())
+        result = ResourceOptimizer(paper_cluster()).optimize(compiled)
+        assert result.resource is not None
+        assert result.cost < float("inf")
+
+
+class TestPCA:
+    def test_dominant_direction_recovered(self):
+        rng = np.random.default_rng(1)
+        # strong variance along the first coordinate
+        data = rng.normal(size=(200, 8))
+        data[:, 0] *= 20.0
+        hdfs = SimulatedHDFS(sample_cap=256)
+        obj = MatrixObject.from_sample(data)
+        hdfs.put("X", obj.mc, obj.data)
+        args = {"X": "X", "V": "V", "k": 2, "maxi": 30}
+        result, hdfs = run("PCA", hdfs, args)
+        components = hdfs.get("V").data
+        # first component aligns with coordinate 0
+        assert abs(components[0, 0]) > 0.95
+
+    def test_variance_explained_bounds(self):
+        hdfs = SimulatedHDFS(sample_cap=128)
+        args = prepare_inputs(hdfs, "PCA", scenario("XS", cols=50))
+        args["k"] = 5
+        result, _ = run("PCA", hdfs, args)
+        explained = [
+            float(p.split("=")[1])
+            for p in result.prints
+            if p.startswith("VARIANCE_EXPLAINED")
+        ][0]
+        assert 0.0 < explained <= 1.0 + 1e-9
+
+    def test_eigenvalues_nonincreasing(self):
+        rng = np.random.default_rng(2)
+        data = rng.normal(size=(300, 6)) * np.array([5, 4, 3, 2, 1, 0.5])
+        hdfs = SimulatedHDFS(sample_cap=512)
+        obj = MatrixObject.from_sample(data)
+        hdfs.put("X", obj.mc, obj.data)
+        args = {"X": "X", "V": "V", "k": 3, "maxi": 50}
+        result, _ = run("PCA", hdfs, args)
+        eigenvalues = [
+            float(p.split("eigenvalue=")[1])
+            for p in result.prints
+            if "component" in p
+        ]
+        assert eigenvalues == sorted(eigenvalues, reverse=True)
+
+    def test_components_orthonormal(self):
+        rng = np.random.default_rng(3)
+        data = rng.normal(size=(200, 5)) * np.array([3, 2.5, 2, 1, 0.5])
+        hdfs = SimulatedHDFS(sample_cap=256)
+        obj = MatrixObject.from_sample(data)
+        hdfs.put("X", obj.mc, obj.data)
+        args = {"X": "X", "V": "V", "k": 3, "maxi": 60}
+        _, hdfs = run("PCA", hdfs, args)
+        V = hdfs.get("V").data
+        gram = V.T @ V
+        assert np.allclose(gram, np.eye(3), atol=0.05)

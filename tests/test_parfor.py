@@ -1,0 +1,140 @@
+"""Tests for task-parallel (parfor) loops — the paper's Section 6
+future-work item: degree of parallelism interacts with memory budgets."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ResourceConfig, paper_cluster
+from repro.common import MatrixCharacteristics
+from repro.compiler import compile_program
+from repro.compiler import statement_blocks as SB
+from repro.compiler.pipeline import PARFOR_MAX_LOCAL_DOP, parfor_dop
+from repro.cost import CostModel
+from repro.dml import parse
+from repro.runtime import Interpreter, SimulatedHDFS
+
+META = {"X": MatrixCharacteristics(10**6, 100, 10**8)}
+
+
+def compiled_loop(keyword, iterations=8, cp_mb=4096):
+    source = f"""
+X = read($X)
+acc = 0
+{keyword} (i in 1:{iterations}) {{
+  v = X %*% matrix(1, rows=ncol(X), cols=1)
+  acc = acc + sum(v) / {iterations}
+}}
+print(acc)
+"""
+    return compile_program(source, {"X": "X"}, META,
+                           ResourceConfig(cp_mb, 1024))
+
+
+def loop_block(compiled):
+    return [
+        b for b in compiled.block_program.blocks
+        if isinstance(b, SB.ForBlock)
+    ][0]
+
+
+class TestParsing:
+    def test_parfor_flag_set(self):
+        program = parse("parfor (i in 1:4) { s = i }")
+        assert program.statements[0].parallel
+
+    def test_plain_for_not_parallel(self):
+        program = parse("for (i in 1:4) { s = i }")
+        assert not program.statements[0].parallel
+
+
+class TestCompilation:
+    def test_dop_bounded_by_trip_count(self):
+        compiled = compiled_loop("parfor", iterations=3)
+        assert parfor_dop(loop_block(compiled)) == 3
+
+    def test_dop_bounded_by_worker_cap(self):
+        compiled = compiled_loop("parfor", iterations=100)
+        assert parfor_dop(loop_block(compiled)) == PARFOR_MAX_LOCAL_DOP
+
+    def test_budget_divisor_inside_parfor(self):
+        compiled = compiled_loop("parfor", iterations=8)
+        body_blocks = [
+            b for b in loop_block(compiled).last_level_blocks()
+        ]
+        assert all(b.budget_divisor == 8 for b in body_blocks)
+
+    def test_budget_divisor_serial_loop(self):
+        compiled = compiled_loop("for", iterations=8)
+        body_blocks = list(loop_block(compiled).last_level_blocks())
+        assert all(b.budget_divisor == 1 for b in body_blocks)
+
+    def test_nested_parfor_multiplies(self):
+        source = """
+X = read($X)
+parfor (i in 1:4) {
+  parfor (j in 1:2) {
+    s = sum(X) * i * j
+  }
+}
+"""
+        compiled = compile_program(source, {"X": "X"}, META,
+                                   ResourceConfig(4096, 1024))
+        inner = [
+            b for b in compiled.last_level_blocks() if b.budget_divisor == 8
+        ]
+        assert inner
+
+    def test_parallelism_pushes_work_to_mr(self):
+        """The paper's Section 6 interaction: with k workers sharing the
+        CP budget, per-worker operations stop fitting and compile to MR
+        — the serial loop keeps them in CP."""
+        serial = compiled_loop("for", iterations=8, cp_mb=4096)
+        parallel = compiled_loop("parfor", iterations=8, cp_mb=4096)
+
+        def body_mr_jobs(compiled):
+            return sum(
+                b.plan.num_mr_jobs
+                for b in loop_block(compiled).last_level_blocks()
+            )
+
+        assert body_mr_jobs(serial) == 0  # 800 MB X fits 2.8 GB budget
+        assert body_mr_jobs(parallel) > 0  # but not 2.8/8 GB per worker
+
+
+class TestCostAndExecution:
+    def test_parallel_loop_estimated_cheaper(self):
+        cm = CostModel(paper_cluster())
+        rc = ResourceConfig(30000, 1024)  # large enough either way
+        serial = compiled_loop("for", cp_mb=30000)
+        parallel = compiled_loop("parfor", cp_mb=30000)
+        serial_cost = cm.estimate_program(serial, rc)
+        parallel_cost = cm.estimate_program(parallel, rc)
+        assert parallel_cost < serial_cost
+
+    def test_execution_speedup_and_correct_values(self):
+        rc = ResourceConfig(30000, 1024)
+        results = {}
+        for keyword in ("for", "parfor"):
+            hdfs = SimulatedHDFS(sample_cap=64)
+            hdfs.create_dense_input("X", 10**6, 100, seed=1)
+            compiled = compile_program(
+                f"""
+X = read($X)
+acc = 0
+{keyword} (i in 1:8) {{
+  v = X %*% matrix(1, rows=ncol(X), cols=1)
+  acc = acc + sum(v) / 8
+}}
+print(acc)
+""",
+                {"X": "X"}, hdfs.input_meta(), rc,
+            )
+            interp = Interpreter(paper_cluster(), hdfs=hdfs, sample_cap=64)
+            results[keyword] = interp.run(compiled, rc)
+        # identical values (iterations are independent)
+        assert results["for"].prints == results["parfor"].prints
+        # but the parallel loop finishes faster
+        assert (
+            results["parfor"].total_time < results["for"].total_time
+        )
+        assert results["parfor"].breakdown.get("parfor_speedup", 0) < 0

@@ -1,0 +1,278 @@
+"""Property-based tests (hypothesis) on core data structures and
+invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import (
+    MatrixCharacteristics,
+    binary_nnz_estimate,
+    estimate_matrix_memory,
+    mult_nnz_estimate,
+)
+from repro.cluster import ResourceConfig
+from repro.cluster.config import paper_cluster
+from repro.dml.lexer import tokenize
+from repro.optimizer.grids import equi_grid, exp_grid, hybrid_grid, memory_grid
+from repro.runtime.kernels import execute_kernel
+from repro.runtime.matrix import MatrixObject
+
+dims = st.integers(min_value=0, max_value=10**8)
+sparsities = st.floats(min_value=0.0, max_value=1.0)
+
+
+class TestMatrixCharacteristics:
+    @given(rows=dims, cols=dims, sparsity=sparsities)
+    def test_memory_estimate_nonnegative_and_finite(self, rows, cols,
+                                                    sparsity):
+        est = estimate_matrix_memory(rows, cols, sparsity)
+        assert est >= 0
+        assert math.isfinite(est)
+
+    @given(rows=dims, cols=dims)
+    def test_unknown_dims_are_infinite(self, rows, cols):
+        assert estimate_matrix_memory(None, cols) == math.inf
+        assert estimate_matrix_memory(rows, None) == math.inf
+
+    @given(rows=st.integers(1, 10**6), cols=st.integers(2, 10**4),
+           sparsity=st.floats(0.0001, 0.3))
+    def test_sparse_cheaper_than_dense(self, rows, cols, sparsity):
+        sparse = estimate_matrix_memory(rows, cols, sparsity)
+        dense = estimate_matrix_memory(rows, cols, 1.0)
+        assert sparse <= dense
+
+    @given(rows=st.integers(0, 10**6), cols=st.integers(0, 10**4))
+    def test_sparsity_bounded(self, rows, cols):
+        mc = MatrixCharacteristics(rows, cols, rows * cols)
+        assert mc.sparsity is not None
+        assert 0.0 <= mc.sparsity <= 1.0
+
+    @given(
+        lr=st.integers(1, 10**4), lc=st.integers(1, 100),
+        rc=st.integers(1, 100),
+        sp_l=st.floats(0.001, 1.0), sp_r=st.floats(0.001, 1.0),
+    )
+    def test_mult_nnz_bounded_by_dense(self, lr, lc, rc, sp_l, sp_r):
+        left = MatrixCharacteristics(lr, lc, int(lr * lc * sp_l))
+        right = MatrixCharacteristics(lc, rc, int(lc * rc * sp_r))
+        nnz = mult_nnz_estimate(left, right)
+        assert 0 <= nnz <= lr * rc
+
+    @given(
+        rows=st.integers(1, 1000), cols=st.integers(1, 100),
+        nnz_l=st.integers(0, 1000), nnz_r=st.integers(0, 1000),
+    )
+    def test_binary_nnz_bounds(self, rows, cols, nnz_l, nnz_r):
+        cells = rows * cols
+        left = MatrixCharacteristics(rows, cols, min(nnz_l, cells))
+        right = MatrixCharacteristics(rows, cols, min(nnz_r, cells))
+        mult = binary_nnz_estimate(True, left, right)
+        plus = binary_nnz_estimate(False, left, right)
+        assert 0 <= mult <= cells
+        assert mult <= plus <= cells
+
+
+class TestLexerProperties:
+    @given(st.text(alphabet="abcxyz_ 0123456789+-*/()<>=&|\n", max_size=80))
+    def test_never_crashes_on_benign_alphabet(self, text):
+        try:
+            tokens = tokenize(text)
+            assert tokens[-1].kind == "EOF"
+        except Exception as exc:
+            from repro.errors import DMLSyntaxError
+
+            assert isinstance(exc, DMLSyntaxError)
+
+    @given(st.integers(0, 10**9))
+    def test_integers_round_trip(self, value):
+        token = tokenize(str(value))[0]
+        assert token.kind == "INT"
+        assert int(token.text) == value
+
+    @given(st.floats(min_value=0.001, max_value=10**6,
+                     allow_nan=False, allow_infinity=False))
+    def test_floats_round_trip(self, value):
+        token = tokenize(repr(value))[0]
+        assert token.kind == "DOUBLE"
+        assert float(token.text) == pytest.approx(value)
+
+
+class TestGridProperties:
+    bounds = st.tuples(
+        st.floats(256, 4096), st.floats(8192, 10**6)
+    )
+
+    @given(bounds, st.integers(2, 50))
+    def test_equi_grid_sorted_in_bounds(self, b, m):
+        lo, hi = b
+        points = equi_grid(lo, hi, m)
+        assert points == sorted(points)
+        assert points[0] == lo and points[-1] == pytest.approx(hi)
+
+    @given(bounds)
+    def test_exp_grid_strictly_increasing(self, b):
+        lo, hi = b
+        points = exp_grid(lo, hi)
+        assert all(x < y for x, y in zip(points, points[1:]))
+
+    @given(bounds, st.lists(st.floats(1, 10**7), max_size=10))
+    def test_memory_grid_subset_of_bounds(self, b, estimates):
+        lo, hi = b
+        points = memory_grid(lo, hi, estimates)
+        assert all(lo <= p <= hi + 1e-6 for p in points)
+
+    @given(bounds, st.lists(st.floats(1, 10**7), max_size=10))
+    def test_hybrid_contains_extremes(self, b, estimates):
+        lo, hi = b
+        points = hybrid_grid(lo, hi, estimates)
+        assert points[0] == lo
+        assert points[-1] == pytest.approx(hi)
+
+
+class TestKernelProperties:
+    small = st.integers(2, 12)
+
+    @given(rows=small, cols=small, seed=st.integers(0, 100))
+    @settings(max_examples=25)
+    def test_tsmm_matches_explicit_product(self, rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        X = MatrixObject.from_sample(rng.normal(size=(rows, cols)))
+        _, tsmm, _ = execute_kernel("tsmm", [X])
+        _, explicit, _ = execute_kernel(
+            "ba+*", [X, X], {"transpose_left": True}
+        )
+        assert np.allclose(tsmm, explicit)
+
+    @given(rows=small, cols=small, seed=st.integers(0, 100))
+    @settings(max_examples=25)
+    def test_transpose_involution(self, rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        X = MatrixObject.from_sample(rng.normal(size=(rows, cols)))
+        _, once, mc = execute_kernel("r'", [X])
+        back = MatrixObject(once, mc)
+        _, twice, _ = execute_kernel("r'", [back])
+        assert np.allclose(twice, X.data)
+
+    @given(rows=small, seed=st.integers(0, 100))
+    @settings(max_examples=25)
+    def test_sum_of_ones_equals_logical_cells(self, rows, seed):
+        logical = rows * 1000
+        obj = MatrixObject.generate(
+            logical, 3, min_value=1.0, max_value=1.0, sample_cap=rows
+        )
+        _, value, _ = execute_kernel("ua+", [obj])
+        assert value == pytest.approx(logical * 3)
+
+    @given(n=small, seed=st.integers(0, 50))
+    @settings(max_examples=25)
+    def test_solve_then_multiply_recovers_rhs(self, n, seed):
+        rng = np.random.default_rng(seed)
+        A = MatrixObject.from_sample(
+            rng.normal(size=(n, n)) + n * np.eye(n)
+        )
+        b = MatrixObject.from_sample(rng.normal(size=(n, 1)))
+        _, x, mc = execute_kernel("solve", [A, b])
+        assert np.allclose(A.data @ x, b.data, atol=1e-6)
+
+    @given(k=st.integers(1, 6), rows=st.integers(6, 30),
+           seed=st.integers(0, 50))
+    @settings(max_examples=25)
+    def test_ctable_rows_sum_to_one(self, k, rows, seed):
+        rng = np.random.default_rng(seed)
+        labels = MatrixObject.from_sample(
+            rng.integers(1, k + 1, size=(rows, 1)).astype(float)
+        )
+        idx = MatrixObject.from_sample(
+            np.arange(1, rows + 1, dtype=float).reshape(-1, 1)
+        )
+        _, data, _ = execute_kernel("ctable", [idx, labels])
+        assert np.allclose(data.sum(axis=1), 1.0)
+
+
+class TestResourceConfigProperties:
+    heaps = st.floats(512, 54613)
+
+    @given(cp=heaps, mr=heaps)
+    def test_budget_strictly_less_than_heap(self, cp, mr):
+        rc = ResourceConfig(cp, mr)
+        assert rc.cp_budget_bytes < cp * 1024 * 1024
+        assert rc.mr_budget_bytes() < mr * 1024 * 1024
+
+    @given(cp=heaps, mr=heaps)
+    def test_container_at_least_heap(self, cp, mr):
+        cluster = paper_cluster()
+        assert cluster.container_mb_for_heap(cp) >= cp
+
+    @given(cp=heaps)
+    def test_footprint_monotone_in_cp(self, cp):
+        smaller = ResourceConfig(cp, 512)
+        larger = ResourceConfig(cp + 1, 512)
+        assert smaller.footprint() < larger.footprint()
+
+
+class TestPrinterRoundTrip:
+    """parse(print(ast)) == ast over randomly generated expressions."""
+
+    names = st.sampled_from(["a", "b", "c", "X", "Y"])
+    operators = st.sampled_from(
+        ["+", "-", "*", "/", "^", "%*%", "&", "|", "<", ">=", "=="]
+    )
+
+    @st.composite
+    def expressions(draw, depth=0):
+        import tests.test_properties as module
+
+        self = module.TestPrinterRoundTrip
+        if depth >= 3 or draw(st.booleans()):
+            kind = draw(st.integers(0, 2))
+            if kind == 0:
+                return draw(self.names)
+            if kind == 1:
+                return str(draw(st.integers(0, 99)))
+            return f"f({draw(self.names)})"
+        left = draw(self.expressions(depth + 1))
+        right = draw(self.expressions(depth + 1))
+        op = draw(self.operators)
+        if draw(st.booleans()):
+            return f"({left} {op} {right})"
+        return f"{left} {op} {right}"
+
+    @given(expressions())
+    @settings(max_examples=60)
+    def test_random_expressions_round_trip(self, text):
+        import dataclasses
+
+        from repro.dml import parse
+        from repro.dml.printer import print_program
+        from repro.errors import DMLSyntaxError
+
+        def equal(a, b):
+            if type(a) is not type(b):
+                return False
+            if isinstance(a, (list, tuple)):
+                return len(a) == len(b) and all(
+                    equal(x, y) for x, y in zip(a, b)
+                )
+            if isinstance(a, dict):
+                return set(a) == set(b) and all(
+                    equal(a[k], b[k]) for k in a
+                )
+            if dataclasses.is_dataclass(a):
+                return all(
+                    f.name == "line"
+                    or equal(getattr(a, f.name), getattr(b, f.name))
+                    for f in dataclasses.fields(a)
+                )
+            return a == b
+
+        try:
+            first = parse(f"x = {text}")
+        except DMLSyntaxError:
+            return  # generated text happened to be invalid; skip
+        printed = print_program(first)
+        second = parse(printed)
+        assert equal(first, second), printed

@@ -1,0 +1,149 @@
+"""Seam tests: smaller behaviours across module boundaries that the
+main suites do not pin down."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ResourceConfig, paper_cluster
+from repro.common import MatrixCharacteristics
+from repro.compiler import compile_program
+from repro.optimizer import ResourceOptimizer
+from repro.runtime import Interpreter, SimulatedHDFS
+from repro.runtime.matrix import MatrixObject
+from repro.tools.cli import main
+
+
+class TestCLIWhatIf:
+    def test_whatif_renders_heatmap(self, capsys):
+        code = main([
+            "whatif", "LinregCG",
+            "--gen", "gx=1000000x100", "--gen", "gy=1000000x1",
+            "-arg", "X=gx", "-arg", "Y=gy", "-arg", "B=out",
+            "--cp", "1,20", "--mr", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cheapest cell" in out
+        assert "CP" in out and "MR" in out
+
+
+class TestOptimizerDeterminism:
+    def test_same_inputs_same_choice(self):
+        cluster = paper_cluster()
+        meta = {"X": MatrixCharacteristics(10**6, 1000, 10**9)}
+        source = "X = read($X)\nZ = t(X) %*% X\nprint(sum(Z))"
+        choices = []
+        for _ in range(2):
+            compiled = compile_program(source, {"X": "X"}, meta)
+            result = ResourceOptimizer(cluster).optimize(compiled)
+            choices.append(
+                (result.resource.cp_heap_mb, result.resource.max_mr_heap_mb,
+                 round(result.cost, 6))
+            )
+        assert choices[0] == choices[1]
+
+    def test_cost_ties_resolve_to_minimum(self):
+        # tiny data: every configuration costs the same -> minimal wins
+        cluster = paper_cluster()
+        meta = {"X": MatrixCharacteristics(100, 10, 1000)}
+        compiled = compile_program(
+            "X = read($X)\nprint(sum(X))", {"X": "X"}, meta
+        )
+        result = ResourceOptimizer(cluster).optimize(compiled)
+        assert result.resource.cp_heap_mb == cluster.min_heap_mb
+
+
+class TestInterpreterSeams:
+    def test_temps_cleaned_between_blocks(self):
+        hdfs = SimulatedHDFS(sample_cap=32)
+        obj = MatrixObject.from_sample(np.ones((8, 4)))
+        hdfs.put("X", obj.mc, obj.data)
+        rc = ResourceConfig(2048, 512)
+        source = """
+X = read($X)
+a = sum(X)
+if (a > 0) { b = a * 2 } else { b = 0 }
+print(b)
+"""
+        compiled = compile_program(source, {"X": "X"}, hdfs.input_meta(), rc)
+        interp = Interpreter(paper_cluster(), hdfs=hdfs, sample_cap=32)
+        interp.run(compiled, rc)
+        leftovers = [
+            name for name in interp._frames[0] if name.startswith("_mVar")
+        ]
+        assert not leftovers
+
+    def test_function_temps_do_not_leak_into_main(self):
+        hdfs = SimulatedHDFS(sample_cap=32)
+        obj = MatrixObject.from_sample(np.ones((8, 4)))
+        hdfs.put("X", obj.mc, obj.data)
+        rc = ResourceConfig(2048, 512)
+        source = """
+double_sum = function(Matrix[double] A) return (double s) {
+  B = A * 2
+  s = sum(B)
+}
+X = read($X)
+print(double_sum(X))
+"""
+        compiled = compile_program(source, {"X": "X"}, hdfs.input_meta(), rc)
+        interp = Interpreter(paper_cluster(), hdfs=hdfs, sample_cap=32)
+        result = interp.run(compiled, rc)
+        assert result.prints == ["64.0"]
+        assert "B" not in interp._frames[0]
+
+    def test_scratch_paths_unique(self):
+        interp = Interpreter(paper_cluster(), hdfs=SimulatedHDFS())
+        interp._scratch_counter = 0
+        paths = {interp._scratch_path("x") for _ in range(100)}
+        assert len(paths) == 100
+
+    def test_final_resource_reported(self):
+        hdfs = SimulatedHDFS(sample_cap=32)
+        hdfs.create_dense_input("X", 1000, 10)
+        rc = ResourceConfig(1024, 512)
+        compiled = compile_program(
+            "X = read($X)\nprint(sum(X))", {"X": "X"}, hdfs.input_meta(), rc
+        )
+        result = Interpreter(paper_cluster(), hdfs=hdfs, sample_cap=32).run(
+            compiled, rc
+        )
+        assert result.final_resource.cp_heap_mb == 1024
+
+
+class TestSparkBreakdown:
+    def test_breakdown_components(self):
+        from repro.cluster.spark import SparkRuntime
+        from repro.workloads import scenario
+
+        result = SparkRuntime().run_l2svm(scenario("M"), "hybrid")
+        assert set(result.breakdown) >= {"startup", "initial_scan",
+                                         "iterations"}
+        assert result.total_time == pytest.approx(
+            sum(result.breakdown.values()), rel=0.01
+        )
+
+    def test_more_iterations_cost_more(self):
+        from repro.cluster.spark import SparkRuntime
+        from repro.workloads import scenario
+
+        rt = SparkRuntime()
+        five = rt.run_l2svm(scenario("L"), "hybrid", outer_iterations=5)
+        ten = rt.run_l2svm(scenario("L"), "hybrid", outer_iterations=10)
+        assert ten.total_time > five.total_time
+
+
+class TestBufferPoolSeams:
+    def test_retain_only_keeps_live(self):
+        from repro.cost.constants import DEFAULT_PARAMETERS
+        from repro.runtime.bufferpool import BufferPool
+
+        pool = BufferPool(10**9, DEFAULT_PARAMETERS, lambda s, c: None)
+        live = MatrixObject.from_sample(np.ones((4, 4)))
+        dead = MatrixObject.from_sample(np.ones((4, 4)))
+        pool.put(live)
+        pool.put(dead)
+        pool.retain_only({id(live)})
+        assert pool.contains(live)
+        assert not pool.contains(dead)
+        assert not dead.in_memory

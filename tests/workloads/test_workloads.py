@@ -1,0 +1,114 @@
+"""Unit tests for scenarios, data generation, and baselines."""
+
+import pytest
+
+from repro.cluster import paper_cluster
+from repro.runtime import SimulatedHDFS
+from repro.workloads import (
+    paper_baselines,
+    paper_scenarios,
+    prepare_inputs,
+    scenario,
+)
+from repro.workloads.baselines import max_parallel_task_heap_mb
+
+
+class TestScenarios:
+    def test_cell_counts(self):
+        assert scenario("XS").cells == 10**7
+        assert scenario("XL").cells == 10**11
+
+    def test_rows_from_cols(self):
+        assert scenario("M", cols=1000).rows == 10**6
+        assert scenario("M", cols=100).rows == 10**7
+
+    def test_dense_bytes(self):
+        # the paper: scenario M dense corresponds to 8 GB
+        assert scenario("M").dense_bytes == 8 * 10**9
+
+    def test_sparse_flag(self):
+        assert scenario("S", sparse=True).sparsity == 0.01
+        assert not scenario("S").is_sparse
+
+    def test_unknown_size_raises(self):
+        with pytest.raises(KeyError):
+            scenario("XXL")
+
+    def test_paper_scenarios_grid(self):
+        combos = paper_scenarios(("XS", "S"))
+        assert set(combos) == {
+            "dense1000", "sparse1000", "dense100", "sparse100",
+        }
+        assert all(len(v) == 2 for v in combos.values())
+
+    def test_label_string(self):
+        assert scenario("M", cols=100, sparse=True).label == "M sparse100"
+
+
+class TestDatagen:
+    @pytest.mark.parametrize(
+        "script", ["LinregDS", "LinregCG", "L2SVM", "MLogreg", "GLM"]
+    )
+    def test_inputs_created_for_each_script(self, script):
+        hdfs = SimulatedHDFS(sample_cap=64)
+        args = prepare_inputs(hdfs, script, scenario("XS", cols=100))
+        assert hdfs.exists(args["X"])
+        assert hdfs.exists(args["Y"])
+
+    def test_defaults_included(self):
+        hdfs = SimulatedHDFS(sample_cap=64)
+        args = prepare_inputs(hdfs, "L2SVM", scenario("XS", cols=100))
+        assert args["reg"] == 0.01
+        assert args["maxiter"] == 5
+
+    def test_svm_labels_are_binary(self):
+        import numpy as np
+
+        hdfs = SimulatedHDFS(sample_cap=64)
+        args = prepare_inputs(hdfs, "L2SVM", scenario("XS", cols=100))
+        values = set(np.unique(hdfs.get(args["Y"]).data))
+        assert values == {0.0, 1.0}
+
+    def test_glm_poisson_counts_nonnegative(self):
+        hdfs = SimulatedHDFS(sample_cap=64)
+        args = prepare_inputs(hdfs, "GLM", scenario("XS", cols=100))
+        assert hdfs.get(args["Y"]).data.min() >= 0
+
+    def test_glm_binomial_labels(self):
+        import numpy as np
+
+        hdfs = SimulatedHDFS(sample_cap=64)
+        args = prepare_inputs(
+            hdfs, "GLM", scenario("XS", cols=100), glm_family=3
+        )
+        assert set(np.unique(hdfs.get(args["Y"]).data)) == {1.0, 2.0}
+
+    def test_unknown_script_raises(self):
+        hdfs = SimulatedHDFS()
+        with pytest.raises(Exception):
+            prepare_inputs(hdfs, "DecisionTree", scenario("XS"))
+
+
+class TestBaselines:
+    def test_four_baselines(self):
+        baselines = paper_baselines(paper_cluster())
+        assert set(baselines) == {"B-SS", "B-LS", "B-SL", "B-LL"}
+
+    def test_sizes_match_paper(self):
+        cluster = paper_cluster()
+        baselines = paper_baselines(cluster)
+        assert baselines["B-SS"].cp_heap_mb == 512
+        # 53.3 GB CP (80 GB / 1.5)
+        assert baselines["B-LS"].cp_heap_mb == pytest.approx(
+            53.3 * 1024, rel=0.01
+        )
+        # 4.4 GB task heap (80 GB / 12 / 1.5)
+        assert baselines["B-LL"].mr_heap_mb == pytest.approx(
+            4.44 * 1024, rel=0.01
+        )
+
+    def test_max_parallel_task_heap_uses_all_cores(self):
+        cluster = paper_cluster()
+        heap = max_parallel_task_heap_mb(cluster)
+        per_node = cluster.node_physical_cores * heap * 1.5
+        assert per_node == pytest.approx(cluster.node_memory_mb)
