@@ -1,21 +1,21 @@
-"""Quickstart: compile, optimize, and run an ML script on the simulated
-YARN cluster.
+"""Quickstart: run an ML script on the simulated YARN cluster.
 
 Runs conjugate-gradient linear regression on an 8 GB (logical) dense
-dataset.  The resource optimizer inspects the compiled program and picks
-the CP/MR memory configuration before submission — for this IO-bound
+dataset.  ``session.run()`` compiles the script, lets the resource
+optimizer pick the CP/MR memory configuration — for this IO-bound
 iterative script that means a control program large enough to hold X in
-memory, instead of paying MapReduce job latency every iteration.
+memory, instead of paying MapReduce job latency every iteration — and
+executes it, returning a single immutable :class:`RunOutcome`.  With
+``trace=True`` the outcome also carries the run's telemetry.
 
     python examples/quickstart.py
 """
 
-from repro import ElasticMLSession, ResourceConfig
-from repro.workloads import prepare_inputs, scenario
+from repro import ElasticMLSession, ResourceConfig, prepare_inputs, scenario
 
 
 def main():
-    session = ElasticMLSession()
+    session = ElasticMLSession(trace=True)
 
     # generate an 8 GB dense regression dataset on the simulated HDFS
     scn = scenario("M", cols=1000)
@@ -23,27 +23,33 @@ def main():
     print(f"dataset: {scn.label} ({scn.rows:,} x {scn.cols}, "
           f"{scn.dense_bytes / 1e9:.0f} GB dense)")
 
-    # compile once; let the resource optimizer pick the configuration
-    compiled = session.compile_registered("LinregCG", args)
-    opt = session.optimize(compiled)
-    print(f"optimizer chose {opt.resource.describe()} "
-          f"(estimated {opt.cost:.0f}s, "
+    # compile + optimize + execute in one call
+    outcome = session.run("LinregCG", args)
+    opt = outcome.optimizer_result
+    print(f"optimizer chose {outcome.resource.describe()} "
+          f"(estimated {outcome.estimated_cost:.0f}s, "
           f"optimization took {opt.stats.optimization_time * 1000:.0f}ms, "
           f"{opt.stats.block_compilations} block recompilations)")
-
-    # execute under the chosen configuration
-    result = session.execute(compiled, opt.resource)
-    print(f"executed in {result.total_time:.0f}s simulated "
-          f"({result.mr_jobs} MR jobs, {result.evictions} evictions)")
-    for line in result.prints:
+    print(f"executed in {outcome.total_time:.0f}s simulated "
+          f"({outcome.result.mr_jobs} MR jobs, "
+          f"{outcome.result.evictions} evictions)")
+    for line in outcome.prints:
         print("  |", line)
 
+    # the trace shows where the run spent its time and what fired
+    trace = outcome.trace
+    print(f"\ntelemetry: {trace.counter('cost.invocations')} cost-model "
+          f"invocations over {trace.counter('optimizer.grid_points')} grid "
+          f"points; {trace.counter('bufferpool.hits')} buffer-pool hits, "
+          f"{trace.counter('recompile.dynamic')} plan regenerations")
+
     # contrast with an undersized static configuration
-    static = ResourceConfig(cp_heap_mb=512, mr_heap_mb=512)
-    static_result = session.execute(compiled, static)
-    print(f"static 512MB/512MB config: {static_result.total_time:.0f}s "
-          f"({static_result.mr_jobs} MR jobs) — "
-          f"{static_result.total_time / result.total_time:.1f}x slower")
+    static = session.run(
+        "LinregCG", args, resource=ResourceConfig(512, 512)
+    )
+    print(f"static 512MB/512MB config: {static.total_time:.0f}s "
+          f"({static.result.mr_jobs} MR jobs) — "
+          f"{static.total_time / outcome.total_time:.1f}x slower")
 
 
 if __name__ == "__main__":

@@ -23,15 +23,23 @@ from repro.cluster import ClusterConfig, ResourceConfig, paper_cluster, small_cl
 from repro.common import MatrixCharacteristics
 from repro.compiler import compile_program
 from repro.errors import ReproError
-from repro.optimizer import ResourceAdapter, ResourceOptimizer
-from repro.runtime import Interpreter, SimulatedHDFS
+from repro.obs import Tracer, get_tracer, use_tracer
+from repro.optimizer import (
+    OptimizerOptions,
+    OptimizerResult,
+    ResourceAdapter,
+    ResourceOptimizer,
+)
+from repro.runtime import ExecutionResult, Interpreter, SimulatedHDFS
 from repro.scripts import SCRIPTS, load_script
+from repro.workloads import prepare_inputs, scenario
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ElasticMLSession",
     "RunOutcome",
+    "ExecutionResult",
     "ClusterConfig",
     "ResourceConfig",
     "paper_cluster",
@@ -40,10 +48,17 @@ __all__ = [
     "compile_program",
     "ReproError",
     "ResourceOptimizer",
+    "OptimizerOptions",
+    "OptimizerResult",
     "ResourceAdapter",
     "Interpreter",
     "SimulatedHDFS",
     "SCRIPTS",
     "load_script",
+    "scenario",
+    "prepare_inputs",
+    "Tracer",
+    "get_tracer",
+    "use_tracer",
     "__version__",
 ]

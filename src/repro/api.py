@@ -8,45 +8,75 @@ executes programs with optional runtime resource adaptation.
 
 Typical use::
 
-    from repro import ElasticMLSession
-    from repro.workloads import prepare_inputs, scenario
+    from repro import ElasticMLSession, scenario
+    from repro.workloads import prepare_inputs
 
-    session = ElasticMLSession()
+    session = ElasticMLSession(trace=True)
     args = prepare_inputs(session.hdfs, "LinregCG", scenario("M"))
-    outcome = session.run_registered("LinregCG", args)
-    print(outcome.resource.describe(), outcome.result.total_time)
+    outcome = session.run("LinregCG", args)
+    print(outcome.resource.describe(), outcome.total_time)
+    print(outcome.trace.render())       # span tree + counters
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, field, replace
 
 from repro.cluster import ResourceConfig, paper_cluster
-from repro.compiler.pipeline import CompiledProgram, compile_program
+from repro.compiler.pipeline import (
+    CompiledProgram,
+    capture_plans,
+    compile_program,
+    restore_plans,
+)
 from repro.cost import CostModel
 from repro.cost.constants import DEFAULT_PARAMETERS
-from repro.optimizer import ResourceAdapter, ResourceOptimizer
-from repro.runtime import Interpreter, SimulatedHDFS
+from repro.obs import NULL_TRACER, Tracer, use_tracer
+from repro.optimizer import (
+    OptimizerOptions,
+    OptimizerResult,
+    ResourceAdapter,
+    ResourceOptimizer,
+)
+from repro.runtime import ExecutionResult, Interpreter, SimulatedHDFS
 from repro.runtime.matrix import DEFAULT_SAMPLE_CAP
-from repro.scripts import load_script
+from repro.scripts import SCRIPTS, load_script
 
 
-@dataclass
+@dataclass(frozen=True)
 class RunOutcome:
-    """Everything produced by one end-to-end run."""
+    """Everything produced by one end-to-end run (immutable)."""
 
-    result: object = None  # ExecutionResult
+    result: ExecutionResult = None
     resource: ResourceConfig = None
-    optimizer_result: object = None  # OptimizerResult or None
+    optimizer_result: OptimizerResult | None = None
     compiled: CompiledProgram = None
+    #: telemetry of the run; None unless the session traces
+    trace: Tracer | None = None
 
     @property
     def total_time(self):
+        """Simulated execution seconds."""
         return self.result.total_time
 
     @property
     def prints(self):
+        """The script's own print() output lines."""
         return self.result.prints
+
+    @property
+    def migrations(self):
+        """CP application-master migrations performed (Section 4)."""
+        return self.result.migrations
+
+    @property
+    def estimated_cost(self):
+        """The optimizer's estimated cost (seconds), or None when the
+        run used an explicit configuration."""
+        if self.optimizer_result is None:
+            return None
+        return self.optimizer_result.cost
 
 
 @dataclass
@@ -62,6 +92,11 @@ class ElasticMLSession:
     grid_cp: str = "hybrid"
     grid_mr: str = "hybrid"
     grid_m: int = 15
+    #: telemetry: False (off), True (fresh Tracer per run), or a Tracer
+    #: instance shared across runs
+    trace: object = False
+    #: the tracer of the most recent traced run (or the shared instance)
+    tracer: Tracer = field(default=None, repr=False)
 
     def __post_init__(self):
         if self.hdfs is None:
@@ -79,18 +114,28 @@ class ElasticMLSession:
 
     # -- optimization ----------------------------------------------------
 
-    def make_optimizer(self, **kwargs):
-        options = {
-            "grid_cp": self.grid_cp,
-            "grid_mr": self.grid_mr,
-            "m": self.grid_m,
-        }
-        options.update(kwargs)
-        return ResourceOptimizer(self.cluster, self.params, **options)
+    @property
+    def optimizer_options(self):
+        """The session's default :class:`OptimizerOptions`."""
+        return OptimizerOptions(
+            grid_cp=self.grid_cp, grid_mr=self.grid_mr, m=self.grid_m
+        )
 
-    def optimize(self, compiled, **kwargs):
+    def make_optimizer(self, options=None, **overrides):
+        """Build a :class:`ResourceOptimizer` from the session defaults.
+
+        ``options`` replaces the defaults wholesale; keyword overrides
+        (``grid_cp``, ``grid_mr``, ``m``, ``w``, ``time_budget``,
+        ``enable_pruning``) patch individual fields of either.
+        """
+        opts = options if options is not None else self.optimizer_options
+        if overrides:
+            opts = replace(opts, **overrides)
+        return ResourceOptimizer(self.cluster, self.params, options=opts)
+
+    def optimize(self, compiled, options=None, **overrides):
         """Run initial resource optimization on a compiled program."""
-        return self.make_optimizer(**kwargs).optimize(compiled)
+        return self.make_optimizer(options, **overrides).optimize(compiled)
 
     # -- execution ---------------------------------------------------------
 
@@ -109,32 +154,101 @@ class ElasticMLSession:
         )
         return interpreter.run(compiled, resource)
 
-    def run_script(self, source, args, resource=None, adapt=True):
-        """Compile, optimize (unless ``resource`` given), and execute."""
-        compiled = self.compile_script(source, args)
-        optimizer_result = None
-        if resource is None:
-            optimizer_result = self.optimize(compiled)
-            resource = optimizer_result.resource
-        result = self.execute(compiled, resource, adapt=adapt)
+    def run(self, script_or_name, args=None, *, resource=None, adapt=True,
+            optimize=True):
+        """Compile, optimize, and execute in one call.
+
+        ``script_or_name`` is either a bundled script name (``"LinregCG"``
+        — see :data:`repro.scripts.SCRIPTS`) or DML source text.  When
+        ``resource`` is given (or ``optimize=False``) the resource
+        optimizer is skipped; ``adapt`` toggles runtime resource
+        adaptation (Section 4).  When the session traces, the returned
+        :attr:`RunOutcome.trace` carries the run's span tree (compile /
+        optimize / execute phases), counters, and events.
+        """
+        source = (
+            load_script(script_or_name)
+            if script_or_name in SCRIPTS
+            else script_or_name
+        )
+        tracer = self._run_tracer()
+        with use_tracer(tracer):
+            with tracer.span("session.run"):
+                with tracer.span("compile"):
+                    compiled = self.compile_script(source, args)
+                optimizer_result = None
+                if resource is None and optimize:
+                    with tracer.span("optimize"):
+                        optimizer_result = self.optimize(compiled)
+                    resource = optimizer_result.resource
+                elif resource is None:
+                    resource = ResourceConfig(
+                        cp_heap_mb=512.0, mr_heap_mb=512.0
+                    )
+                with tracer.span("execute"):
+                    result = self.execute(compiled, resource, adapt=adapt)
         return RunOutcome(
             result=result,
             resource=result.final_resource,
             optimizer_result=optimizer_result,
             compiled=compiled,
+            trace=tracer if tracer.enabled else None,
         )
 
+    def _run_tracer(self):
+        """The tracer for one run(): the shared instance, a fresh one,
+        or the null tracer, per the session's ``trace`` setting."""
+        if isinstance(self.trace, Tracer):
+            self.tracer = self.trace
+        elif self.trace:
+            self.tracer = Tracer()
+        else:
+            return NULL_TRACER
+        return self.tracer
+
+    # -- deprecated entry points -----------------------------------------
+
+    def run_script(self, source, args, resource=None, adapt=True):
+        """Deprecated: use :meth:`run`."""
+        warnings.warn(
+            "ElasticMLSession.run_script() is deprecated; use "
+            "ElasticMLSession.run(source, args, ...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.run(source, args, resource=resource, adapt=adapt)
+
     def run_registered(self, name, args, resource=None, adapt=True):
-        """Like :meth:`run_script` for a bundled script name."""
-        return self.run_script(load_script(name), args, resource, adapt)
+        """Deprecated: use :meth:`run`."""
+        warnings.warn(
+            "ElasticMLSession.run_registered() is deprecated; use "
+            "ElasticMLSession.run(name, args, ...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if name not in SCRIPTS:
+            raise KeyError(
+                f"unknown script {name!r}; available: {sorted(SCRIPTS)}"
+            )
+        return self.run(name, args, resource=resource, adapt=adapt)
 
     # -- analysis helpers --------------------------------------------------
 
     def estimate_cost(self, compiled, resource):
-        """What-if cost of a program under a configuration (seconds)."""
+        """What-if cost of a program under a configuration (seconds).
+
+        Recompiles plans for ``resource``, costs them, and restores the
+        program's previous plans before returning, so the call has no
+        observable side effect on ``compiled`` (hop-level operator
+        annotations are re-derived by the next plan generation).
+        """
         from repro.compiler.pipeline import compile_plans
 
-        compile_plans(compiled, resource)
-        return CostModel(self.cluster, self.params).estimate_program(
-            compiled, resource
-        )
+        snapshot = capture_plans(compiled)
+        try:
+            compile_plans(compiled, resource)
+            return CostModel(self.cluster, self.params).estimate_program(
+                compiled, resource
+            )
+        finally:
+            restore_plans(compiled, snapshot)

@@ -14,6 +14,7 @@ import itertools
 from dataclasses import dataclass, field
 
 from repro.errors import ClusterError
+from repro.obs import get_tracer
 
 _container_ids = itertools.count(1)
 
@@ -95,13 +96,24 @@ class ResourceManager:
         """First-fit allocation; returns a Container or None if the
         cluster currently lacks capacity."""
         request = self.normalize_request(memory_mb)
+        tracer = get_tracer()
         for node in self.nodes:
             if node.can_allocate(request):
-                return node.allocate(request)
+                container = node.allocate(request)
+                if tracer.enabled:
+                    tracer.incr("yarn.allocations")
+                    tracer.incr("yarn.allocated_mb", request)
+                    tracer.gauge("yarn.used_mb", self.used_mb)
+                return container
+        tracer.incr("yarn.allocation_failures")
         return None
 
     def release(self, container):
         self.nodes[container.node_id].release(container)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.incr("yarn.releases")
+            tracer.gauge("yarn.used_mb", self.used_mb)
 
     def max_concurrent(self, memory_mb):
         """How many containers of this size fit an empty cluster."""

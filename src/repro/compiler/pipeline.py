@@ -28,6 +28,7 @@ from repro.compiler.runtime_prog import (
 from repro.compiler.size_propagation import propagate_sizes
 from repro.compiler.statement_blocks import build_program
 from repro.dml import parse, validate
+from repro.obs import get_tracer
 
 _INF = float("inf")
 
@@ -171,7 +172,47 @@ def recompile_block_plan(compiled, block, resource):
     )
     block.plan = generate_block_plan(block, resource)
     compiled.stats.block_compilations += 1
+    get_tracer().incr("compile.block_compilations")
     return block.plan
+
+
+def _plan_holders(compiled):
+    """Yield every object carrying a compiled plan (blocks + predicates)."""
+    for block in compiled.all_blocks():
+        if isinstance(block, SB.GenericBlock):
+            yield block
+        elif isinstance(block, (SB.IfBlock, SB.WhileBlock)):
+            yield block.predicate
+        elif isinstance(block, SB.ForBlock):
+            for holder in (block.from_holder, block.to_holder,
+                           block.incr_holder):
+                if holder is not None:
+                    yield holder
+
+
+def capture_plans(compiled):
+    """Snapshot the resource-dependent compilation state.
+
+    Returns an opaque token for :func:`restore_plans`; together they let
+    what-if analyses (``ElasticMLSession.estimate_cost``) recompile under
+    a hypothetical configuration and then put the program back exactly as
+    it was.
+    """
+    return (
+        compiled.resource,
+        compiled.stats.block_compilations,
+        [(holder, getattr(holder, "plan", None))
+         for holder in _plan_holders(compiled)],
+    )
+
+
+def restore_plans(compiled, snapshot):
+    """Undo plan mutations made since :func:`capture_plans`."""
+    resource, block_compilations, plans = snapshot
+    compiled.resource = resource
+    compiled.stats.block_compilations = block_compilations
+    for holder, plan in plans:
+        holder.plan = plan
 
 
 def compile_program(source, script_args=None, input_meta=None, resource=None):

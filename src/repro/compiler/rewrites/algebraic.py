@@ -19,6 +19,7 @@
 from __future__ import annotations
 
 from repro.compiler import hops as H
+from repro.obs import get_tracer
 
 
 def _iter_with_parents(roots):
@@ -42,6 +43,7 @@ def apply_static_simplifications(roots):
         new = _static_rule(hop)
         if new is not None:
             roots = _replace(roots, parents, hop, new)
+            get_tracer().incr("rewrite.algebraic_static")
     return roots
 
 
@@ -101,6 +103,7 @@ def apply_dynamic_simplifications(roots):
         new = _dynamic_rule(hop)
         if new is not None:
             roots = _replace(roots, parents, hop, new)
+            get_tracer().incr("rewrite.algebraic_dynamic")
     return roots
 
 

@@ -10,6 +10,7 @@ of the program.
 from __future__ import annotations
 
 from repro.compiler import statement_blocks as SB
+from repro.obs import get_tracer
 
 
 def _predicate_const(block):
@@ -25,6 +26,7 @@ def _rewrite_block_list(blocks):
         if isinstance(block, SB.IfBlock):
             const = _predicate_const(block)
             if const is not None:
+                get_tracer().incr("rewrite.branch_removal")
                 taken = block.body if const else block.else_body
                 out.extend(_rewrite_block_list(taken))
                 continue
@@ -33,6 +35,7 @@ def _rewrite_block_list(blocks):
         elif isinstance(block, SB.WhileBlock):
             const = _predicate_const(block)
             if const is not None and not const:
+                get_tracer().incr("rewrite.branch_removal")
                 continue
             block.body = _rewrite_block_list(block.body)
         elif isinstance(block, SB.ForBlock):

@@ -11,6 +11,7 @@ which both shrinks DAGs and enables branch removal.
 from __future__ import annotations
 
 from repro.compiler import hops as H
+from repro.obs import get_tracer
 
 _NEVER_FOLD = (H.LiteralOp, H.DataOp, H.FunctionOp, H.FunctionOutput)
 
@@ -39,4 +40,5 @@ def fold_constants(roots):
         for parent in parents.get(hop.hop_id, []):
             parent.replace_input(hop, literal)
         roots = [literal if root is hop else root for root in roots]
+        get_tracer().incr("rewrite.constant_folding")
     return roots

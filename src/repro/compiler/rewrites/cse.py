@@ -9,6 +9,7 @@ effects); literals merge by value and type.
 from __future__ import annotations
 
 from repro.compiler import hops as H
+from repro.obs import get_tracer
 
 
 def _signature(hop, canonical):
@@ -76,4 +77,6 @@ def eliminate_common_subexpressions(roots):
         else:
             canonical[hop.hop_id] = existing.hop_id
             replacements[hop.hop_id] = existing
+    if replacements:
+        get_tracer().incr("rewrite.cse", len(replacements))
     return [replacements.get(root.hop_id, root) for root in roots]

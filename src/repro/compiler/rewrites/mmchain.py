@@ -10,6 +10,7 @@ revisited during dynamic recompilation once sizes are known).
 from __future__ import annotations
 
 from repro.compiler import hops as H
+from repro.obs import get_tracer
 
 
 def _collect_chain(hop, parents):
@@ -77,4 +78,5 @@ def optimize_matmult_chains(roots):
             parent.replace_input(hop, new_root)
         roots = [new_root if root is hop else root for root in roots]
         parents = H.build_parent_map(roots)
+        get_tracer().incr("rewrite.mmchain")
     return roots

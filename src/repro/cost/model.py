@@ -33,6 +33,7 @@ from repro.cost import io_model
 from repro.cost.compute_model import operation_flops
 from repro.cost.constants import DEFAULT_PARAMETERS
 from repro.cost.mr_timing import time_mr_job
+from repro.obs import get_tracer
 
 #: instruction opcodes that neither read matrix data nor compute
 _METADATA_OPS = {
@@ -94,6 +95,7 @@ class CostModel:
     def estimate_program(self, compiled, resource, initial_state=None):
         """Estimated execution time (seconds) of the whole program."""
         self.invocations += 1
+        get_tracer().incr("cost.invocations")
         state = initial_state.copy() if initial_state else CostState()
         return self._cost_blocks(
             compiled.blocks, resource, state, compiled, set()
@@ -102,12 +104,14 @@ class CostModel:
     def estimate_blocks(self, compiled, blocks, resource, initial_state=None):
         """Estimated time of a block subsequence (re-optimization scope)."""
         self.invocations += 1
+        get_tracer().incr("cost.invocations")
         state = initial_state.copy() if initial_state else CostState()
         return self._cost_blocks(blocks, resource, state, compiled, set())
 
     def estimate_block(self, compiled, block, resource, initial_state=None):
         """Estimated time of a single generic block's plan."""
         self.invocations += 1
+        get_tracer().incr("cost.invocations")
         state = initial_state.copy() if initial_state else CostState()
         return self._cost_generic(block, resource, state, compiled, set())
 

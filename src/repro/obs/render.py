@@ -1,0 +1,123 @@
+"""Text rendering of a trace: span tree, counters table, recent events.
+
+Repeated sibling spans (loop iterations re-executing the same block)
+are aggregated into one line with a multiplicity marker; numeric
+attributes are summed across the aggregated instances so e.g. a block's
+total simulated seconds survive the aggregation.
+"""
+
+from __future__ import annotations
+
+
+def _fmt_value(value):
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _fmt_attrs(attrs):
+    if not attrs:
+        return ""
+    parts = [f"{k}={_fmt_value(v)}" for k, v in sorted(attrs.items())]
+    return "  [" + " ".join(parts) + "]"
+
+
+class _Aggregate:
+    __slots__ = ("name", "count", "wall", "attrs", "children")
+
+    def __init__(self, name):
+        self.name = name
+        self.count = 0
+        self.wall = 0.0
+        self.attrs = {}
+        self.children = []
+
+
+def _aggregate(spans):
+    """Group same-named siblings, summing durations and numeric attrs."""
+    groups = {}
+    order = []
+    for span in spans:
+        agg = groups.get(span.name)
+        if agg is None:
+            agg = groups[span.name] = _Aggregate(span.name)
+            order.append(span.name)
+        agg.count += 1
+        if span.duration is not None:
+            agg.wall += span.duration
+        for key, value in span.attrs.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                agg.attrs[key] = agg.attrs.get(key, 0) + value
+            else:
+                agg.attrs[key] = value
+        agg.children.extend(span.children)
+    return [groups[name] for name in order]
+
+
+def _render_tree(spans, lines, prefix=""):
+    aggregates = _aggregate(spans)
+    for idx, agg in enumerate(aggregates):
+        last = idx == len(aggregates) - 1
+        branch = "└─ " if last else "├─ "
+        mult = f" ×{agg.count}" if agg.count > 1 else ""
+        lines.append(
+            f"{prefix}{branch}{agg.name}{mult}  "
+            f"wall {agg.wall * 1000:.1f}ms{_fmt_attrs(agg.attrs)}"
+        )
+        child_prefix = prefix + ("   " if last else "│  ")
+        _render_tree(agg.children, lines, child_prefix)
+
+
+def render_spans(roots):
+    lines = []
+    _render_tree(roots, lines)
+    return "\n".join(lines)
+
+
+def render_counters(counters):
+    if not counters:
+        return "(no counters)"
+    width = max(len(name) for name in counters)
+    lines = []
+    for name in sorted(counters):
+        lines.append(f"  {name:<{width}}  {_fmt_value(counters[name])}")
+    return "\n".join(lines)
+
+
+def render_events(events, limit=12):
+    events = list(events)
+    lines = []
+    if len(events) > limit:
+        lines.append(f"  ... {len(events) - limit} earlier events elided")
+        events = events[-limit:]
+    for record in events:
+        fields = {k: v for k, v in record.items() if k != "event"}
+        lines.append(f"  {record.get('event', '?')}{_fmt_attrs(fields)}")
+    return "\n".join(lines)
+
+
+def render_trace(tracer):
+    """Full textual report of one tracer's contents."""
+    sections = []
+    if tracer.roots:
+        sections.append("spans:\n" + render_spans(tracer.roots))
+    else:
+        sections.append("spans: (none)")
+    sections.append("counters:\n" + render_counters(tracer.counters))
+    if tracer.gauges:
+        sections.append("gauges:\n" + render_counters(tracer.gauges))
+    if tracer.events:
+        sections.append(
+            f"events ({len(tracer.events)}):\n" + render_events(tracer.events)
+        )
+    return "\n\n".join(sections)

@@ -1,0 +1,243 @@
+"""Tracing and metrics primitives.
+
+A :class:`Tracer` collects three kinds of telemetry during a session run:
+
+* a **span tree** — nested wall-clock timers opened with
+  :meth:`Tracer.span`, each carrying free-form attributes (e.g. the
+  simulated seconds a block accounted for);
+* **counters and gauges** — named scalars; counters accumulate
+  (``incr``), gauges overwrite (``gauge``);
+* **structured events** — a bounded ring buffer of dicts (``event``),
+  used for per-decision records such as optimizer grid points or
+  migration decisions, where unbounded growth would be a liability.
+
+The module keeps one *active* tracer in a module-global slot.  The
+default is :data:`NULL_TRACER`, a null object whose methods are no-ops,
+so instrumented call sites cost one global read plus an empty method
+call when tracing is off.  :func:`use_tracer` installs a real tracer for
+the duration of a ``with`` block (this is how
+``ElasticMLSession(trace=True)`` scopes collection to one run).
+
+Everything here is dependency-free (stdlib only) and importable from
+any layer of the stack without cycles.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from contextlib import contextmanager
+
+#: default capacity of the structured-event ring buffer
+DEFAULT_EVENT_CAPACITY = 4096
+
+
+class Span:
+    """One node of the span tree: a named, attributed wall-clock timer."""
+
+    __slots__ = ("name", "attrs", "start", "end", "children")
+
+    def __init__(self, name, attrs=None):
+        self.name = name
+        self.attrs = dict(attrs) if attrs else {}
+        self.start = None
+        self.end = None
+        self.children = []
+
+    @property
+    def duration(self):
+        """Wall-clock seconds, or None while the span is still open."""
+        if self.start is None or self.end is None:
+            return None
+        return self.end - self.start
+
+    def set(self, key, value):
+        """Attach/overwrite one attribute."""
+        self.attrs[key] = value
+
+    def to_dict(self):
+        return {
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "attrs": dict(self.attrs),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        span = cls(data["name"], data.get("attrs"))
+        span.start = data.get("start")
+        span.end = data.get("end")
+        span.children = [
+            cls.from_dict(child) for child in data.get("children", [])
+        ]
+        return span
+
+    def __repr__(self):
+        dur = self.duration
+        timing = f"{dur:.4f}s" if dur is not None else "open"
+        return f"Span({self.name!r}, {timing}, {len(self.children)} children)"
+
+
+class _NullSpan:
+    """Shared do-nothing span; its own (reentrant) context manager."""
+
+    __slots__ = ()
+
+    def set(self, key, value):
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects spans, counters, gauges, and events for one run."""
+
+    #: instrumentation sites may consult this to skip building labels
+    enabled = True
+
+    def __init__(self, event_capacity=DEFAULT_EVENT_CAPACITY,
+                 clock=time.perf_counter):
+        self.roots = []
+        self.counters = {}
+        self.gauges = {}
+        self.events = deque(maxlen=event_capacity)
+        self._stack = []
+        self._clock = clock
+
+    # -- spans ---------------------------------------------------------------
+
+    @contextmanager
+    def span(self, name, **attrs):
+        """Open a nested span for the duration of the ``with`` block."""
+        span = Span(name, attrs)
+        span.start = self._clock()
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            span.end = self._clock()
+            self._stack.pop()
+
+    @property
+    def current_span(self):
+        return self._stack[-1] if self._stack else None
+
+    # -- metrics -------------------------------------------------------------
+
+    def incr(self, name, value=1):
+        """Add ``value`` to the named counter (creates it at 0)."""
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge(self, name, value):
+        """Set the named gauge to ``value`` (last write wins)."""
+        self.gauges[name] = value
+
+    def event(self, name, **fields):
+        """Append a structured event to the ring buffer."""
+        record = {"event": name}
+        record.update(fields)
+        self.events.append(record)
+
+    def counter(self, name, default=0):
+        """Read one counter (0 when it never fired)."""
+        return self.counters.get(name, default)
+
+    # -- export --------------------------------------------------------------
+
+    def to_dict(self):
+        return {
+            "spans": [span.to_dict() for span in self.roots],
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "events": list(self.events),
+        }
+
+    def to_json(self, indent=None):
+        return json.dumps(self.to_dict(), indent=indent, default=str)
+
+    @classmethod
+    def from_dict(cls, data):
+        tracer = cls()
+        tracer.roots = [Span.from_dict(s) for s in data.get("spans", [])]
+        tracer.counters = dict(data.get("counters", {}))
+        tracer.gauges = dict(data.get("gauges", {}))
+        tracer.events.extend(data.get("events", []))
+        return tracer
+
+    @classmethod
+    def from_json(cls, text):
+        return cls.from_dict(json.loads(text))
+
+    def render(self):
+        """Human-readable span tree + counters table."""
+        from repro.obs.render import render_trace
+
+        return render_trace(self)
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: every operation is a no-op.
+
+    A single shared instance (:data:`NULL_TRACER`) is the default active
+    tracer, so instrumentation adds near-zero overhead when tracing is
+    off.
+    """
+
+    enabled = False
+
+    def __init__(self):
+        super().__init__(event_capacity=0)
+
+    def span(self, name, **attrs):
+        return _NULL_SPAN
+
+    def incr(self, name, value=1):
+        pass
+
+    def gauge(self, name, value):
+        pass
+
+    def event(self, name, **fields):
+        pass
+
+
+NULL_TRACER = NullTracer()
+
+_active = NULL_TRACER
+
+
+def get_tracer():
+    """The currently active tracer (:data:`NULL_TRACER` by default)."""
+    return _active
+
+
+def set_tracer(tracer):
+    """Install ``tracer`` globally; ``None`` restores the null tracer."""
+    global _active
+    _active = tracer if tracer is not None else NULL_TRACER
+    return _active
+
+
+@contextmanager
+def use_tracer(tracer):
+    """Activate ``tracer`` for the duration of a ``with`` block."""
+    previous = get_tracer()
+    set_tracer(tracer)
+    try:
+        yield get_tracer()
+    finally:
+        set_tracer(previous)

@@ -13,7 +13,12 @@
   CP migration (Section 4).
 """
 
-from repro.optimizer.enumerate import OptimizerResult, ResourceOptimizer
+from repro.optimizer.enumerate import (
+    OptimizerOptions,
+    OptimizerResult,
+    OptimizerStats,
+    ResourceOptimizer,
+)
 from repro.optimizer.grids import (
     collect_memory_estimates_mb,
     equi_grid,
@@ -27,7 +32,9 @@ from repro.optimizer.utilization import UtilizationAwareAdapter
 
 __all__ = [
     "ResourceOptimizer",
+    "OptimizerOptions",
     "OptimizerResult",
+    "OptimizerStats",
     "ParallelResourceOptimizer",
     "ResourceAdapter",
     "UtilizationAwareAdapter",

@@ -30,6 +30,7 @@ from repro.compiler.recompile import make_env_from_states
 from repro.compiler import statement_blocks as SB
 from repro.compiler.size_propagation import Propagator
 from repro.cost import io_model
+from repro.obs import get_tracer
 
 
 class ResourceAdapter:
@@ -54,10 +55,16 @@ class ResourceAdapter:
     # -- hook ----------------------------------------------------------------
 
     def on_recompile(self, interp, block, frame):
+        tracer = get_tracer()
+        with tracer.span("adaptation.reoptimize", block=block.block_id):
+            self._reoptimize(interp, block, frame, tracer)
+
+    def _reoptimize(self, interp, block, frame, tracer):
         compiled = interp.compiled
         scope = self._reopt_scope(compiled, block)
         if not scope:
             return
+        tracer.incr("adaptation.reoptimizations")
 
         # refresh scope sizes with actual runtime characteristics
         env = make_env_from_states(interp._var_states(frame))
@@ -88,6 +95,17 @@ class ResourceAdapter:
             and global_result.resource.cp_heap_mb != current_cp
             and interp.result.migrations < self.max_migrations
         )
+        if tracer.enabled:
+            # the paper's adaptation decision: migrate iff |ΔC| > C_M
+            tracer.event(
+                "adaptation.decision",
+                block=block.block_id,
+                benefit_s=benefit,
+                migration_cost_s=migration_cost,
+                migrate=should_migrate,
+                cp_current_mb=current_cp,
+                cp_target_mb=global_result.resource.cp_heap_mb,
+            )
 
         if should_migrate:
             self._migrate(interp, frame, migration_cost)
@@ -166,6 +184,7 @@ class ResourceAdapter:
             value.local_copy = False  # the new container is a new node
         interp.pool.release_all()
         interp.result.migrations += 1
+        get_tracer().incr("adaptation.migrations")
 
 
 def _generic_blocks(blocks):

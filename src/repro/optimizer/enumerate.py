@@ -27,8 +27,28 @@ from repro.cluster.resources import ResourceConfig
 from repro.compiler.pipeline import recompile_block_plan
 from repro.cost import CostModel
 from repro.errors import OptimizationError
+from repro.obs import get_tracer
 from repro.optimizer.grids import collect_memory_estimates_mb, generate_grid
 from repro.optimizer.pruning import prune_program_blocks
+
+
+@dataclass(frozen=True)
+class OptimizerOptions:
+    """Configuration of one :class:`ResourceOptimizer`.
+
+    Groups what used to be loose keyword arguments so the session API,
+    the CLI, and the adaptation path all speak the same vocabulary
+    (Section 5.1 defaults: hybrid grids with m = 15).
+    """
+
+    grid_cp: str = "hybrid"
+    grid_mr: str = "hybrid"
+    m: int = 15
+    w: float = 2.0
+    #: optional wall-clock budget in seconds for the enumeration
+    time_budget: float | None = None
+    #: ablation switch: disable Section 3.4 block pruning
+    enable_pruning: bool = True
 
 
 @dataclass
@@ -68,7 +88,12 @@ class ResourceOptimizer:
 
     def __init__(self, cluster, params=None, grid_cp="hybrid",
                  grid_mr="hybrid", m=15, w=2.0, time_budget=None,
-                 cost_model=None, enable_pruning=True):
+                 cost_model=None, enable_pruning=True, options=None):
+        if options is not None:
+            grid_cp, grid_mr = options.grid_cp, options.grid_mr
+            m, w = options.m, options.w
+            time_budget = options.time_budget
+            enable_pruning = options.enable_pruning
         self.cluster = cluster
         self.grid_cp = grid_cp
         self.grid_mr = grid_mr
@@ -80,6 +105,18 @@ class ResourceOptimizer:
         #: ablation switch: disable Section 3.4 block pruning
         self.enable_pruning = enable_pruning
 
+    @property
+    def options(self):
+        """This optimizer's configuration as an :class:`OptimizerOptions`."""
+        return OptimizerOptions(
+            grid_cp=self.grid_cp,
+            grid_mr=self.grid_mr,
+            m=self.m,
+            w=self.w,
+            time_budget=self.time_budget,
+            enable_pruning=self.enable_pruning,
+        )
+
     # -- public API ----------------------------------------------------------
 
     def optimize(self, compiled, scope_blocks=None, fixed_cp_mb=None):
@@ -89,6 +126,25 @@ class ResourceOptimizer:
         (used by runtime re-optimization); ``fixed_cp_mb`` pins the CP
         dimension (used for the locally-optimal configuration R*|rc).
         """
+        tracer = get_tracer()
+        with tracer.span(
+            "optimizer.optimize",
+            scope="program" if scope_blocks is None else "blocks",
+        ) as span:
+            result = self._optimize(compiled, scope_blocks, fixed_cp_mb,
+                                    tracer)
+            if tracer.enabled:
+                span.set("cost_s", result.cost)
+                span.set("resource", result.resource.describe()
+                         if result.resource else None)
+                tracer.incr("optimizer.runs")
+                tracer.incr("optimizer.pruned_small",
+                            result.stats.pruned_small)
+                tracer.incr("optimizer.pruned_unknown",
+                            result.stats.pruned_unknown)
+            return result
+
+    def _optimize(self, compiled, scope_blocks, fixed_cp_mb, tracer):
         start = time.perf_counter()
         compiled.stats.reset()
         cost_before = self.cost_model.invocations
@@ -189,6 +245,14 @@ class ResourceOptimizer:
                     compiled, cost_blocks, chosen
                 )
             result.cp_profile.append((rc, program_cost))
+            if tracer.enabled:
+                tracer.incr("optimizer.grid_points")
+                tracer.event(
+                    "optimizer.grid_point",
+                    cp_mb=rc,
+                    estimated_cost_s=program_cost,
+                    mr_blocks=len(memo),
+                )
 
             better = program_cost < best_cost or best_resource is None
             tie = (

@@ -13,6 +13,7 @@ from __future__ import annotations
 from collections import OrderedDict
 
 from repro.cost import io_model
+from repro.obs import get_tracer
 
 
 class BufferPool:
@@ -47,21 +48,32 @@ class BufferPool:
 
     def pin(self, obj):
         """Ensure ``obj`` is in memory, charging restore IO if needed."""
+        tracer = get_tracer()
         key = id(obj)
         if key in self._entries:
             self._entries.move_to_end(key)
+            tracer.incr("bufferpool.hits")
             return
         if not obj.in_memory:
+            tracer.incr("bufferpool.misses")
             size = obj.memory_size
             if obj.local_copy:
                 self.charge(io_model.local_read_time(size, self.params), "restore")
                 self.restores += 1
+                tracer.incr("bufferpool.restores")
             elif obj.hdfs_path is not None:
                 mc = obj.mc
                 self.charge(
                     io_model.hdfs_read_time(mc, self.params, obj.fmt), "read"
                 )
+                if tracer.enabled:
+                    tracer.incr(
+                        f"hdfs.bytes_read.{obj.fmt.name.lower()}",
+                        io_model.serialized_bytes(mc, obj.fmt),
+                    )
             obj.in_memory = True
+        else:
+            tracer.incr("bufferpool.hits")
         self._insert(obj)
 
     def put(self, obj):
@@ -109,6 +121,7 @@ class BufferPool:
         self._entries.move_to_end(id(obj))
 
     def _make_room(self, needed):
+        tracer = get_tracer()
         while self._entries and self.used_bytes + needed > self.capacity:
             _, victim = self._entries.popitem(last=False)
             size = victim.memory_size
@@ -118,5 +131,8 @@ class BufferPool:
                 )
                 victim.local_copy = True
                 self.bytes_evicted += size
+                tracer.incr("bufferpool.writebacks")
+                tracer.incr("bufferpool.bytes_evicted", size)
             self.evictions += 1
+            tracer.incr("bufferpool.evictions")
             victim.in_memory = False

@@ -24,6 +24,7 @@ from repro.cost.compute_model import operation_flops
 from repro.cost.constants import DEFAULT_PARAMETERS
 from repro.cost.mr_timing import time_mr_job
 from repro.errors import ExecutionError
+from repro.obs import get_tracer
 from repro.runtime.bufferpool import BufferPool
 from repro.runtime.hdfs import SimulatedHDFS
 from repro.runtime.kernels import display, execute_kernel
@@ -100,7 +101,15 @@ class Interpreter:
         """
         from repro.compiler.pipeline import compile_plans
 
-        compile_plans(compiled, resource)
+        tracer = get_tracer()
+        with tracer.span("runtime.generate_plans") as span:
+            compile_plans(compiled, resource)
+            if tracer.enabled:
+                # the AM recompiles the program under the final (dynamic)
+                # configuration before executing it
+                regenerated = sum(1 for _ in compiled.last_level_blocks())
+                span.set("blocks", regenerated)
+                tracer.incr("recompile.dynamic", regenerated)
         self.compiled = compiled
         self.resource = resource.copy()
         self.clock = 0.0
@@ -205,11 +214,33 @@ class Interpreter:
     # -- generic blocks: recompilation, adaptation, instructions ------------
 
     def _exec_generic(self, block, frame):
+        tracer = get_tracer()
+        if not tracer.enabled:
+            self._exec_generic_inner(block, frame, tracer)
+            return
+        with tracer.span(f"block:{block.block_id}") as span:
+            sim_start = self.clock
+            self._exec_generic_inner(block, frame, tracer)
+            span.set("sim_s", self.clock - sim_start)
+
+    def _exec_generic_inner(self, block, frame, tracer):
         plan = block.plan
         if self.enable_recompile and block.requires_recompile:
+            mr_jobs_before = plan.num_mr_jobs if plan is not None else 0
+            mem_before = _peak_mem_estimate(block) if tracer.enabled else 0.0
             env = make_env_from_states(self._var_states(frame))
             plan = recompile_block(self.compiled, block, self.resource, env)
             self.result.recompilations += 1
+            tracer.incr("recompile.dynamic")
+            if tracer.enabled:
+                tracer.event(
+                    "recompile.dynamic",
+                    block=block.block_id,
+                    mr_jobs_before=mr_jobs_before,
+                    mr_jobs_after=plan.num_mr_jobs,
+                    mem_before_mb=mem_before,
+                    mem_after_mb=_peak_mem_estimate(block),
+                )
             if self.adapter is not None and plan.num_mr_jobs > 0:
                 self.adapter.on_recompile(self, block, frame)
                 plan = block.plan  # adaptation may have re-planned
@@ -225,11 +256,25 @@ class Interpreter:
             plan = block.plan
         if plan is None:
             raise ExecutionError(f"block {block.block_id} has no plan")
-        for ins in plan.instructions:
-            if isinstance(ins, MRJobInstruction):
-                self._exec_mr_job(ins, frame)
-            else:
-                self._exec_cp(ins, frame)
+        if tracer.enabled:
+            for ins in plan.instructions:
+                sim_start = self.clock
+                if isinstance(ins, MRJobInstruction):
+                    self._exec_mr_job(ins, frame)
+                    opcode = "mr_job"
+                else:
+                    self._exec_cp(ins, frame)
+                    opcode = ins.opcode
+                    tracer.incr("runtime.cp_instructions")
+                tracer.incr(
+                    f"runtime.op.{opcode}.sim_s", self.clock - sim_start
+                )
+        else:
+            for ins in plan.instructions:
+                if isinstance(ins, MRJobInstruction):
+                    self._exec_mr_job(ins, frame)
+                else:
+                    self._exec_cp(ins, frame)
         self._cleanup_temps(frame)
 
     def _cleanup_temps(self, frame):
@@ -417,6 +462,25 @@ class Interpreter:
         )
         self.charge(timing.total * slowdown, "mr_jobs")
         self.result.mr_jobs += 1 + job.extra_job_latency
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.incr("runtime.mr_jobs")
+            tracer.incr("mr.phase.latency_s", timing.latency)
+            tracer.incr("mr.phase.map_read_s", timing.map_read)
+            tracer.incr("mr.phase.broadcast_read_s", timing.broadcast_read)
+            tracer.incr("mr.phase.map_compute_s", timing.map_compute)
+            tracer.incr("mr.phase.map_write_s", timing.map_write)
+            tracer.incr("mr.phase.shuffle_s", timing.shuffle)
+            tracer.incr("mr.phase.reduce_compute_s", timing.reduce_compute)
+            tracer.incr("mr.phase.reduce_write_s", timing.reduce_write)
+            # map tasks stream the job inputs from HDFS
+            for name in job.input_vars:
+                value = frame.get(name)
+                if isinstance(value, MatrixObject):
+                    tracer.incr(
+                        f"hdfs.bytes_read.{value.fmt.name.lower()}",
+                        io_model.serialized_bytes(value.mc, value.fmt),
+                    )
 
         for name, obj in outputs.items():
             path = self._scratch_path(name)
@@ -432,3 +496,18 @@ class Interpreter:
     def _scratch_path(self, name):
         self._scratch_counter += 1
         return f"scratch/{name}_{self._scratch_counter}"
+
+
+def _peak_mem_estimate(block):
+    """Largest operation memory estimate (MB) in a block's HOP DAG — the
+    size knowledge a dynamic recompile refreshes."""
+    import math
+
+    from repro.compiler import hops as H
+
+    peak = 0.0
+    for hop in H.iter_dag(block.hop_roots):
+        est = getattr(hop, "mem_estimate", 0.0)
+        if est is not None and math.isfinite(est) and est > peak:
+            peak = est
+    return peak / (1024.0 * 1024.0)

@@ -8,6 +8,7 @@ Mirrors how SystemML's YARN client is driven from the shell:
     python -m repro whatif script.dml ... [--cp 1,10,20 --mr 1,5]
     python -m repro scripts                     # list bundled ML programs
     python -m repro demo LinregCG --size M      # generate data + run
+    python -m repro trace LinregCG M [--json]   # traced run: spans + counters
 
 Input files referenced by ``-arg`` that do not yet exist on the
 session's simulated HDFS are materialized as random dense matrices with
@@ -132,6 +133,22 @@ def build_parser():
                       choices=["XS", "S", "M", "L", "XL"])
     demo.add_argument("--cols", type=int, default=1000)
     demo.add_argument("--sparse", action="store_true")
+
+    trace = sub.add_parser(
+        "trace",
+        help="run a bundled script on a paper scenario with tracing on; "
+             "render the span tree and counters (or dump JSON)",
+    )
+    trace.add_argument("script", choices=sorted(SCRIPTS))
+    trace.add_argument("scenario", choices=["XS", "S", "M", "L", "XL"])
+    trace.add_argument("--cols", type=int, default=1000)
+    trace.add_argument("--sparse", action="store_true")
+    trace.add_argument("--static", metavar="CP_MB,MR_MB",
+                       help="skip the optimizer; use a static configuration")
+    trace.add_argument("--no-adapt", action="store_true",
+                       help="disable runtime resource adaptation")
+    trace.add_argument("--json", action="store_true",
+                       help="dump the raw trace as JSON instead of text")
     return parser
 
 
@@ -140,7 +157,7 @@ def cmd_run(args, session):
     source = _load_source(args.script)
     script_args = _parse_args_list(args.args)
     resource = _static_resource(args.static) if args.static else None
-    outcome = session.run_script(
+    outcome = session.run(
         source, script_args, resource=resource, adapt=not args.no_adapt
     )
     for line in outcome.prints:
@@ -218,13 +235,35 @@ def cmd_demo(args, session):
     print(f"scenario: {scn.label} "
           f"({scn.rows:,} x {scn.cols}, {scn.dense_bytes / 1e9:.2f} GB dense)")
     script_args = prepare_inputs(session.hdfs, args.script, scn)
-    outcome = session.run_registered(args.script, script_args)
+    outcome = session.run(args.script, script_args)
     for line in outcome.prints:
         print("|", line)
     print(f"\nconfiguration: {outcome.resource.describe()} (optimized)")
     print(f"simulated time: {outcome.total_time:.1f}s  "
           f"MR jobs: {outcome.result.mr_jobs}  "
           f"migrations: {outcome.result.migrations}")
+    return 0
+
+
+def cmd_trace(args, session):
+    session.trace = True
+    scn = scenario(args.scenario, cols=args.cols, sparse=args.sparse)
+    script_args = prepare_inputs(session.hdfs, args.script, scn)
+    resource = _static_resource(args.static) if args.static else None
+    outcome = session.run(
+        args.script, script_args, resource=resource, adapt=not args.no_adapt
+    )
+    if args.json:
+        print(outcome.trace.to_json(indent=2))
+        return 0
+    print(f"scenario: {scn.label} "
+          f"({scn.rows:,} x {scn.cols}, {scn.dense_bytes / 1e9:.2f} GB dense)")
+    print(f"configuration: {outcome.resource.describe()}"
+          + ("" if args.static else " (optimized)"))
+    print(f"simulated time: {outcome.total_time:.1f}s  "
+          f"MR jobs: {outcome.result.mr_jobs}  "
+          f"migrations: {outcome.migrations}\n")
+    print(outcome.trace.render())
     return 0
 
 
@@ -239,6 +278,7 @@ def main(argv=None):
         "whatif": cmd_whatif,
         "scripts": cmd_scripts,
         "demo": cmd_demo,
+        "trace": cmd_trace,
     }[args.command]
     return handler(args, session)
 

@@ -145,6 +145,6 @@ class TestSessionLevel:
         args = prepare_inputs(
             session.hdfs, "L2SVM", scenario("S", cols=100)
         )
-        outcome = session.run_registered("L2SVM", args)
+        outcome = session.run("L2SVM", args)
         assert session.hdfs.exists(args["model"])
         assert outcome.result.total_time > 0

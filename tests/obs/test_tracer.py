@@ -1,0 +1,226 @@
+"""Unit tests for the tracing/metrics primitives in repro.obs."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    render_trace,
+    set_tracer,
+    use_tracer,
+)
+
+
+class FakeClock:
+    """Deterministic clock: each read advances by ``step`` seconds."""
+
+    def __init__(self, step=1.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        self.now += self.step
+        return self.now
+
+
+class TestSpans:
+    def test_nesting_builds_a_tree(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner.a"):
+                pass
+            with tracer.span("inner.b"):
+                with tracer.span("leaf"):
+                    pass
+        assert [s.name for s in tracer.roots] == ["outer"]
+        outer = tracer.roots[0]
+        assert [c.name for c in outer.children] == ["inner.a", "inner.b"]
+        assert [c.name for c in outer.children[1].children] == ["leaf"]
+
+    def test_durations_cover_children(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        outer, = tracer.roots
+        inner, = outer.children
+        assert outer.duration > inner.duration > 0
+        assert outer.start <= inner.start <= inner.end <= outer.end
+
+    def test_span_closes_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("failing"):
+                raise RuntimeError("boom")
+        assert tracer.roots[0].duration is not None
+        assert tracer.current_span is None
+
+    def test_attrs_via_kwargs_and_set(self):
+        tracer = Tracer()
+        with tracer.span("s", kind="block") as span:
+            span.set("sim_s", 1.5)
+        assert tracer.roots[0].attrs == {"kind": "block", "sim_s": 1.5}
+
+    def test_sibling_roots(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [s.name for s in tracer.roots] == ["first", "second"]
+
+
+class TestMetrics:
+    def test_counters_accumulate(self):
+        tracer = Tracer()
+        tracer.incr("bufferpool.hits")
+        tracer.incr("bufferpool.hits", 4)
+        tracer.incr("hdfs.bytes_read.csv", 1000)
+        assert tracer.counter("bufferpool.hits") == 5
+        assert tracer.counter("hdfs.bytes_read.csv") == 1000
+        assert tracer.counter("never.fired") == 0
+        assert tracer.counter("never.fired", default=-1) == -1
+
+    def test_gauges_overwrite(self):
+        tracer = Tracer()
+        tracer.gauge("yarn.used_mb", 2048)
+        tracer.gauge("yarn.used_mb", 512)
+        assert tracer.gauges["yarn.used_mb"] == 512
+
+    def test_event_ring_buffer_is_bounded(self):
+        tracer = Tracer(event_capacity=3)
+        for i in range(5):
+            tracer.event("grid_point", index=i)
+        assert len(tracer.events) == 3
+        assert [e["index"] for e in tracer.events] == [2, 3, 4]
+        assert all(e["event"] == "grid_point" for e in tracer.events)
+
+
+class TestNullTracer:
+    def test_null_tracer_is_a_no_op(self):
+        tracer = NullTracer()
+        with tracer.span("anything", attr=1) as span:
+            span.set("ignored", True)
+            tracer.incr("counter")
+            tracer.gauge("gauge", 1)
+            tracer.event("event", field=1)
+        assert tracer.roots == []
+        assert tracer.counters == {}
+        assert tracer.gauges == {}
+        assert list(tracer.events) == []
+        assert tracer.counter("counter") == 0
+
+    def test_enabled_flags(self):
+        assert Tracer().enabled is True
+        assert NULL_TRACER.enabled is False
+
+    def test_null_span_is_reentrant(self):
+        tracer = NullTracer()
+        outer = tracer.span("a")
+        with outer:
+            with tracer.span("b"):
+                pass
+        with outer:
+            pass
+
+
+class TestActiveTracer:
+    def test_default_is_null(self):
+        assert get_tracer() is NULL_TRACER
+
+    def test_use_tracer_installs_and_restores(self):
+        tracer = Tracer()
+        with use_tracer(tracer) as active:
+            assert active is tracer
+            assert get_tracer() is tracer
+        assert get_tracer() is NULL_TRACER
+
+    def test_use_tracer_restores_on_exception(self):
+        with pytest.raises(ValueError):
+            with use_tracer(Tracer()):
+                raise ValueError
+        assert get_tracer() is NULL_TRACER
+
+    def test_set_tracer_none_restores_null(self):
+        set_tracer(Tracer())
+        assert set_tracer(None) is NULL_TRACER
+        assert get_tracer() is NULL_TRACER
+
+    def test_nested_use_tracer(self):
+        first, second = Tracer(), Tracer()
+        with use_tracer(first):
+            with use_tracer(second):
+                assert get_tracer() is second
+            assert get_tracer() is first
+
+
+class TestExport:
+    def _populated(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("run", scope="test"):
+            with tracer.span("step") as span:
+                span.set("sim_s", 2.5)
+        tracer.incr("cost.invocations", 7)
+        tracer.gauge("yarn.used_mb", 4096)
+        tracer.event("decision", migrate=True, benefit_s=1.25)
+        return tracer
+
+    def test_json_round_trip(self):
+        tracer = self._populated()
+        restored = Tracer.from_json(tracer.to_json())
+        assert restored.to_dict() == tracer.to_dict()
+        assert restored.counter("cost.invocations") == 7
+        assert restored.gauges["yarn.used_mb"] == 4096
+        assert list(restored.events) == [
+            {"event": "decision", "migrate": True, "benefit_s": 1.25}
+        ]
+        root = restored.roots[0]
+        assert root.name == "run"
+        assert root.attrs == {"scope": "test"}
+        assert root.children[0].attrs == {"sim_s": 2.5}
+        assert root.duration == pytest.approx(tracer.roots[0].duration)
+
+    def test_to_json_is_valid_json(self):
+        data = json.loads(self._populated().to_json(indent=2))
+        assert set(data) == {"spans", "counters", "gauges", "events"}
+
+    def test_span_dict_round_trip(self):
+        span = Span("s", {"a": 1})
+        span.start, span.end = 1.0, 3.0
+        child = Span("c")
+        child.start, child.end = 1.5, 2.0
+        span.children.append(child)
+        restored = Span.from_dict(span.to_dict())
+        assert restored.to_dict() == span.to_dict()
+        assert restored.duration == 2.0
+
+
+class TestRender:
+    def test_render_shows_spans_and_counters(self):
+        tracer = Tracer(clock=FakeClock(step=0.001))
+        with tracer.span("session.run"):
+            with tracer.span("execute"):
+                for i in range(3):
+                    with tracer.span("block:5") as span:
+                        span.set("sim_s", 1.0)
+        tracer.incr("bufferpool.hits", 42)
+        text = render_trace(tracer)
+        assert "session.run" in text
+        assert "bufferpool.hits" in text
+        assert "42" in text
+        # repeated same-named siblings aggregate with a multiplicity
+        assert "block:5 ×3" in text
+        assert "[sim_s=3" in text  # numeric attrs sum across merged spans
+
+    def test_render_method_matches_function(self):
+        tracer = Tracer()
+        with tracer.span("only"):
+            pass
+        assert tracer.render() == render_trace(tracer)

@@ -1,8 +1,15 @@
 """Tests for the high-level ElasticMLSession API."""
 
+import dataclasses
+
 import pytest
 
-from repro import ElasticMLSession, ResourceConfig, small_cluster
+from repro import (
+    ElasticMLSession,
+    OptimizerOptions,
+    ResourceConfig,
+    small_cluster,
+)
 from repro.workloads import prepare_inputs, scenario
 
 
@@ -11,43 +18,107 @@ def session():
     return ElasticMLSession(sample_cap=64)
 
 
-class TestSession:
-    def test_run_registered_end_to_end(self, session):
+class TestSessionRun:
+    def test_run_registered_name_end_to_end(self, session):
         args = prepare_inputs(
             session.hdfs, "LinregDS", scenario("XS", cols=100)
         )
-        outcome = session.run_registered("LinregDS", args)
+        outcome = session.run("LinregDS", args)
         assert outcome.total_time > 0
         assert outcome.resource is not None
         assert outcome.optimizer_result is not None
+        assert outcome.estimated_cost == outcome.optimizer_result.cost
         assert any("R2=" in p for p in outcome.prints)
 
     def test_run_with_explicit_resource_skips_optimizer(self, session):
         args = prepare_inputs(
             session.hdfs, "LinregDS", scenario("XS", cols=100)
         )
-        outcome = session.run_registered(
+        outcome = session.run(
             "LinregDS", args, resource=ResourceConfig(2048, 512)
         )
         assert outcome.optimizer_result is None
+        assert outcome.estimated_cost is None
         assert outcome.resource.cp_heap_mb == 2048
 
-    def test_run_inline_script(self, session):
-        session.hdfs.create_dense_input("X", 1000, 10)
-        outcome = session.run_script(
-            "X = read($X)\nprint(sum(X))", {"X": "X"}
+    def test_run_optimize_false_uses_default_resource(self, session):
+        args = prepare_inputs(
+            session.hdfs, "LinregDS", scenario("XS", cols=100)
         )
+        outcome = session.run("LinregDS", args, optimize=False)
+        assert outcome.optimizer_result is None
+        assert outcome.total_time > 0
+
+    def test_run_inline_source(self, session):
+        session.hdfs.create_dense_input("X", 1000, 10)
+        outcome = session.run("X = read($X)\nprint(sum(X))", {"X": "X"})
         assert len(outcome.prints) == 1
 
-    def test_estimate_cost_positive(self, session):
+    def test_run_keyword_only_parameters(self, session):
         args = prepare_inputs(
-            session.hdfs, "LinregCG", scenario("S", cols=100)
+            session.hdfs, "LinregDS", scenario("XS", cols=100)
         )
-        compiled = session.compile_registered("LinregCG", args)
-        cost = session.estimate_cost(compiled, ResourceConfig(2048, 512))
-        assert cost > 0
+        with pytest.raises(TypeError):
+            session.run("LinregDS", args, ResourceConfig(2048, 512))
 
-    def test_optimizer_defaults_configurable(self):
+    def test_adaptation_toggle(self, session):
+        args = prepare_inputs(
+            session.hdfs, "MLogreg", scenario("XS", cols=100)
+        )
+        outcome = session.run("MLogreg", args, adapt=False)
+        assert outcome.migrations == 0
+
+    def test_custom_cluster(self):
+        session = ElasticMLSession(cluster=small_cluster(), sample_cap=64)
+        args = prepare_inputs(
+            session.hdfs, "LinregDS", scenario("XS", cols=100)
+        )
+        outcome = session.run("LinregDS", args)
+        assert outcome.resource.cp_heap_mb <= session.cluster.max_heap_mb
+
+
+class TestRunOutcome:
+    def test_outcome_is_frozen(self, session):
+        args = prepare_inputs(
+            session.hdfs, "LinregDS", scenario("XS", cols=100)
+        )
+        outcome = session.run("LinregDS", args)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            outcome.resource = ResourceConfig(1024, 512)
+
+    def test_trace_none_without_tracing(self, session):
+        args = prepare_inputs(
+            session.hdfs, "LinregDS", scenario("XS", cols=100)
+        )
+        outcome = session.run("LinregDS", args)
+        assert outcome.trace is None
+
+
+class TestDeprecatedWrappers:
+    def test_run_script_warns_and_delegates(self, session):
+        session.hdfs.create_dense_input("X", 1000, 10)
+        with pytest.deprecated_call():
+            outcome = session.run_script(
+                "X = read($X)\nprint(sum(X))", {"X": "X"}
+            )
+        assert len(outcome.prints) == 1
+
+    def test_run_registered_warns_and_delegates(self, session):
+        args = prepare_inputs(
+            session.hdfs, "LinregDS", scenario("XS", cols=100)
+        )
+        with pytest.deprecated_call():
+            outcome = session.run_registered("LinregDS", args)
+        assert outcome.total_time > 0
+
+    def test_run_registered_rejects_unknown_name(self, session):
+        with pytest.deprecated_call():
+            with pytest.raises(KeyError):
+                session.run_registered("NoSuchScript", {})
+
+
+class TestOptimizerOptions:
+    def test_session_defaults_configurable(self):
         session = ElasticMLSession(grid_cp="equi", grid_m=5, sample_cap=64)
         args = prepare_inputs(
             session.hdfs, "LinregDS", scenario("XS", cols=100)
@@ -56,17 +127,55 @@ class TestSession:
         result = session.optimize(compiled)
         assert result.stats.cp_points == 5
 
-    def test_custom_cluster(self):
-        session = ElasticMLSession(cluster=small_cluster(), sample_cap=64)
-        args = prepare_inputs(
-            session.hdfs, "LinregDS", scenario("XS", cols=100)
-        )
-        outcome = session.run_registered("LinregDS", args)
-        assert outcome.resource.cp_heap_mb <= session.cluster.max_heap_mb
+    def test_options_object_replaces_defaults(self, session):
+        opts = OptimizerOptions(grid_cp="equi", grid_mr="equi", m=4)
+        optimizer = session.make_optimizer(opts)
+        assert optimizer.options == opts
 
-    def test_adaptation_toggle(self, session):
+    def test_keyword_overrides_patch_options(self, session):
+        optimizer = session.make_optimizer(m=7)
+        assert optimizer.options.m == 7
+        assert optimizer.options.grid_cp == session.grid_cp
+
+    def test_options_are_frozen(self):
+        opts = OptimizerOptions()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            opts.m = 99
+
+
+class TestEstimateCost:
+    def test_estimate_cost_positive(self, session):
         args = prepare_inputs(
-            session.hdfs, "MLogreg", scenario("XS", cols=100)
+            session.hdfs, "LinregCG", scenario("S", cols=100)
         )
-        outcome = session.run_registered("MLogreg", args, adapt=False)
-        assert outcome.result.migrations == 0
+        compiled = session.compile_registered("LinregCG", args)
+        cost = session.estimate_cost(compiled, ResourceConfig(2048, 512))
+        assert cost > 0
+
+    def test_estimate_cost_has_no_side_effect(self, session):
+        from repro.compiler.pipeline import capture_plans
+
+        args = prepare_inputs(
+            session.hdfs, "LinregCG", scenario("S", cols=100)
+        )
+        compiled = session.compile_registered(
+            "LinregCG", args, ResourceConfig(4096, 1024)
+        )
+        resource_before = compiled.resource
+        _, compilations_before, plans_before = capture_plans(compiled)
+        session.estimate_cost(compiled, ResourceConfig(512, 512))
+        _, compilations_after, plans_after = capture_plans(compiled)
+        assert compiled.resource == resource_before
+        assert compilations_after == compilations_before
+        assert [id(p) for _, p in plans_after] == [
+            id(p) for _, p in plans_before
+        ]
+
+    def test_estimate_cost_varies_with_resource(self, session):
+        args = prepare_inputs(
+            session.hdfs, "LinregDS", scenario("S", cols=100)
+        )
+        compiled = session.compile_registered("LinregDS", args)
+        small = session.estimate_cost(compiled, ResourceConfig(512, 512))
+        large = session.estimate_cost(compiled, ResourceConfig(8192, 2048))
+        assert small != large
