@@ -20,11 +20,15 @@ Appendix B):
 8. :mod:`repro.compiler.runtime_prog` — executable instruction generation;
 9. :mod:`repro.compiler.recompile` — dynamic (re-)compilation used both by
    the runtime (unknown sizes) and by the resource optimizer's what-if
-   enumeration.
+   enumeration;
+10. :mod:`repro.compiler.plan_cache` — memoizing plan cache that lets the
+    optimizer's enumeration skip recompilations whose budgets cannot
+    change any compilation decision.
 
 The main entry point is :func:`repro.compiler.pipeline.compile_program`.
 """
 
 from repro.compiler.pipeline import compile_program
+from repro.compiler.plan_cache import PlanCache, block_thresholds
 
-__all__ = ["compile_program"]
+__all__ = ["compile_program", "PlanCache", "block_thresholds"]

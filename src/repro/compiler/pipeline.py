@@ -93,6 +93,10 @@ class CompiledProgram:
     input_meta: dict = field(default_factory=dict)
     resource: ResourceConfig = None
     stats: CompileStats = field(default_factory=CompileStats)
+    #: memoizing :class:`~repro.compiler.plan_cache.PlanCache` attached
+    #: by the resource optimizer (None until one runs with caching on);
+    #: dynamic recompilation invalidates through this reference
+    plan_cache: object = field(default=None, repr=False, compare=False)
 
     @property
     def blocks(self):
@@ -159,12 +163,24 @@ def _compile_predicate(holder, resource):
     holder.plan = generate_predicate_plan(holder, resource)
 
 
-def recompile_block_plan(compiled, block, resource):
+def recompile_block_plan(compiled, block, resource, cache=None):
     """Re-run the resource-dependent phases for one generic block.
 
     This is the cheap path used by the resource optimizer's what-if
     enumeration: operator selection -> piggybacking -> instructions.
+
+    With a :class:`~repro.compiler.plan_cache.PlanCache`, budgets that
+    stay within a block's memory-estimate bucket return the previously
+    generated plan without recompiling (and without counting a block
+    compilation — ``stats.block_compilations`` reports real compiles).
     """
+    key = None
+    if cache is not None:
+        key = cache.key_for(block, resource)
+        plan = cache.lookup(key)
+        if plan is not None:
+            block.plan = plan
+            return plan
     select_operators(
         block.hop_roots,
         resource.cp_budget_bytes / block.budget_divisor,
@@ -173,6 +189,8 @@ def recompile_block_plan(compiled, block, resource):
     block.plan = generate_block_plan(block, resource)
     compiled.stats.block_compilations += 1
     get_tracer().incr("compile.block_compilations")
+    if key is not None:
+        cache.store(key, block.plan)
     return block.plan
 
 

@@ -38,13 +38,19 @@ def recompile_block(compiled, block, resource, env):
     Returns the regenerated :class:`BlockPlan`.
     """
     assert isinstance(block, SB.GenericBlock)
+    # runtime size knowledge changes memory estimates, which moves the
+    # plan cache's budget thresholds: drop the block's cached plans (and
+    # thresholds) before re-deriving them from the refreshed DAG
+    cache = getattr(compiled, "plan_cache", None)
+    if cache is not None:
+        cache.invalidate_block(block.block_id)
     propagator = Propagator(compiled.block_program, compiled.input_meta)
     propagator.propagate_dag(block.hop_roots, env, update_env=False)
     block.hop_roots = apply_dynamic_simplifications(block.hop_roots)
     block.hop_roots = eliminate_common_subexpressions(block.hop_roots)
     propagator.propagate_dag(block.hop_roots, env, update_env=False)
     estimate_dag_memory(block.hop_roots)
-    return recompile_block_plan(compiled, block, resource)
+    return recompile_block_plan(compiled, block, resource, cache=cache)
 
 
 def recompile_predicate(compiled, holder, resource, env):

@@ -17,6 +17,7 @@ entries (semantic opcode + physical method + phase) so that
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 
 from repro.common import DataType, ExecType, MatrixCharacteristics
@@ -99,6 +100,13 @@ class MRJobInstruction:
         )
 
 
+#: monotonically increasing ids stamped on every generated plan; two
+#: plans share a signature iff they are the same generation (the plan
+#: cache returns one object for a whole budget bucket), which lets the
+#: cost model memoize per-plan costs without structural hashing
+_plan_signatures = itertools.count(1)
+
+
 @dataclass
 class BlockPlan:
     """Compiled plan of one generic block under a resource configuration."""
@@ -107,6 +115,8 @@ class BlockPlan:
     num_mr_jobs: int = 0
     cp_heap_mb: float = 0.0
     mr_heap_mb: float = 0.0
+    #: structural identity for plan-signature memoization (see above)
+    signature: int = field(default_factory=lambda: next(_plan_signatures))
 
     def mr_jobs(self):
         return [ins for ins in self.instructions if isinstance(ins, MRJobInstruction)]

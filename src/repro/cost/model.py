@@ -89,6 +89,11 @@ class CostModel:
         #: exclude blocks marked for dynamic recompilation from
         #: program-level aggregation (ablation switch; see _cost_block)
         self.exclude_provisional = exclude_provisional
+        #: plan-signature block-cost memo (see :meth:`estimate_block`)
+        self._block_cost_memo = {}
+        self._plan_has_fcall = {}
+        #: memo hits (returned without counting an invocation)
+        self.memo_hits = 0
 
     # -- public API ----------------------------------------------------------
 
@@ -108,12 +113,80 @@ class CostModel:
         state = initial_state.copy() if initial_state else CostState()
         return self._cost_blocks(blocks, resource, state, compiled, set())
 
-    def estimate_block(self, compiled, block, resource, initial_state=None):
-        """Estimated time of a single generic block's plan."""
+    def estimate_block(self, compiled, block, resource, initial_state=None,
+                       use_memo=False):
+        """Estimated time of a single generic block's plan.
+
+        With ``use_memo`` (the resource optimizer's plan-cache mode) the
+        result is memoized on the plan's signature plus the exact
+        projection of ``resource`` the cost depends on — a memo hit skips
+        the cost walk entirely and does not count as an invocation.
+        """
+        key = None
+        if use_memo and initial_state is None:
+            key = self._block_memo_key(block, resource)
+            if key is not None and key in self._block_cost_memo:
+                self.memo_hits += 1
+                get_tracer().incr("costcache.hits")
+                return self._block_cost_memo[key]
         self.invocations += 1
         get_tracer().incr("cost.invocations")
         state = initial_state.copy() if initial_state else CostState()
-        return self._cost_generic(block, resource, state, compiled, set())
+        cost = self._cost_generic(block, resource, state, compiled, set())
+        if key is not None:
+            self._block_cost_memo[key] = cost
+            get_tracer().incr("costcache.misses")
+        return cost
+
+    # -- block-cost memoization ---------------------------------------------
+
+    def mr_cost_signature(self, block_id, resource):
+        """Exact projection of ``resource`` that MR-job timing depends
+        on for one block: the raw map-task parallelism and the
+        small-heap thrash flag (see :func:`repro.cost.mr_timing.time_mr_job`
+        — every other term is determined by the plan and the CP heap)."""
+        mr_heap = resource.mr_heap_for_block(block_id)
+        cp_container = self.cluster.container_mb_for_heap(resource.cp_heap_mb)
+        return (
+            self.cluster.map_task_parallelism(mr_heap, cp_container),
+            mr_heap < self.params.small_task_thrash_heap_mb,
+        )
+
+    def _block_memo_key(self, block, resource):
+        """Memo key, or None when memoization would be unsound.
+
+        A block cost is a pure function of (plan, cp_heap, MR cost
+        signature) — except plans calling functions, whose cost also
+        depends on the callee blocks' current plans, so those are never
+        memoized.  CP-only plans drop the MR component entirely (their
+        cost is independent of the task heap)."""
+        plan = block.plan
+        if plan is None:
+            return None
+        signature = getattr(plan, "signature", None)
+        if signature is None:
+            return None
+        has_fcall = self._plan_has_fcall.get(signature)
+        if has_fcall is None:
+            has_fcall = any(
+                getattr(ins, "opcode", None) == "fcall"
+                for ins in plan.instructions
+            )
+            self._plan_has_fcall[signature] = has_fcall
+        if has_fcall:
+            return None
+        mr_key = (
+            self.mr_cost_signature(block.block_id, resource)
+            if plan.num_mr_jobs
+            else None
+        )
+        return (signature, resource.cp_heap_mb, mr_key)
+
+    def clear_memo(self):
+        """Drop all memoized block costs (plan signatures make stale
+        entries unreachable anyway; this just frees memory)."""
+        self._block_cost_memo.clear()
+        self._plan_has_fcall.clear()
 
     # -- program aggregation -----------------------------------------------
 

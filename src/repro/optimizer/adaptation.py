@@ -71,6 +71,7 @@ class ResourceAdapter:
         propagator = Propagator(compiled.block_program, compiled.input_meta)
         for scope_block in scope:
             propagator.propagate_block(scope_block, env)
+        cache = getattr(compiled, "plan_cache", None)
         for scope_block in _generic_blocks(scope):
             # memory re-estimation with actual sizes; blocks whose sizes
             # are now fully known drop their provisional flag so the
@@ -78,6 +79,9 @@ class ResourceAdapter:
             scope_block.requires_recompile = estimate_dag_memory(
                 scope_block.hop_roots
             )
+            if cache is not None:
+                # refreshed estimates move the plan-cache thresholds
+                cache.invalidate_block(scope_block.block_id)
 
         current_cp = interp.resource.cp_heap_mb
         optimizer = self._select_optimizer(interp)
@@ -133,6 +137,7 @@ class ResourceAdapter:
         # original script recompiles to the same plan the optimizer saw)
         for any_block in compiled.last_level_blocks():
             recompile_block_plan(compiled, any_block, new_resource)
+        compiled.resource = new_resource
 
     # -- scope ----------------------------------------------------------
 

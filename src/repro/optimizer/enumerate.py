@@ -20,16 +20,104 @@ piggybacking) — the robustness argument of Section 2.4.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 
 from repro.cluster.resources import ResourceConfig
 from repro.compiler.pipeline import recompile_block_plan
+from repro.compiler.plan_cache import PlanCache
 from repro.cost import CostModel
 from repro.errors import OptimizationError
 from repro.obs import get_tracer
 from repro.optimizer.grids import collect_memory_estimates_mb, generate_grid
 from repro.optimizer.pruning import prune_program_blocks
+
+#: relative tolerance for "equal" program costs: two grid points whose
+#: estimates differ by float noise are a tie, and Definition 1 then
+#: prefers the minimal resource configuration
+COST_TIE_RTOL = 1e-9
+
+
+def costs_tie(a, b, rtol=COST_TIE_RTOL):
+    """Near-equality for estimated costs (exact == never fires on the
+    accumulated float sums two recompilations produce)."""
+    if a == b:
+        return True
+    if not (math.isfinite(a) and math.isfinite(b)):
+        return False
+    return abs(a - b) <= rtol * max(abs(a), abs(b))
+
+
+def update_best(best_resource, best_cost, chosen, cost):
+    """One step of Definition 1's selection rule: cheapest configuration,
+    near-ties broken towards minimal resources.  Returns the updated
+    ``(best_resource, best_cost)``; shared by the serial and the
+    task-parallel optimizer so both select identically."""
+    if best_resource is None:
+        return chosen, cost
+    if costs_tie(cost, best_cost):
+        if chosen.footprint() < best_resource.footprint():
+            best_resource = chosen
+        return best_resource, min(best_cost, cost)
+    if cost < best_cost:
+        return chosen, cost
+    return best_resource, best_cost
+
+
+def enumerate_block_mr(compiled, block, rc, min_mb, srm, cost_model,
+                       baseline_cost, cache=None, deadline=None, stats=None):
+    """Enumerate the MR grid for one block at fixed CP memory ``rc``.
+
+    Implements the inner loop of Algorithm 1's semi-independent
+    subproblems; shared by the serial and the task-parallel optimizer.
+    Returns ``((best_ri, best_cost), exhausted)`` where ``exhausted``
+    reports hitting ``deadline`` mid-enumeration.
+
+    With a plan cache, points whose budget stays in an already-visited
+    ``(mr_bucket, thrash)`` class with no more task parallelism than a
+    visited point are skipped outright: the plan is identical (same
+    bucket) and its MR cost is weakly increasing as parallelism drops,
+    so the skipped point can never *strictly* beat the memoized best —
+    and the strict ``<`` keeps the earlier, smaller r_i on exact ties,
+    matching the uncached enumeration.
+    """
+    best = (min_mb, baseline_cost)
+    use_memo = cache is not None
+    #: (mr_bucket, thrash) -> max map-task parallelism already costed
+    seen = {}
+    if use_memo:
+        baseline = ResourceConfig(cp_heap_mb=rc, mr_heap_mb=min_mb)
+        dop, thrash = cost_model.mr_cost_signature(block.block_id, baseline)
+        seen[(cache.mr_bucket(block, baseline), thrash)] = dop
+    for ri in srm:
+        if ri == min_mb:
+            continue
+        if deadline is not None and time.perf_counter() > deadline:
+            return best, True
+        candidate = ResourceConfig(
+            cp_heap_mb=rc,
+            mr_heap_mb=min_mb,
+            mr_heap_per_block={block.block_id: ri},
+        )
+        if use_memo:
+            bucket = cache.mr_bucket(block, candidate)
+            dop, thrash = cost_model.mr_cost_signature(
+                block.block_id, candidate
+            )
+            prev_dop = seen.get((bucket, thrash))
+            if prev_dop is not None and dop <= prev_dop:
+                if stats is not None:
+                    stats.mr_points_skipped += 1
+                continue
+            seen[(bucket, thrash)] = dop
+        recompile_block_plan(compiled, block, candidate, cache=cache)
+        cost = cost_model.estimate_block(
+            compiled, block, candidate, use_memo=use_memo
+        )
+        if cost < best[1]:
+            best = (ri, cost)
+    return best, False
 
 
 @dataclass(frozen=True)
@@ -49,6 +137,8 @@ class OptimizerOptions:
     time_budget: float | None = None
     #: ablation switch: disable Section 3.4 block pruning
     enable_pruning: bool = True
+    #: ablation switch: disable the memoizing plan/cost cache
+    enable_plan_cache: bool = True
 
 
 @dataclass
@@ -64,6 +154,16 @@ class OptimizerStats:
     pruned_small: int = 0
     pruned_unknown: int = 0
     remaining_blocks: int = 0
+    #: True when the time budget expired before the grid was exhausted
+    budget_exhausted: bool = False
+    #: plan-cache bucket hits / misses during this optimization
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+    #: block-cost estimates answered from the cost memo
+    cost_memo_hits: int = 0
+    #: MR grid points skipped because a same-bucket point with at least
+    #: as much task parallelism was already costed (dominance)
+    mr_points_skipped: int = 0
 
     @property
     def remaining_fraction(self):
@@ -88,12 +188,14 @@ class ResourceOptimizer:
 
     def __init__(self, cluster, params=None, grid_cp="hybrid",
                  grid_mr="hybrid", m=15, w=2.0, time_budget=None,
-                 cost_model=None, enable_pruning=True, options=None):
+                 cost_model=None, enable_pruning=True,
+                 enable_plan_cache=True, options=None):
         if options is not None:
             grid_cp, grid_mr = options.grid_cp, options.grid_mr
             m, w = options.m, options.w
             time_budget = options.time_budget
             enable_pruning = options.enable_pruning
+            enable_plan_cache = options.enable_plan_cache
         self.cluster = cluster
         self.grid_cp = grid_cp
         self.grid_mr = grid_mr
@@ -104,6 +206,8 @@ class ResourceOptimizer:
         self.cost_model = cost_model or CostModel(cluster, params)
         #: ablation switch: disable Section 3.4 block pruning
         self.enable_pruning = enable_pruning
+        #: ablation switch: disable the memoizing plan/cost cache
+        self.enable_plan_cache = enable_plan_cache
 
     @property
     def options(self):
@@ -115,6 +219,7 @@ class ResourceOptimizer:
             w=self.w,
             time_budget=self.time_budget,
             enable_pruning=self.enable_pruning,
+            enable_plan_cache=self.enable_plan_cache,
         )
 
     # -- public API ----------------------------------------------------------
@@ -148,6 +253,12 @@ class ResourceOptimizer:
         start = time.perf_counter()
         compiled.stats.reset()
         cost_before = self.cost_model.invocations
+        memo_hits_before = self.cost_model.memo_hits
+        cache = None
+        if self.enable_plan_cache:
+            cache = PlanCache()
+            compiled.plan_cache = cache
+            self.cost_model.clear_memo()
 
         min_mb = self.cluster.min_heap_mb
         max_mb = self.cluster.max_heap_mb
@@ -185,10 +296,11 @@ class ResourceOptimizer:
         )
 
         for rc in src:
+            exhausted = False
             # baseline compilation at (rc, min_cc)
             baseline = ResourceConfig(cp_heap_mb=rc, mr_heap_mb=min_mb)
             for block in blocks:
-                recompile_block_plan(compiled, block, baseline)
+                recompile_block_plan(compiled, block, baseline, cache=cache)
             if self.enable_pruning:
                 remaining, pruned_small, pruned_unknown = (
                     prune_program_blocks(blocks)
@@ -206,27 +318,29 @@ class ResourceOptimizer:
             # per-block enumeration of the MR dimension (memoized best)
             memo = {}
             for block in remaining:
+                if deadline is not None and time.perf_counter() > deadline:
+                    exhausted = True
+                    break
                 memo[block.block_id] = (
                     min_mb,
-                    self.cost_model.estimate_block(compiled, block, baseline),
+                    self.cost_model.estimate_block(
+                        compiled, block, baseline,
+                        use_memo=cache is not None,
+                    ),
                 )
-            for block in remaining:
-                for ri in srm:
-                    if ri == min_mb:
-                        continue
-                    candidate = ResourceConfig(
-                        cp_heap_mb=rc,
-                        mr_heap_mb=min_mb,
-                        mr_heap_per_block={block.block_id: ri},
+            if not exhausted:
+                for block in remaining:
+                    memo[block.block_id], exhausted = enumerate_block_mr(
+                        compiled, block, rc, min_mb, srm, self.cost_model,
+                        memo[block.block_id][1], cache=cache,
+                        deadline=deadline, stats=result.stats,
                     )
-                    recompile_block_plan(compiled, block, candidate)
-                    cost = self.cost_model.estimate_block(
-                        compiled, block, candidate
-                    )
-                    if cost < memo[block.block_id][1]:
-                        memo[block.block_id] = (ri, cost)
+                    if exhausted:
+                        break
 
-            # whole-program compilation under the memoized vector
+            # whole-program compilation under the memoized vector (on
+            # budget exhaustion: under the partial memo, so the point
+            # still contributes a valid configuration + profile sample)
             chosen = ResourceConfig(
                 cp_heap_mb=rc,
                 mr_heap_mb=min_mb,
@@ -235,7 +349,7 @@ class ResourceOptimizer:
                 },
             )
             for block in blocks:
-                recompile_block_plan(compiled, block, chosen)
+                recompile_block_plan(compiled, block, chosen, cache=cache)
             if cost_blocks is None:
                 program_cost = self.cost_model.estimate_program(
                     compiled, chosen
@@ -254,25 +368,37 @@ class ResourceOptimizer:
                     mr_blocks=len(memo),
                 )
 
-            better = program_cost < best_cost or best_resource is None
-            tie = (
-                best_resource is not None
-                and program_cost == best_cost
-                and chosen.footprint() < best_resource.footprint()
+            best_resource, best_cost = update_best(
+                best_resource, best_cost, chosen, program_cost
             )
-            if better or tie:
-                best_cost = program_cost
-                best_resource = chosen
 
-            if deadline is not None and time.perf_counter() > deadline:
+            if exhausted or (
+                deadline is not None and time.perf_counter() > deadline
+            ):
+                result.stats.budget_exhausted = True
                 break
 
         result.resource = best_resource
         result.cost = best_cost
+        if best_resource is not None:
+            # leave the program compiled under the *returned*
+            # configuration, not whatever grid point ran last
+            for block in blocks:
+                recompile_block_plan(
+                    compiled, block, best_resource, cache=cache
+                )
+            if scope_blocks is None:
+                compiled.resource = best_resource
         result.stats.block_compilations = compiled.stats.block_compilations
         result.stats.cost_invocations = (
             self.cost_model.invocations - cost_before
         )
+        result.stats.cost_memo_hits = (
+            self.cost_model.memo_hits - memo_hits_before
+        )
+        if cache is not None:
+            result.stats.plan_cache_hits = cache.hits
+            result.stats.plan_cache_misses = cache.misses
         result.stats.optimization_time = time.perf_counter() - start
         return result
 

@@ -30,8 +30,15 @@ from dataclasses import dataclass, field
 
 from repro.cluster.resources import ResourceConfig
 from repro.compiler.pipeline import recompile_block_plan
+from repro.compiler.plan_cache import PlanCache
 from repro.cost import CostModel
-from repro.optimizer.enumerate import OptimizerResult, OptimizerStats
+from repro.errors import OptimizationError
+from repro.optimizer.enumerate import (
+    OptimizerResult,
+    OptimizerStats,
+    enumerate_block_mr,
+    update_best,
+)
 from repro.optimizer.grids import collect_memory_estimates_mb, generate_grid
 from repro.optimizer.pruning import prune_program_blocks
 
@@ -56,7 +63,8 @@ class ParallelResourceOptimizer:
     """Master/worker grid enumeration with a central task queue."""
 
     def __init__(self, cluster, params=None, grid_cp="hybrid",
-                 grid_mr="hybrid", m=15, w=2.0, num_workers=4):
+                 grid_mr="hybrid", m=15, w=2.0, num_workers=4,
+                 enable_plan_cache=True):
         self.cluster = cluster
         self.params = params
         self.grid_cp = grid_cp
@@ -64,9 +72,12 @@ class ParallelResourceOptimizer:
         self.m = m
         self.w = w
         self.num_workers = max(1, num_workers)
+        #: ablation switch: disable the memoizing plan/cost cache
+        self.enable_plan_cache = enable_plan_cache
 
     def optimize(self, compiled):
         start = time.perf_counter()
+        compiled.stats.reset()
         min_mb = self.cluster.min_heap_mb
         max_mb = self.cluster.max_heap_mb
         estimates = collect_memory_estimates_mb(compiled)
@@ -78,11 +89,19 @@ class ParallelResourceOptimizer:
         result = ParallelOptimizerResult(num_workers=self.num_workers)
         result.stats = OptimizerStats(cp_points=len(src), mr_points=len(srm))
 
+        cache = None
+        if self.enable_plan_cache:
+            # attach before workers deep-copy the program: each copy gets
+            # its own empty PlanCache sharing the master's thresholds
+            cache = PlanCache()
+            compiled.plan_cache = cache
+
         memo = {}  # (rc, block_id) -> (ri, cost)
         expected = {}  # rc -> set of block ids workers must fill
         agg_costs = {}  # rc -> program cost
         records = []
         records_lock = threading.Lock()
+        errors = []  # first worker exception wins, re-raised after join
         tasks = queue.Queue()
         stop = object()
 
@@ -99,7 +118,7 @@ class ParallelResourceOptimizer:
             t0 = time.perf_counter()
             baseline = ResourceConfig(cp_heap_mb=rc, mr_heap_mb=min_mb)
             for block in blocks:
-                recompile_block_plan(compiled, block, baseline)
+                recompile_block_plan(compiled, block, baseline, cache=cache)
             remaining, pruned_small, pruned_unknown = prune_program_blocks(
                 blocks
             )
@@ -110,63 +129,102 @@ class ParallelResourceOptimizer:
             expected[rc] = {b.block_id for b in remaining}
             for block in remaining:
                 baseline_costs[(rc, block.block_id)] = (
-                    master_cost_model.estimate_block(compiled, block, baseline)
+                    master_cost_model.estimate_block(
+                        compiled, block, baseline,
+                        use_memo=cache is not None,
+                    )
                 )
             record("baseline", rc, 0, time.perf_counter() - t0)
             for block in remaining:
                 tasks.put(("enum", rc, block.block_id))
             tasks.put(("agg", rc, None))
 
+        worker_caches = []
+        worker_cost_models = []
+        worker_compilations = []
+
         # workers
         def worker():
-            local = copy.deepcopy(compiled)
-            local_blocks = {
-                b.block_id: b for b in local.last_level_blocks()
-            }
-            cost_model = CostModel(self.cluster, self.params)
+            try:
+                local = copy.deepcopy(compiled)
+                local_blocks = {
+                    b.block_id: b for b in local.last_level_blocks()
+                }
+                local_cache = local.plan_cache if cache is not None else None
+                cost_model = CostModel(self.cluster, self.params)
+                compiled_at_copy = local.stats.block_compilations
+                with records_lock:
+                    if local_cache is not None:
+                        worker_caches.append(local_cache)
+                    worker_cost_models.append(cost_model)
+            except Exception as exc:  # noqa: BLE001 - reported to master
+                with records_lock:
+                    errors.append(exc)
+                # drain so tasks.join() cannot hang on our share of tasks
+                while True:
+                    task = tasks.get()
+                    if task is stop:
+                        tasks.put(stop)
+                        return
+                    tasks.task_done()
             while True:
                 task = tasks.get()
                 if task is stop:
                     tasks.put(stop)
+                    with records_lock:
+                        worker_compilations.append(
+                            local.stats.block_compilations - compiled_at_copy
+                        )
                     return
-                kind, rc, block_id = task
-                t0 = time.perf_counter()
-                if kind == "enum":
-                    block = local_blocks[block_id]
-                    best = (min_mb, baseline_costs[(rc, block_id)])
-                    for ri in srm:
-                        if ri == min_mb:
-                            continue
-                        candidate = ResourceConfig(
-                            cp_heap_mb=rc,
-                            mr_heap_mb=min_mb,
-                            mr_heap_per_block={block_id: ri},
+                try:
+                    if errors:
+                        continue  # a worker failed: just drain the queue
+                    kind, rc, block_id = task
+                    t0 = time.perf_counter()
+                    if kind == "enum":
+                        block = local_blocks[block_id]
+                        best, _ = enumerate_block_mr(
+                            local, block, rc, min_mb, srm, cost_model,
+                            baseline_costs[(rc, block_id)],
+                            cache=local_cache,
                         )
-                        recompile_block_plan(local, block, candidate)
-                        cost = cost_model.estimate_block(
-                            local, block, candidate
-                        )
-                        if cost < best[1]:
-                            best = (ri, cost)
-                    memo[(rc, block_id)] = best  # lock-free update
-                    record("enum", rc, block_id, time.perf_counter() - t0)
-                else:  # agg: probe until all block entries are present
-                    while not all(
-                        (rc, bid) in memo for bid in expected[rc]
-                    ):
-                        time.sleep(0.0005)
-                    chosen = ResourceConfig(
-                        cp_heap_mb=rc,
-                        mr_heap_mb=min_mb,
-                        mr_heap_per_block={
-                            bid: memo[(rc, bid)][0] for bid in expected[rc]
-                        },
-                    )
-                    for block in local_blocks.values():
-                        recompile_block_plan(local, block, chosen)
-                    agg_costs[rc] = cost_model.estimate_program(local, chosen)
-                    record("agg", rc, 0, time.perf_counter() - t0)
-                tasks.task_done()
+                        memo[(rc, block_id)] = best  # lock-free update
+                        record("enum", rc, block_id,
+                               time.perf_counter() - t0)
+                    else:  # agg: probe until all block entries are present
+                        failed = False
+                        while not all(
+                            (rc, bid) in memo for bid in expected[rc]
+                        ):
+                            if errors:
+                                # the producer died; entries never arrive
+                                failed = True
+                                break
+                            time.sleep(0.0005)
+                        if not failed:
+                            chosen = ResourceConfig(
+                                cp_heap_mb=rc,
+                                mr_heap_mb=min_mb,
+                                mr_heap_per_block={
+                                    bid: memo[(rc, bid)][0]
+                                    for bid in expected[rc]
+                                },
+                            )
+                            for block in local_blocks.values():
+                                recompile_block_plan(
+                                    local, block, chosen, cache=local_cache
+                                )
+                            agg_costs[rc] = cost_model.estimate_program(
+                                local, chosen
+                            )
+                            record("agg", rc, 0, time.perf_counter() - t0)
+                except Exception as exc:  # noqa: BLE001 - reported to master
+                    with records_lock:
+                        errors.append(exc)
+                finally:
+                    # unconditionally, or tasks.join() deadlocks when a
+                    # task raises
+                    tasks.task_done()
 
         threads = [
             threading.Thread(target=worker, daemon=True)
@@ -178,21 +236,61 @@ class ParallelResourceOptimizer:
         tasks.put(stop)
         for thread in threads:
             thread.join()
+        if errors:
+            raise errors[0]
+        if not agg_costs:
+            raise OptimizationError(
+                "parallel enumeration produced no grid points"
+            )
 
-        best_rc = min(agg_costs, key=lambda rc: (agg_costs[rc], rc))
-        best_resource = ResourceConfig(
-            cp_heap_mb=best_rc,
-            mr_heap_mb=min_mb,
-            mr_heap_per_block={
-                bid: memo[(best_rc, bid)][0] for bid in expected[best_rc]
-            },
-        )
+        # same selection rule as the serial optimizer: walk the CP grid
+        # in ascending order, keep the cheapest, break near-ties towards
+        # the minimal footprint
+        best_resource = None
+        best_cost = float("inf")
+        for rc in src:
+            if rc not in agg_costs:
+                continue
+            chosen = ResourceConfig(
+                cp_heap_mb=rc,
+                mr_heap_mb=min_mb,
+                mr_heap_per_block={
+                    bid: memo[(rc, bid)][0] for bid in expected[rc]
+                },
+            )
+            best_resource, best_cost = update_best(
+                best_resource, best_cost, chosen, agg_costs[rc]
+            )
+
+        # leave the master program compiled under the returned
+        # configuration (workers only mutated their deep copies)
+        for block in blocks:
+            recompile_block_plan(compiled, block, best_resource, cache=cache)
+        compiled.resource = best_resource
+
         result.resource = best_resource
-        result.cost = agg_costs[best_rc]
+        result.cost = best_cost
         result.cp_profile = sorted(agg_costs.items())
         result.task_records = records
         result.stats.optimization_time = time.perf_counter() - start
-        result.stats.block_compilations = compiled.stats.block_compilations
+        result.stats.block_compilations = (
+            compiled.stats.block_compilations + sum(worker_compilations)
+        )
+        result.stats.cost_invocations = (
+            master_cost_model.invocations
+            + sum(cm.invocations for cm in worker_cost_models)
+        )
+        result.stats.cost_memo_hits = (
+            master_cost_model.memo_hits
+            + sum(cm.memo_hits for cm in worker_cost_models)
+        )
+        if cache is not None:
+            result.stats.plan_cache_hits = (
+                cache.hits + sum(c.hits for c in worker_caches)
+            )
+            result.stats.plan_cache_misses = (
+                cache.misses + sum(c.misses for c in worker_caches)
+            )
         return result
 
 

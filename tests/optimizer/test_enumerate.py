@@ -108,6 +108,68 @@ class TestOptimization:
         # valid configuration
         assert result.resource is not None
         assert len(result.cp_profile) == 1
+        assert result.stats.budget_exhausted
+
+    def test_unconstrained_run_reports_no_exhaustion(self, cluster):
+        result, _ = optimize(cluster, DS_STYLE)
+        assert not result.stats.budget_exhausted
+        assert len(result.cp_profile) == result.stats.cp_points
+
+
+class _NearTieCostModel:
+    """Stub: the first CP point's program cost exceeds the second's by
+    float noise only (1 part in 10^12)."""
+
+    def __init__(self):
+        self.invocations = 0
+        self.memo_hits = 0
+        self.program_calls = 0
+
+    def estimate_block(self, compiled, block, resource, initial_state=None,
+                       use_memo=False):
+        self.invocations += 1
+        return 1.0
+
+    def estimate_program(self, compiled, resource):
+        self.invocations += 1
+        self.program_calls += 1
+        return 1.0 + 1e-12 if self.program_calls == 1 else 1.0
+
+
+class TestBugfixes:
+    def test_near_tie_prefers_smaller_footprint(self, cluster):
+        """A cost difference below float precision is a tie, and ties go
+        to the minimal configuration (Definition 1) — exact equality
+        used to send them to whichever point enumerated first."""
+        compiled = compile_program(DS_STYLE, ARGS, BIG)
+        optimizer = ResourceOptimizer(
+            cluster, grid_cp="equi", grid_mr="equi", m=2,
+            cost_model=_NearTieCostModel(), enable_plan_cache=False,
+        )
+        result = optimizer.optimize(compiled)
+        grid_points = [rc for rc, _ in result.cp_profile]
+        assert len(grid_points) == 2
+        assert result.resource.cp_heap_mb == min(grid_points)
+        assert result.cost == 1.0
+
+    def test_program_left_compiled_under_returned_config(self, cluster):
+        """_optimize used to leave plans compiled at the *last* grid
+        point; consumers of ``compiled`` saw plans that disagree with
+        the returned configuration."""
+        from repro.compiler.pipeline import recompile_block_plan
+
+        compiled = compile_program(DS_STYLE, ARGS, BIG)
+        result = ResourceOptimizer(cluster).optimize(compiled)
+        assert compiled.resource == result.resource
+        blocks = list(compiled.last_level_blocks())
+        left = {
+            b.block_id: [str(i) for i in b.plan.instructions]
+            for b in blocks
+        }
+        for block in blocks:
+            recompile_block_plan(compiled, block, result.resource)
+            fresh = [str(i) for i in block.plan.instructions]
+            assert left[block.block_id] == fresh, block.block_id
 
 
 class TestPruning:

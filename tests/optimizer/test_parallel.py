@@ -60,6 +60,68 @@ class TestParallelOptimizer:
         assert result.resource is not None
 
 
+class _Boom(RuntimeError):
+    pass
+
+
+def _optimize_with_timeout(optimizer, compiled, timeout=60.0):
+    """Run optimize on a thread so a regression to the task_done
+    deadlock fails the test instead of hanging the suite."""
+    import threading
+
+    outcome = {}
+
+    def run():
+        try:
+            outcome["result"] = optimizer.optimize(compiled)
+        except BaseException as exc:  # noqa: BLE001 - reported below
+            outcome["error"] = exc
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    thread.join(timeout)
+    assert not thread.is_alive(), "parallel optimizer hung"
+    return outcome
+
+
+class TestWorkerFailure:
+    def test_task_exception_propagates_without_hang(
+        self, cluster, monkeypatch
+    ):
+        """A raising task used to skip tasks.task_done(), deadlocking
+        tasks.join() forever; agg probes spun on memo entries that the
+        dead producer would never publish."""
+        import repro.optimizer.parallel as par
+
+        class RaisingCostModel(par.CostModel):
+            # estimate_program runs only on workers (agg tasks); the
+            # master's baseline costing stays intact
+            def estimate_program(self, compiled, resource):
+                raise _Boom("injected worker failure")
+
+        monkeypatch.setattr(par, "CostModel", RaisingCostModel)
+        compiled = compile_program(SOURCE, ARGS, BIG)
+        optimizer = ParallelResourceOptimizer(cluster, num_workers=2)
+        outcome = _optimize_with_timeout(optimizer, compiled)
+        assert isinstance(outcome.get("error"), _Boom)
+
+    def test_worker_setup_failure_propagates_without_hang(
+        self, cluster, monkeypatch
+    ):
+        """A worker dying before its first task must drain its share of
+        the queue, or tasks.join() never completes."""
+        import repro.optimizer.parallel as par
+
+        def boom(obj, memo=None):
+            raise _Boom("injected deepcopy failure")
+
+        compiled = compile_program(SOURCE, ARGS, BIG)
+        optimizer = ParallelResourceOptimizer(cluster, num_workers=2)
+        monkeypatch.setattr(par.copy, "deepcopy", boom)
+        outcome = _optimize_with_timeout(optimizer, compiled)
+        assert isinstance(outcome.get("error"), _Boom)
+
+
 class TestMakespanModel:
     def _records(self, cluster):
         compiled = compile_program(SOURCE, ARGS, BIG)

@@ -1,0 +1,251 @@
+"""Unit tests for the memoizing plan-recompilation cache.
+
+Covers the exactness contract (a cache hit returns exactly the plan a
+recompilation would regenerate), bucketing, invalidation on dynamic
+recompilation, the cost-model memo, and the acceptance criterion:
+cache on/off choose the identical configuration on LinregCG (m = 15)
+while compilations and cost invocations drop at least 2x.
+"""
+
+import copy
+
+import pytest
+
+from repro.cluster import ResourceConfig, paper_cluster
+from repro.common import DataType, MatrixCharacteristics
+from repro.compiler.pipeline import compile_program, recompile_block_plan
+from repro.compiler.plan_cache import PlanCache, block_thresholds
+from repro.compiler.recompile import make_env_from_states, recompile_block
+from repro.cost import CostModel
+from repro.optimizer import ParallelResourceOptimizer, ResourceOptimizer
+
+BIG = {
+    "X": MatrixCharacteristics(10**6, 1000, 10**9),
+    "y": MatrixCharacteristics(10**6, 1, 10**6),
+}
+ARGS = {"X": "X", "y": "y", "B": "B"}
+
+CG_STYLE = """
+X = read($X)
+y = read($y)
+p = t(X) %*% y
+i = 0
+while (i < 5) {
+  p = t(X) %*% (X %*% p) * 0.0001
+  i = i + 1
+}
+write(p, $B, format="binary")
+"""
+
+
+@pytest.fixture
+def cluster():
+    return paper_cluster()
+
+
+def _fingerprint(plan):
+    return [str(ins) for ins in plan.instructions]
+
+
+def _mr_block(compiled):
+    """A block whose plan actually reacts to the budgets."""
+    for block in compiled.last_level_blocks():
+        if block.plan.num_mr_jobs:
+            return block
+    raise AssertionError("expected an MR block")
+
+
+class TestBucketing:
+    def test_thresholds_are_sorted_and_finite(self):
+        compiled = compile_program(CG_STYLE, ARGS, BIG)
+        block = _mr_block(compiled)
+        cp_th, mr_th = block_thresholds(block)
+        assert cp_th == tuple(sorted(cp_th))
+        assert mr_th == tuple(sorted(mr_th))
+        assert all(0 < v < float("inf") for v in cp_th + mr_th)
+
+    def test_repeat_budget_hits_without_recompiling(self):
+        compiled = compile_program(CG_STYLE, ARGS, BIG)
+        block = _mr_block(compiled)
+        cache = PlanCache()
+        resource = ResourceConfig(cp_heap_mb=512, mr_heap_mb=512)
+        before = compiled.stats.block_compilations
+        first = recompile_block_plan(compiled, block, resource, cache=cache)
+        again = recompile_block_plan(compiled, block, resource, cache=cache)
+        assert again is first
+        assert cache.misses == 1
+        assert cache.hits == 1
+        assert compiled.stats.block_compilations == before + 1
+
+    def test_bucket_boundary_recompiles(self):
+        compiled = compile_program(CG_STYLE, ARGS, BIG)
+        block = _mr_block(compiled)
+        cache = PlanCache()
+        small = ResourceConfig(cp_heap_mb=512, mr_heap_mb=512)
+        # X is ~8 GB: a 54 GB CP budget sits past its fits-thresholds
+        large = ResourceConfig(cp_heap_mb=54613, mr_heap_mb=512)
+        assert cache.key_for(block, small) != cache.key_for(block, large)
+        recompile_block_plan(compiled, block, small, cache=cache)
+        recompile_block_plan(compiled, block, large, cache=cache)
+        assert cache.misses == 2
+        assert cache.hits == 0
+
+    def test_cached_plans_match_fresh_compilation(self):
+        """The exactness contract, across a budget sweep."""
+        compiled = compile_program(CG_STYLE, ARGS, BIG)
+        blocks = list(compiled.last_level_blocks())
+        cache = PlanCache()
+        for rc in (512.0, 2048.0, 8192.0, 16384.0, 54613.3):
+            for ri in (512.0, 1024.0, 4096.0):
+                resource = ResourceConfig(cp_heap_mb=rc, mr_heap_mb=ri)
+                for block in blocks:
+                    cached = recompile_block_plan(
+                        compiled, block, resource, cache=cache
+                    )
+                    fp = _fingerprint(cached)
+                    fresh = recompile_block_plan(compiled, block, resource)
+                    assert fp == _fingerprint(fresh), (rc, ri)
+
+    def test_deepcopy_shares_thresholds_but_not_plans(self):
+        compiled = compile_program(CG_STYLE, ARGS, BIG)
+        block = _mr_block(compiled)
+        cache = PlanCache()
+        recompile_block_plan(
+            compiled, block, ResourceConfig(512, 512), cache=cache
+        )
+        clone = copy.deepcopy(cache)
+        assert clone.plans == {}
+        assert clone.thresholds is cache.thresholds
+
+
+class TestInvalidation:
+    SOURCE = """
+X = read($X)
+y = read($y)
+Y = table(seq(1, nrow(X)), y)
+k = ncol(Y)
+if (k > 0) {
+  B = matrix(0, rows=ncol(X), cols=k)
+  G = t(X) %*% Y + B
+  s = sum(G)
+  print(s)
+}
+"""
+    META = {
+        "X": MatrixCharacteristics(10**5, 100, 10**7),
+        "y": MatrixCharacteristics(10**5, 1, 10**5),
+    }
+
+    def _unknown_block(self, compiled):
+        for block in compiled.last_level_blocks():
+            if block.requires_recompile:
+                return block
+        raise AssertionError("expected an unknown block")
+
+    def test_dynamic_recompile_drops_cached_plans(self):
+        compiled = compile_program(
+            self.SOURCE, {"X": "X", "y": "y"}, self.META,
+            ResourceConfig(8192, 1024),
+        )
+        block = self._unknown_block(compiled)
+        cache = PlanCache()
+        compiled.plan_cache = cache
+        resource = ResourceConfig(8192, 1024)
+        recompile_block_plan(compiled, block, resource, cache=cache)
+        stale_key = cache.key_for(block, resource)
+        assert cache.plans.get(stale_key) is not None
+        env = make_env_from_states({
+            "X": (DataType.MATRIX, self.META["X"], None),
+            "y": (DataType.MATRIX, self.META["y"], None),
+            "Y": (DataType.MATRIX,
+                  MatrixCharacteristics(10**5, 3, 10**5), None),
+            "k": (DataType.SCALAR, MatrixCharacteristics(0, 0, 0), 3),
+        })
+        recompile_block(compiled, block, resource, env)
+        assert cache.invalidations == 1
+        # thresholds were re-derived from the refreshed DAG, and no plan
+        # generated before the size update survived
+        assert all(key[0] != block.block_id or value.signature
+                   == block.plan.signature
+                   for key, value in cache.plans.items())
+        assert block.block_id in cache.thresholds
+
+
+class TestCostMemo:
+    def test_memo_skips_invocations(self, cluster):
+        compiled = compile_program(CG_STYLE, ARGS, BIG)
+        block = _mr_block(compiled)
+        resource = ResourceConfig(cp_heap_mb=512, mr_heap_mb=512)
+        recompile_block_plan(compiled, block, resource)
+        model = CostModel(cluster)
+        first = model.estimate_block(compiled, block, resource,
+                                     use_memo=True)
+        invocations = model.invocations
+        second = model.estimate_block(compiled, block, resource,
+                                      use_memo=True)
+        assert second == first
+        assert model.invocations == invocations
+        assert model.memo_hits == 1
+
+    def test_memo_key_projects_mr_heap(self, cluster):
+        """Two MR heaps with equal task parallelism and thrash status
+        cost identically, so they share one memo entry."""
+        compiled = compile_program(CG_STYLE, ARGS, BIG)
+        block = _mr_block(compiled)
+        model = CostModel(cluster)
+        r1 = ResourceConfig(cp_heap_mb=512, mr_heap_mb=512,
+                            mr_heap_per_block={block.block_id: 2048.0})
+        r2 = ResourceConfig(cp_heap_mb=512, mr_heap_mb=512,
+                            mr_heap_per_block={block.block_id: 2049.0})
+        if model.mr_cost_signature(block.block_id, r1) != (
+            model.mr_cost_signature(block.block_id, r2)
+        ):
+            pytest.skip("cluster parameters separate these heaps")
+        recompile_block_plan(compiled, block, r1)
+        first = model.estimate_block(compiled, block, r1, use_memo=True)
+        second = model.estimate_block(compiled, block, r2, use_memo=True)
+        assert second == first
+        assert model.memo_hits == 1
+
+
+class TestAcceptance:
+    def _compiled_linregcg(self):
+        from repro.runtime import SimulatedHDFS
+        from repro.scripts import load_script
+        from repro.workloads import prepare_inputs, scenario
+
+        hdfs = SimulatedHDFS(sample_cap=64)
+        args = prepare_inputs(hdfs, "LinregCG", scenario("M"))
+        return compile_program(
+            load_script("LinregCG"), args, hdfs.input_meta()
+        )
+
+    def test_linregcg_m15_reductions_with_identical_choice(self, cluster):
+        compiled = self._compiled_linregcg()
+        off = ResourceOptimizer(
+            cluster, m=15, enable_plan_cache=False
+        ).optimize(compiled)
+        on = ResourceOptimizer(
+            cluster, m=15, enable_plan_cache=True
+        ).optimize(compiled)
+        # identical outcome ...
+        assert on.resource == off.resource
+        assert on.cost == off.cost
+        assert on.cp_profile == off.cp_profile
+        # ... at a fraction of the work
+        assert 2 * on.stats.block_compilations <= (
+            off.stats.block_compilations
+        )
+        assert 2 * on.stats.cost_invocations <= off.stats.cost_invocations
+        assert on.stats.plan_cache_hits > 0
+        assert off.stats.plan_cache_hits == 0
+
+    def test_serial_parallel_parity_with_cache(self, cluster):
+        compiled = compile_program(CG_STYLE, ARGS, BIG)
+        serial = ResourceOptimizer(cluster, m=15).optimize(compiled)
+        parallel = ParallelResourceOptimizer(
+            cluster, m=15, num_workers=3
+        ).optimize(compiled)
+        assert parallel.resource == serial.resource
+        assert parallel.cost == serial.cost
+        assert parallel.stats.plan_cache_hits > 0
