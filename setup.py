@@ -1,18 +1,5 @@
-"""Setup script (offline environment: legacy editable installs only)."""
+"""Legacy shim; all metadata lives in pyproject.toml."""
 
-from setuptools import find_packages, setup
+from setuptools import setup
 
-setup(
-    name="repro",
-    version="1.0.0",
-    description=(
-        "Reproduction of 'Resource Elasticity for Large-Scale Machine "
-        "Learning' (SIGMOD 2015): a declarative-ML compiler, simulated "
-        "YARN/MR cluster, and automatic resource optimizer"
-    ),
-    python_requires=">=3.10",
-    install_requires=["numpy>=1.24", "scipy>=1.10"],
-    package_dir={"": "src"},
-    packages=find_packages(where="src"),
-    package_data={"repro.scripts": ["*.dml"]},
-)
+setup()

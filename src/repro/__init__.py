@@ -19,6 +19,14 @@ Entry points:
 """
 
 from repro.api import ElasticMLSession, RunOutcome
+from repro.chaos import (
+    ChaosReport,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+)
 from repro.cluster import ClusterConfig, ResourceConfig, paper_cluster, small_cluster
 from repro.common import MatrixCharacteristics
 from repro.compiler import compile_program
@@ -34,11 +42,17 @@ from repro.runtime import ExecutionResult, Interpreter, SimulatedHDFS
 from repro.scripts import SCRIPTS, load_script
 from repro.workloads import prepare_inputs, scenario
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ElasticMLSession",
     "RunOutcome",
+    "ChaosReport",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "RetryPolicy",
     "ExecutionResult",
     "ClusterConfig",
     "ResourceConfig",

@@ -23,6 +23,7 @@ from __future__ import annotations
 import warnings
 from dataclasses import dataclass, field, replace
 
+from repro.chaos import FaultInjector
 from repro.cluster import ResourceConfig, paper_cluster
 from repro.compiler.pipeline import (
     CompiledProgram,
@@ -78,6 +79,14 @@ class RunOutcome:
             return None
         return self.optimizer_result.cost
 
+    @property
+    def chaos(self):
+        """Fault/recovery accounting (:class:`repro.chaos.ChaosReport`),
+        or None when the run was not fault-injected."""
+        if self.result is None:
+            return None
+        return self.result.chaos
+
 
 @dataclass
 class ElasticMLSession:
@@ -97,6 +106,12 @@ class ElasticMLSession:
     trace: object = False
     #: the tracer of the most recent traced run (or the shared instance)
     tracer: Tracer = field(default=None, repr=False)
+    #: default fault-injection plan (:class:`repro.chaos.FaultPlan`)
+    #: applied to every run unless overridden per call; None = no chaos
+    chaos: object = None
+    #: retry/backoff policy for fault recovery
+    #: (:class:`repro.chaos.RetryPolicy`); None = the default policy
+    retry_policy: object = None
 
     def __post_init__(self):
         if self.hdfs is None:
@@ -139,8 +154,19 @@ class ElasticMLSession:
 
     # -- execution ---------------------------------------------------------
 
-    def execute(self, compiled, resource, adapt=True):
-        """Execute under an explicit configuration."""
+    def execute(self, compiled, resource, adapt=True, chaos=None):
+        """Execute under an explicit configuration.
+
+        ``chaos`` (a :class:`repro.chaos.FaultPlan`) overrides the
+        session default; a fresh :class:`~repro.chaos.FaultInjector` is
+        built per execution, so fault schedules restart deterministically
+        at every run.
+        """
+        plan = chaos if chaos is not None else self.chaos
+        injector = (
+            FaultInjector(plan, retry_policy=self.retry_policy)
+            if plan is not None else None
+        )
         adapter = (
             ResourceAdapter(self.make_optimizer()) if adapt else None
         )
@@ -151,18 +177,29 @@ class ElasticMLSession:
             sample_cap=self.sample_cap,
             adapter=adapter,
             seed=self.seed,
+            injector=injector,
         )
-        return interpreter.run(compiled, resource)
+        if injector is None:
+            return interpreter.run(compiled, resource)
+        previous = self.hdfs.injector
+        self.hdfs.injector = injector
+        try:
+            return interpreter.run(compiled, resource)
+        finally:
+            self.hdfs.injector = previous
 
     def run(self, script_or_name, args=None, *, resource=None, adapt=True,
-            optimize=True):
+            optimize=True, chaos=None):
         """Compile, optimize, and execute in one call.
 
         ``script_or_name`` is either a bundled script name (``"LinregCG"``
         — see :data:`repro.scripts.SCRIPTS`) or DML source text.  When
         ``resource`` is given (or ``optimize=False``) the resource
         optimizer is skipped; ``adapt`` toggles runtime resource
-        adaptation (Section 4).  When the session traces, the returned
+        adaptation (Section 4); ``chaos`` (a
+        :class:`repro.chaos.FaultPlan`) injects deterministic faults
+        into the execution, with per-run accounting on
+        :attr:`RunOutcome.chaos`.  When the session traces, the returned
         :attr:`RunOutcome.trace` carries the run's span tree (compile /
         optimize / execute phases), counters, and events.
         """
@@ -186,7 +223,9 @@ class ElasticMLSession:
                         cp_heap_mb=512.0, mr_heap_mb=512.0
                     )
                 with tracer.span("execute"):
-                    result = self.execute(compiled, resource, adapt=adapt)
+                    result = self.execute(
+                        compiled, resource, adapt=adapt, chaos=chaos
+                    )
         return RunOutcome(
             result=result,
             resource=result.final_resource,

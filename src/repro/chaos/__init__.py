@@ -1,0 +1,53 @@
+"""Deterministic fault injection (``repro.chaos``).
+
+The paper's runtime adaptation story (Section 4) assumes containers can
+disappear at any time: YARN preempts them under memory pressure, node
+managers fail, the RM denies allocations on a busy cluster.  This
+package injects exactly those degraded-cluster conditions into the
+simulated stack — seeded and reproducible — so the recovery logic in the
+runtime (per-job retry with exponential backoff, re-execution at reduced
+parallelism, allocation-denial fallback, migration rollback) can be
+exercised and asserted on.
+
+Entry points:
+
+* :class:`FaultPlan` — *what* fails: per-kind probabilistic rates
+  (``FaultPlan.from_rate``) and/or exactly scripted faults
+  (``FaultPlan.from_faults``), all derived from one seed;
+* :class:`FaultInjector` — *when* it fails: one per run, consulted at
+  the instrumented sites (RM allocation, MR job execution, HDFS reads,
+  AM migration), with full accounting of every delivered fault;
+* :class:`RetryPolicy` — bounded exponential backoff shared by every
+  recovery loop;
+* :class:`ChaosReport` — the per-run summary surfaced on
+  :class:`~repro.runtime.interpreter.ExecutionResult` and
+  :class:`~repro.api.RunOutcome`.
+
+Determinism guarantee: a fault decision depends only on ``(plan seed,
+fault kind, per-kind visit index)`` — never on wall clock, hashing salt,
+or the interpreter's own RNG — so the same program under the same plan
+sees the same faults, and a fault-free run is numerically identical to a
+faulted run that recovered.
+"""
+
+from repro.chaos.faults import (
+    ChaosReport,
+    FaultInjector,
+    FaultKind,
+    FaultPayload,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    RetryPolicy,
+)
+
+__all__ = [
+    "ChaosReport",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPayload",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "RetryPolicy",
+]

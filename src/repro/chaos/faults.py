@@ -1,0 +1,331 @@
+"""Fault kinds, plans, and the seeded injector.
+
+The injector is consulted at fixed *sites* in the stack:
+
+========================  =====================================================
+site                      fault kinds drawn there
+========================  =====================================================
+``am_alloc``              ALLOCATION_TRANSIENT (retry w/ backoff),
+                          ALLOCATION_DENIED (fallback to a smaller config)
+``mr_job:<block>``        NODE_LOSS (permanent capacity loss + retry),
+                          CONTAINER_KILL (wasted work + retry at reduced
+                          parallelism)
+``hdfs:<path>``           HDFS_SLOW_READ (stall, then transient failure;
+                          retried by the interpreter)
+``am_migration``          MIGRATION_FAILURE (rollback: stay in the old
+                          container, charge the failed attempt)
+``rm``                    ALLOCATION_TRANSIENT / ALLOCATION_DENIED on
+                          :meth:`repro.cluster.yarn.ResourceManager.try_allocate`
+========================  =====================================================
+
+Each ``fire(kind, site)`` call advances a per-kind visit counter; the
+decision for visit *i* of kind *k* under seed *s* is drawn from
+``random.Random(f"{s}:{k}:{i}")`` — Python seeds string inputs through a
+stable hash, so decisions are reproducible across processes and
+independent of call interleaving between kinds.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+
+from repro.obs import get_tracer
+
+
+class FaultKind(enum.Enum):
+    """The failure modes of the simulated YARN/MR/HDFS substrate."""
+
+    #: a running MR task container is preempted/killed mid-job
+    CONTAINER_KILL = "container_kill"
+    #: the RM denies the requested allocation outright (over-committed
+    #: cluster); the caller must fall back to a smaller configuration
+    ALLOCATION_DENIED = "allocation_denied"
+    #: the RM momentarily lacks capacity; the same request succeeds
+    #: after backing off
+    ALLOCATION_TRANSIENT = "allocation_transient"
+    #: a node manager disappears; its containers and capacity are lost
+    #: for the remainder of the run
+    NODE_LOSS = "node_loss"
+    #: an HDFS read stalls and then fails (flaky DataNode); safe to retry
+    HDFS_SLOW_READ = "hdfs_slow_read"
+    #: the new AM container for a CP migration never comes up
+    MIGRATION_FAILURE = "migration_failure"
+
+    def __str__(self):
+        return self.value
+
+
+#: kinds enabled by ``FaultPlan.from_rate`` when none are named
+ALL_FAULT_KINDS = tuple(FaultKind)
+
+
+@dataclass(frozen=True)
+class FaultPayload:
+    """Kind-specific fault parameters.
+
+    ``progress`` is the fraction of the victim's work completed (and
+    therefore lost) when the fault struck; ``delay_s`` the stall time of
+    a slow read before it fails.
+    """
+
+    progress: float = 0.5
+    delay_s: float = 5.0
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scripted fault: fire on the ``at``-th (0-based) visit of the
+    kind's injection sites."""
+
+    kind: FaultKind
+    at: int = 0
+    payload: FaultPayload = field(default_factory=FaultPayload)
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """A fault that was actually delivered."""
+
+    kind: FaultKind
+    site: str
+    index: int
+    payload: FaultPayload
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff, shared by every recovery loop.
+
+    ``max_attempts`` is the per-site retry budget: a job/read/allocation
+    may be retried at most this many times before the typed
+    :class:`~repro.errors.RetryExhaustedError` /
+    :class:`~repro.errors.AllocationDeniedError` surfaces.
+    """
+
+    max_attempts: int = 3
+    backoff_base_s: float = 2.0
+    backoff_factor: float = 2.0
+    backoff_cap_s: float = 60.0
+
+    def backoff(self, attempt):
+        """Backoff before retry ``attempt`` (1-based), capped."""
+        if attempt < 1:
+            raise ValueError("retry attempts are 1-based")
+        return min(
+            self.backoff_cap_s,
+            self.backoff_base_s * self.backoff_factor ** (attempt - 1),
+        )
+
+
+class FaultPlan:
+    """*What* fails: per-kind rates plus exactly scripted faults.
+
+    A plan is immutable by convention and reusable across runs; all
+    randomness derives from ``seed``, so two injectors built from the
+    same plan deliver identical fault sequences.
+    """
+
+    def __init__(self, seed=0, rates=None, scripted=()):
+        self.seed = int(seed)
+        self.rates = {
+            FaultKind(kind): float(rate)
+            for kind, rate in (rates or {}).items()
+        }
+        #: kind -> {visit index -> payload}
+        self._scripted = {}
+        for spec in scripted:
+            self._scripted.setdefault(spec.kind, {})[spec.at] = spec.payload
+
+    @classmethod
+    def from_rate(cls, seed, rate, kinds=None):
+        """Probabilistic plan: every eligible site visit of the listed
+        kinds (default: all) fails independently with ``rate``."""
+        kinds = tuple(kinds) if kinds is not None else ALL_FAULT_KINDS
+        return cls(seed=seed, rates={kind: rate for kind in kinds})
+
+    @classmethod
+    def from_faults(cls, *specs, seed=0):
+        """Exactly scripted plan (deterministic regardless of seed)."""
+        return cls(seed=seed, scripted=specs)
+
+    @property
+    def scripted_faults(self):
+        """Number of scripted fault entries in the plan."""
+        return sum(len(entries) for entries in self._scripted.values())
+
+    def decide(self, kind, index):
+        """The payload to inject at visit ``index`` of ``kind``, or
+        ``None``.  Pure function of (seed, kind, index)."""
+        scheduled = self._scripted.get(kind)
+        if scheduled is not None and index in scheduled:
+            return scheduled[index]
+        rate = self.rates.get(kind, 0.0)
+        if rate <= 0.0:
+            return None
+        rng = random.Random(f"{self.seed}:{kind.value}:{index}")
+        if rng.random() >= rate:
+            return None
+        return self._draw_payload(kind, rng)
+
+    @staticmethod
+    def _draw_payload(kind, rng):
+        if kind in (FaultKind.CONTAINER_KILL, FaultKind.NODE_LOSS):
+            return FaultPayload(progress=0.2 + 0.6 * rng.random())
+        if kind is FaultKind.HDFS_SLOW_READ:
+            return FaultPayload(delay_s=1.0 + 9.0 * rng.random())
+        return FaultPayload()
+
+    def __repr__(self):
+        return (
+            f"FaultPlan(seed={self.seed}, rates={len(self.rates)} kinds, "
+            f"scripted={self.scripted_faults})"
+        )
+
+
+@dataclass(frozen=True)
+class ChaosReport:
+    """Per-run fault/recovery accounting (immutable snapshot)."""
+
+    #: kind value -> faults delivered
+    injected: dict
+    total_injected: int
+    faults: tuple
+    retry_attempts: int
+    retry_recovered: int
+    retry_exhausted: int
+    backoff_s: float
+    #: simulated seconds of work lost to faults (partial jobs, stalled
+    #: reads, failed migrations)
+    wasted_s: float
+    #: allocation-denial fallbacks to a smaller configuration
+    fallbacks: int
+
+    @property
+    def node_losses(self):
+        return self.injected.get(FaultKind.NODE_LOSS.value, 0)
+
+    @property
+    def migration_failures(self):
+        return self.injected.get(FaultKind.MIGRATION_FAILURE.value, 0)
+
+
+class FaultInjector:
+    """*When* it fails: one injector per run, consulted at every site.
+
+    Counts visits per kind, asks the plan whether to fire, and accounts
+    for every delivered fault and every recovery decision — both on
+    itself (for programmatic assertions) and on the active tracer
+    (``chaos.*`` / ``retry.*`` counters plus per-fault events), so
+    ``python -m repro trace`` shows the full story.
+    """
+
+    def __init__(self, plan, retry_policy=None):
+        self.plan = plan
+        self.retry_policy = retry_policy or RetryPolicy()
+        self._visits = {}
+        self.faults = []
+        self.injected = {}
+        self.retry_attempts = 0
+        self.retry_recovered = 0
+        self.retry_exhausted = 0
+        self.backoff_s = 0.0
+        self.wasted_s = 0.0
+        self.fallbacks = 0
+
+    # -- fault draws ---------------------------------------------------------
+
+    def fire(self, kind, site=""):
+        """Draw the next fault decision for ``kind`` at ``site``;
+        returns the :class:`InjectedFault` (recorded) or ``None``."""
+        index = self._visits.get(kind, 0)
+        self._visits[kind] = index + 1
+        payload = self.plan.decide(kind, index)
+        if payload is None:
+            return None
+        fault = InjectedFault(kind=kind, site=site, index=index,
+                              payload=payload)
+        self.faults.append(fault)
+        self.injected[kind] = self.injected.get(kind, 0) + 1
+        tracer = get_tracer()
+        tracer.incr("chaos.injected")
+        tracer.incr(f"chaos.injected.{kind.value}")
+        tracer.event("chaos.fault", kind=kind.value, site=site, index=index)
+        return fault
+
+    def fire_hdfs_read(self, path):
+        """The HDFS read site (kept kind-agnostic for the hdfs module)."""
+        return self.fire(FaultKind.HDFS_SLOW_READ, site=f"hdfs:{path}")
+
+    def deny_allocation(self, site="rm"):
+        """The RM allocation site: True when this allocation fails
+        (transiently or permanently) — the RM reports both as "no
+        container granted"."""
+        return (
+            self.fire(FaultKind.ALLOCATION_TRANSIENT, site=site) is not None
+            or self.fire(FaultKind.ALLOCATION_DENIED, site=site) is not None
+        )
+
+    def visits(self, kind):
+        """How many times the kind's sites were visited."""
+        return self._visits.get(kind, 0)
+
+    # -- recovery accounting -------------------------------------------------
+
+    def record_attempt(self, site, kind):
+        self.retry_attempts += 1
+        get_tracer().incr("retry.attempts")
+
+    def record_backoff(self, seconds):
+        self.backoff_s += seconds
+        get_tracer().incr("retry.backoff_s", seconds)
+
+    def record_wasted(self, seconds):
+        self.wasted_s += seconds
+        get_tracer().incr("chaos.wasted_s", seconds)
+
+    def record_recovery(self, site, kind, attempts, action="retried"):
+        self.retry_recovered += 1
+        tracer = get_tracer()
+        tracer.incr("retry.recovered")
+        tracer.event("chaos.recovery", site=site, kind=kind.value,
+                     attempts=attempts, action=action)
+
+    def record_exhausted(self, site, kind, attempts):
+        self.retry_exhausted += 1
+        tracer = get_tracer()
+        tracer.incr("retry.exhausted")
+        tracer.event("chaos.recovery", site=site, kind=kind.value,
+                     attempts=attempts, action="gave_up")
+
+    def record_fallback(self, site, old_resource, new_resource):
+        self.fallbacks += 1
+        tracer = get_tracer()
+        tracer.incr("chaos.fallbacks")
+        tracer.event(
+            "chaos.recovery", site=site,
+            kind=FaultKind.ALLOCATION_DENIED.value,
+            action="fallback",
+            old=old_resource.describe(), new=new_resource.describe(),
+        )
+
+    # -- reporting -----------------------------------------------------------
+
+    @property
+    def total_injected(self):
+        return len(self.faults)
+
+    def report(self):
+        """Immutable snapshot for :class:`~repro.api.RunOutcome`."""
+        return ChaosReport(
+            injected={k.value: v for k, v in self.injected.items()},
+            total_injected=self.total_injected,
+            faults=tuple(self.faults),
+            retry_attempts=self.retry_attempts,
+            retry_recovered=self.retry_recovered,
+            retry_exhausted=self.retry_exhausted,
+            backoff_s=self.backoff_s,
+            wasted_s=self.wasted_s,
+            fallbacks=self.fallbacks,
+        )

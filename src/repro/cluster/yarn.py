@@ -11,6 +11,7 @@ per application directly bound the number of parallel applications.
 from __future__ import annotations
 
 import itertools
+import math
 from dataclasses import dataclass, field
 
 from repro.errors import ClusterError
@@ -36,13 +37,31 @@ class NodeManager:
     capacity_mb: int
     used_mb: int = 0
     containers: dict = field(default_factory=dict)
+    #: a lost node manager (chaos NODE_LOSS) accepts no allocations and
+    #: contributes no capacity until restored
+    lost: bool = False
 
     @property
     def available_mb(self):
+        if self.lost:
+            return 0
         return self.capacity_mb - self.used_mb
 
     def can_allocate(self, memory_mb):
-        return memory_mb <= self.available_mb
+        return not self.lost and memory_mb <= self.available_mb
+
+    def fail(self):
+        """Node-manager loss: every container on the node dies and its
+        capacity leaves the cluster.  Returns the lost containers."""
+        lost_containers = list(self.containers.values())
+        self.containers.clear()
+        self.used_mb = 0
+        self.lost = True
+        return lost_containers
+
+    def restore(self):
+        """The node manager rejoins the cluster (empty)."""
+        self.lost = False
 
     def allocate(self, memory_mb):
         if not self.can_allocate(memory_mb):
@@ -65,10 +84,17 @@ class NodeManager:
 
 
 class ResourceManager:
-    """Cluster-wide container allocation with min/max constraints."""
+    """Cluster-wide container allocation with min/max constraints.
 
-    def __init__(self, cluster):
+    An optional :class:`~repro.chaos.FaultInjector` makes the RM deny
+    allocations (transiently or permanently) and lose node managers on a
+    seeded schedule — the degraded-cluster conditions of chaos tests and
+    throughput simulations.
+    """
+
+    def __init__(self, cluster, injector=None):
         self.cluster = cluster
+        self.injector = injector
         self.nodes = [
             NodeManager(node_id=i, capacity_mb=cluster.node_memory_mb)
             for i in range(cluster.num_nodes)
@@ -82,9 +108,20 @@ class ResourceManager:
     def used_mb(self):
         return sum(node.used_mb for node in self.nodes)
 
+    @property
+    def live_nodes(self):
+        return sum(1 for node in self.nodes if not node.lost)
+
     def normalize_request(self, memory_mb):
-        """Clamp a request to the min constraint; reject above max."""
-        request = max(int(memory_mb), self.cluster.min_allocation_mb)
+        """Round a request up to whole MB and clamp it to the min
+        constraint; reject non-positive, non-finite, or above-max
+        requests."""
+        mb = float(memory_mb)
+        if not math.isfinite(mb) or mb <= 0:
+            raise ClusterError(
+                f"invalid container request: {memory_mb!r} MB"
+            )
+        request = max(int(math.ceil(mb)), self.cluster.min_allocation_mb)
         if request > self.cluster.max_allocation_mb:
             raise ClusterError(
                 f"container request {request} MB exceeds the maximum "
@@ -94,9 +131,13 @@ class ResourceManager:
 
     def try_allocate(self, memory_mb):
         """First-fit allocation; returns a Container or None if the
-        cluster currently lacks capacity."""
+        cluster currently lacks capacity (or the fault injector denies
+        the request)."""
         request = self.normalize_request(memory_mb)
         tracer = get_tracer()
+        if self.injector is not None and self.injector.deny_allocation("rm"):
+            tracer.incr("yarn.allocation_failures")
+            return None
         for node in self.nodes:
             if node.can_allocate(request):
                 container = node.allocate(request)
@@ -114,6 +155,29 @@ class ResourceManager:
         if tracer.enabled:
             tracer.incr("yarn.releases")
             tracer.gauge("yarn.used_mb", self.used_mb)
+
+    # -- node-manager faults -----------------------------------------------
+
+    def _node(self, node_id):
+        if not isinstance(node_id, int) or not 0 <= node_id < len(self.nodes):
+            raise ClusterError(f"unknown node manager {node_id!r}")
+        return self.nodes[node_id]
+
+    def fail_node(self, node_id):
+        """NODE_LOSS: the node manager dies; its containers are killed
+        and returned (callers re-execute or release their handles)."""
+        lost = self._node(node_id).fail()
+        tracer = get_tracer()
+        tracer.incr("yarn.nodes_lost")
+        if tracer.enabled and lost:
+            tracer.incr("yarn.containers_lost", len(lost))
+            tracer.gauge("yarn.used_mb", self.used_mb)
+        return lost
+
+    def restore_node(self, node_id):
+        """The node manager rejoins with empty capacity."""
+        self._node(node_id).restore()
+        get_tracer().incr("yarn.nodes_restored")
 
     def max_concurrent(self, memory_mb):
         """How many containers of this size fit an empty cluster."""

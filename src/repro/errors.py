@@ -48,3 +48,36 @@ class OptimizationError(ReproError):
 class ClusterError(ReproError):
     """Raised by the simulated cluster (e.g., container request exceeds
     the maximum allocation constraint)."""
+
+
+class TransientIOError(ExecutionError):
+    """A flaky/slow HDFS read stalled for ``delay_s`` and then failed.
+
+    Safe to retry: the simulated file is intact, only this read attempt
+    was lost.  Raised by :meth:`repro.runtime.hdfs.SimulatedHDFS.read_matrix`
+    under fault injection and caught by the interpreter's retry loop."""
+
+    def __init__(self, path, delay_s=0.0):
+        super().__init__(
+            f"transient HDFS read failure on {path!r} "
+            f"after {delay_s:.1f}s stall"
+        )
+        self.path = path
+        self.delay_s = delay_s
+
+
+class RetryExhaustedError(ExecutionError):
+    """Recovery gave up: the per-site retry budget is spent.
+
+    Carries the injection ``site`` and the number of ``attempts`` made
+    before surfacing, so chaos tests can assert the budget was honored."""
+
+    def __init__(self, message, site=None, attempts=0):
+        super().__init__(message)
+        self.site = site
+        self.attempts = attempts
+
+
+class AllocationDeniedError(ClusterError):
+    """The Resource Manager denied a container allocation and no smaller
+    feasible configuration exists (or retries were exhausted)."""

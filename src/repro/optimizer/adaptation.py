@@ -23,6 +23,7 @@ data again" overhead the paper observes), and execution resumes.
 
 from __future__ import annotations
 
+from repro.chaos import FaultKind
 from repro.cluster.resources import ResourceConfig
 from repro.compiler.memory_estimates import estimate_dag_memory
 from repro.compiler.pipeline import recompile_block_plan
@@ -111,8 +112,10 @@ class ResourceAdapter:
                 cp_target_mb=global_result.resource.cp_heap_mb,
             )
 
-        if should_migrate:
-            self._migrate(interp, frame, migration_cost)
+        migrated = should_migrate and self._migrate(
+            interp, frame, migration_cost
+        )
+        if migrated:
             new_resource = ResourceConfig(
                 cp_heap_mb=global_result.resource.cp_heap_mb,
                 mr_heap_mb=global_result.resource.mr_heap_mb,
@@ -121,8 +124,10 @@ class ResourceAdapter:
                 ),
             )
         else:
-            # stay in the current container; adopt the locally optimal
-            # MR configurations (stateless jobs adapt for free)
+            # stay in the current container (no migration wanted, or the
+            # migration attempt failed and rolled back); adopt the
+            # locally optimal MR configurations (stateless jobs adapt
+            # for free)
             new_resource = ResourceConfig(
                 cp_heap_mb=current_cp,
                 mr_heap_mb=local_result.resource.mr_heap_mb,
@@ -173,8 +178,33 @@ class ResourceAdapter:
 
     def _migrate(self, interp, frame, migration_cost):
         """Write dirty state, move to the new container, restart the
-        buffer pool (matrices are re-read on next access)."""
+        buffer pool (matrices are re-read on next access).
+
+        Returns True on success.  Under fault injection the new AM
+        container may never come up (MIGRATION_FAILURE): the migration
+        rolls back — execution keeps running in the old container with
+        all live variables and the buffer pool untouched — and only the
+        failed attempt's cost (the wasted export IO plus allocation
+        latency) is charged.
+        """
         from repro.runtime.matrix import MatrixObject
+
+        injector = getattr(interp, "injector", None)
+        if injector is not None:
+            fault = injector.fire(
+                FaultKind.MIGRATION_FAILURE, site="am_migration"
+            )
+            if fault is not None:
+                interp.charge(migration_cost, "migration_failed")
+                injector.record_wasted(migration_cost)
+                tracer = get_tracer()
+                tracer.incr("adaptation.migration_failures")
+                tracer.event(
+                    "adaptation.migration_failed",
+                    cost_s=migration_cost,
+                    migrations_so_far=interp.result.migrations,
+                )
+                return False
 
         interp.charge(migration_cost, "migration")
         for name, value in frame.items():
@@ -190,6 +220,7 @@ class ResourceAdapter:
         interp.pool.release_all()
         interp.result.migrations += 1
         get_tracer().incr("adaptation.migrations")
+        return True
 
 
 def _generic_blocks(blocks):

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.common import FileFormat, MatrixCharacteristics
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, TransientIOError
 from repro.runtime.matrix import DEFAULT_SAMPLE_CAP, MatrixObject
 
 
@@ -31,10 +31,17 @@ class HDFSFile:
 
 @dataclass
 class SimulatedHDFS:
-    """The cluster's distributed file system."""
+    """The cluster's distributed file system.
+
+    With a fault injector attached, :meth:`read_matrix` raises
+    :class:`~repro.errors.TransientIOError` on a seeded schedule — the
+    slow/flaky-DataNode fault the interpreter's read-retry loop recovers
+    from."""
 
     files: dict = field(default_factory=dict)
     sample_cap: int = DEFAULT_SAMPLE_CAP
+    #: optional :class:`~repro.chaos.FaultInjector` for flaky reads
+    injector: object = field(default=None, repr=False, compare=False)
 
     # -- basic operations --------------------------------------------------
 
@@ -56,10 +63,18 @@ class SimulatedHDFS:
         self.files.pop(path, None)
 
     def read_matrix(self, path):
-        """Materialize a matrix object from an HDFS file (no timing)."""
+        """Materialize a matrix object from an HDFS file (no timing).
+
+        Under fault injection a read may stall and fail with
+        :class:`TransientIOError`; the file itself is intact, so callers
+        retry (the interpreter charges the stall plus backoff)."""
         f = self.get(path)
         if f.data is None:
             raise ExecutionError(f"HDFS file {path} has no sample data")
+        if self.injector is not None:
+            fault = self.injector.fire_hdfs_read(path)
+            if fault is not None:
+                raise TransientIOError(path, delay_s=fault.payload.delay_s)
         obj = MatrixObject(
             np.array(f.data, dtype=np.float64),
             f.mc.copy(),

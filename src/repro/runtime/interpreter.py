@@ -11,10 +11,12 @@ implemented in :mod:`repro.optimizer.adaptation`.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.chaos import FaultKind
 from repro.common import DataType, FileFormat, MatrixCharacteristics
 from repro.compiler import statement_blocks as SB
 from repro.compiler.recompile import make_env_from_states, recompile_block
@@ -23,7 +25,12 @@ from repro.cost import io_model
 from repro.cost.compute_model import operation_flops
 from repro.cost.constants import DEFAULT_PARAMETERS
 from repro.cost.mr_timing import time_mr_job
-from repro.errors import ExecutionError
+from repro.errors import (
+    AllocationDeniedError,
+    ExecutionError,
+    RetryExhaustedError,
+    TransientIOError,
+)
 from repro.obs import get_tracer
 from repro.runtime.bufferpool import BufferPool
 from repro.runtime.hdfs import SimulatedHDFS
@@ -48,6 +55,9 @@ class ExecutionResult:
     prints: list = field(default_factory=list)
     #: final resource configuration (may differ after adaptation)
     final_resource: object = None
+    #: fault/recovery accounting (:class:`repro.chaos.ChaosReport`);
+    #: None unless the run was fault-injected
+    chaos: object = None
 
     def category(self, name):
         return self.breakdown.get(name, 0.0)
@@ -58,7 +68,7 @@ class Interpreter:
 
     def __init__(self, cluster, params=None, hdfs=None,
                  sample_cap=DEFAULT_SAMPLE_CAP, enable_recompile=True,
-                 adapter=None, seed=0, cluster_load=None):
+                 adapter=None, seed=0, cluster_load=None, injector=None):
         self.cluster = cluster
         self.params = params or DEFAULT_PARAMETERS
         self.hdfs = hdfs if hdfs is not None else SimulatedHDFS()
@@ -70,6 +80,9 @@ class Interpreter:
         #: optional background-utilization model (cluster.load.ClusterLoad)
         #: slowing down MR phases on a shared cluster
         self.cluster_load = cluster_load
+        #: optional fault injector (repro.chaos.FaultInjector); its own
+        #: RNG, so injected faults never perturb kernel sampling
+        self.injector = injector
         # per-run state, initialized in run()
         self.clock = 0.0
         self.result = None
@@ -78,6 +91,8 @@ class Interpreter:
         self.compiled = None
         self.rng = None
         self._scratch_counter = 0
+        #: node managers lost to NODE_LOSS faults this run
+        self._lost_nodes = 0
         #: active frame stack (main frame + function-call frames)
         self._frames = []
 
@@ -97,28 +112,39 @@ class Interpreter:
         """Execute the program under ``resource``; returns the result.
 
         Plans are (re)generated for ``resource`` first, so callers may
-        pass a program compiled under any configuration.
+        pass a program compiled under any configuration.  With a fault
+        injector, the AM container allocation itself may fail first:
+        transient failures are retried with backoff, a denial falls back
+        to a smaller configuration re-enumerated by the optimizer.
         """
         from repro.compiler.pipeline import compile_plans
 
         tracer = get_tracer()
+        self.compiled = compiled
+        self.resource = resource.copy()
+        self.clock = 0.0
+        self.result = ExecutionResult()
+        self.rng = np.random.default_rng(self.seed)
+        self._scratch_counter = 0
+        self._lost_nodes = 0
+        if self.injector is not None:
+            try:
+                self.resource = self._allocate_am_container(
+                    compiled, self.resource
+                )
+            finally:
+                self.result.chaos = self.injector.report()
         with tracer.span("runtime.generate_plans") as span:
-            compile_plans(compiled, resource)
+            compile_plans(compiled, self.resource)
             if tracer.enabled:
                 # the AM recompiles the program under the final (dynamic)
                 # configuration before executing it
                 regenerated = sum(1 for _ in compiled.last_level_blocks())
                 span.set("blocks", regenerated)
                 tracer.incr("recompile.dynamic", regenerated)
-        self.compiled = compiled
-        self.resource = resource.copy()
-        self.clock = 0.0
-        self.result = ExecutionResult()
-        self.rng = np.random.default_rng(self.seed)
         self.pool = BufferPool(
             self.resource.cp_budget_bytes, self.params, self.charge
         )
-        self._scratch_counter = 0
         # AM container allocation + startup
         self.charge(
             self.params.container_alloc_latency + self.params.am_startup_latency,
@@ -126,12 +152,108 @@ class Interpreter:
         )
         frame = {}
         self._frames = [frame]
-        self._exec_blocks(compiled.blocks, frame)
+        try:
+            self._exec_blocks(compiled.blocks, frame)
+        finally:
+            if self.injector is not None:
+                self.result.chaos = self.injector.report()
         self.result.total_time = self.clock
         self.result.evictions = self.pool.evictions
         self.result.buffer_restores = self.pool.restores
         self.result.final_resource = self.resource
         return self.result
+
+    # -- chaos: AM allocation with denial fallback -------------------------
+
+    def _allocate_am_container(self, compiled, resource):
+        """Allocate the AM container under fault injection.
+
+        Transient allocation failures back off and retry (bounded by the
+        injector's retry budget); a hard denial falls back to a smaller
+        configuration via :meth:`_allocation_fallback`.
+        """
+        injector = self.injector
+        policy = injector.retry_policy
+        attempts = 0
+        while injector.fire(FaultKind.ALLOCATION_TRANSIENT,
+                            site="am_alloc") is not None:
+            attempts += 1
+            injector.record_attempt("am_alloc",
+                                    FaultKind.ALLOCATION_TRANSIENT)
+            if attempts > policy.max_attempts:
+                injector.record_exhausted(
+                    "am_alloc", FaultKind.ALLOCATION_TRANSIENT, attempts
+                )
+                raise AllocationDeniedError(
+                    f"AM container allocation failed after {attempts} "
+                    f"transient failures"
+                )
+            backoff = policy.backoff(attempts)
+            self.charge(backoff, "retry_backoff")
+            injector.record_backoff(backoff)
+        if attempts:
+            injector.record_recovery(
+                "am_alloc", FaultKind.ALLOCATION_TRANSIENT, attempts
+            )
+        if injector.fire(FaultKind.ALLOCATION_DENIED,
+                         site="am_alloc") is not None:
+            resource = self._allocation_fallback(compiled, resource)
+        return resource
+
+    def _allocation_fallback(self, compiled, resource):
+        """The RM denied the requested AM container: re-enumerate a
+        smaller configuration with the existing optimizer under a
+        tighter max-allocation constraint; without an optimizer (or when
+        the constrained grid is empty) fall back to halving the CP heap,
+        floored at the cluster minimum."""
+        denied = self.cluster.container_mb_for_heap(resource.cp_heap_mb)
+        cap = max(self.cluster.min_allocation_mb, denied // 2)
+        optimizer = (
+            getattr(self.adapter, "optimizer", None)
+            if self.adapter is not None else None
+        )
+        new_resource = None
+        constrained = dataclasses.replace(
+            self.cluster, max_allocation_mb=int(cap)
+        )
+        if optimizer is not None and constrained.max_heap_mb > constrained.min_heap_mb:
+            from repro.errors import OptimizationError
+            from repro.optimizer.enumerate import ResourceOptimizer
+
+            shrunk = ResourceOptimizer(
+                constrained, self.params, options=optimizer.options
+            )
+            try:
+                result = shrunk.optimize(compiled)
+            except OptimizationError:
+                result = None
+            if result is not None and result.resource is not None:
+                new_resource = result.resource
+        if new_resource is None:
+            new_resource = type(resource)(
+                cp_heap_mb=max(
+                    self.cluster.min_heap_mb, resource.cp_heap_mb / 2.0
+                ),
+                mr_heap_mb=resource.mr_heap_mb,
+                mr_heap_per_block=dict(resource.mr_heap_per_block),
+            )
+        self.injector.record_fallback("am_alloc", resource, new_resource)
+        return new_resource
+
+    def _cluster_view(self, extra_lost=0):
+        """The cluster as this run currently sees it: NODE_LOSS faults
+        permanently remove node managers; ``extra_lost`` models the
+        temporarily-excluded node of a container-kill re-execution."""
+        lost = self._lost_nodes + extra_lost
+        if lost <= 0:
+            return self.cluster
+        n = max(1, self.cluster.num_nodes - lost)
+        reducers = max(
+            1, round(self.cluster.num_reducers * n / self.cluster.num_nodes)
+        )
+        return dataclasses.replace(
+            self.cluster, num_nodes=n, num_reducers=reducers
+        )
 
     # -- block execution ---------------------------------------------------
 
@@ -304,6 +426,46 @@ class Interpreter:
                 )
         return states
 
+    # -- HDFS reads under fault injection -------------------------------
+
+    def _read_hdfs_input(self, fname):
+        """Read an input matrix, retrying slow/flaky reads with backoff.
+
+        The stall time of each failed attempt plus the backoff is
+        charged to the clock; the re-read is deterministic, so recovered
+        runs stay numerically identical to fault-free runs."""
+        if self.injector is None:
+            return self.hdfs.read_matrix(fname)
+        policy = self.injector.retry_policy
+        site = f"hdfs:{fname}"
+        attempts = 0
+        while True:
+            try:
+                obj = self.hdfs.read_matrix(fname)
+            except TransientIOError as err:
+                self.charge(err.delay_s, "chaos_io")
+                self.injector.record_wasted(err.delay_s)
+                attempts += 1
+                self.injector.record_attempt(site, FaultKind.HDFS_SLOW_READ)
+                if attempts > policy.max_attempts:
+                    self.injector.record_exhausted(
+                        site, FaultKind.HDFS_SLOW_READ, attempts
+                    )
+                    raise RetryExhaustedError(
+                        f"HDFS read of {fname!r} failed {attempts} times; "
+                        f"retry budget ({policy.max_attempts}) exhausted",
+                        site=site, attempts=attempts,
+                    ) from err
+                backoff = policy.backoff(attempts)
+                self.charge(backoff, "retry_backoff")
+                self.injector.record_backoff(backoff)
+                continue
+            if attempts:
+                self.injector.record_recovery(
+                    site, FaultKind.HDFS_SLOW_READ, attempts
+                )
+            return obj
+
     # -- operand resolution ---------------------------------------------
 
     def _resolve(self, operand, frame):
@@ -318,7 +480,7 @@ class Interpreter:
     def _exec_cp(self, ins, frame):
         opcode = ins.opcode
         if opcode == "createvar":
-            obj = self.hdfs.read_matrix(ins.attrs["fname"])
+            obj = self._read_hdfs_input(ins.attrs["fname"])
             obj.in_memory = False  # lazy: charged on first CP access
             obj.dirty = False
             fmt = ins.attrs.get("format")
@@ -453,14 +615,20 @@ class Interpreter:
                 scratch[step.output] = payload
 
         timing = time_mr_job(
-            job, mc_of, fmt_of, self.resource, self.cluster, self.params
+            job, mc_of, fmt_of, self.resource, self._cluster_view(),
+            self.params
         )
         slowdown = (
             self.cluster_load.slowdown(self.clock)
             if self.cluster_load is not None
             else 1.0
         )
-        self.charge(timing.total * slowdown, "mr_jobs")
+        if self.injector is None:
+            self.charge(timing.total * slowdown, "mr_jobs")
+        else:
+            timing = self._charge_mr_job_with_faults(
+                job, timing, slowdown, mc_of, fmt_of
+            )
         self.result.mr_jobs += 1 + job.extra_job_latency
         tracer = get_tracer()
         if tracer.enabled:
@@ -492,6 +660,71 @@ class Interpreter:
             value = scratch.get(step.output)
             if not isinstance(value, MatrixObject) and value is not None:
                 frame[step.output] = value
+
+    def _charge_mr_job_with_faults(self, job, timing, slowdown, mc_of,
+                                   fmt_of):
+        """Charge one MR job's time under fault injection.
+
+        Semantic kernel outputs were already computed (faults affect
+        *time*, never values: MR re-execution is deterministic), so this
+        only replays the timing: a container kill or node loss wastes
+        the job's partial progress, backs off, and re-executes the lost
+        containers at reduced parallelism — one node excluded for the
+        retry after a kill, permanently removed from this run's cluster
+        view after a node loss.  The retry budget is the injector's
+        :class:`~repro.chaos.RetryPolicy`; exhausting it raises the
+        typed :class:`~repro.errors.RetryExhaustedError`.
+
+        Returns the timing of the attempt that finally succeeded (its
+        phase breakdown feeds the ``mr.phase.*`` counters).
+        """
+        injector = self.injector
+        policy = injector.retry_policy
+        site = f"mr_job:{job.block_id}"
+        attempts = 0
+        kill_degraded = 0
+        last_kind = None
+        while True:
+            fault = injector.fire(FaultKind.NODE_LOSS, site=site)
+            kind = FaultKind.NODE_LOSS
+            if fault is None:
+                fault = injector.fire(FaultKind.CONTAINER_KILL, site=site)
+                kind = FaultKind.CONTAINER_KILL
+            if fault is None:
+                self.charge(timing.total * slowdown, "mr_jobs")
+                if attempts:
+                    injector.record_recovery(site, last_kind, attempts)
+                return timing
+            # partial work lost at the fault's progress point
+            wasted = timing.total * fault.payload.progress * slowdown
+            self.charge(wasted, "chaos_wasted")
+            injector.record_wasted(wasted)
+            attempts += 1
+            last_kind = kind
+            injector.record_attempt(site, kind)
+            if attempts > policy.max_attempts:
+                injector.record_exhausted(site, kind, attempts)
+                raise RetryExhaustedError(
+                    f"MR job in block {job.block_id} failed "
+                    f"{attempts} times ({kind.value}); retry budget "
+                    f"({policy.max_attempts}) exhausted",
+                    site=site, attempts=attempts,
+                )
+            backoff = policy.backoff(attempts)
+            self.charge(backoff, "retry_backoff")
+            injector.record_backoff(backoff)
+            if kind is FaultKind.NODE_LOSS:
+                self._lost_nodes = min(
+                    self._lost_nodes + 1, self.cluster.num_nodes - 1
+                )
+                kill_degraded = 0
+            else:
+                kill_degraded = 1
+            # re-execute the lost containers at reduced parallelism
+            timing = time_mr_job(
+                job, mc_of, fmt_of, self.resource,
+                self._cluster_view(extra_lost=kill_degraded), self.params
+            )
 
     def _scratch_path(self, name):
         self._scratch_counter += 1

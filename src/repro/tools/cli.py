@@ -85,6 +85,46 @@ def _add_common(parser):
                         help="generate a random input matrix on HDFS")
 
 
+def _add_chaos(parser):
+    parser.add_argument("--chaos-seed", type=int, default=None,
+                        metavar="SEED",
+                        help="enable deterministic fault injection with "
+                             "this seed")
+    parser.add_argument("--fault-rate", type=float, default=0.1,
+                        metavar="P",
+                        help="per-site fault probability under "
+                             "--chaos-seed (default 0.1)")
+    parser.add_argument("--max-retries", type=int, default=3,
+                        metavar="N",
+                        help="retry budget per fault site (default 3)")
+
+
+def _chaos_plan(args):
+    if getattr(args, "chaos_seed", None) is None:
+        return None, None
+    from repro.chaos import FaultPlan, RetryPolicy
+
+    plan = FaultPlan.from_rate(args.chaos_seed, args.fault_rate)
+    policy = RetryPolicy(max_attempts=args.max_retries)
+    return plan, policy
+
+
+def _print_chaos_summary(outcome):
+    report = outcome.chaos
+    if report is None:
+        return
+    kinds = ", ".join(
+        f"{kind}={count}" for kind, count in sorted(report.injected.items())
+    ) or "none"
+    print(f"chaos: {report.total_injected} faults injected ({kinds})")
+    print(f"       retries: {report.retry_attempts} attempts, "
+          f"{report.retry_recovered} recovered, "
+          f"{report.retry_exhausted} exhausted; "
+          f"fallbacks: {report.fallbacks}; "
+          f"wasted {report.wasted_s:.1f}s + "
+          f"backoff {report.backoff_s:.1f}s")
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -100,6 +140,7 @@ def build_parser():
                      help="skip the optimizer; use a static configuration")
     run.add_argument("--no-adapt", action="store_true",
                      help="disable runtime resource adaptation")
+    _add_chaos(run)
 
     opt = sub.add_parser("optimize", help="run resource optimization only")
     _add_common(opt)
@@ -149,6 +190,7 @@ def build_parser():
                        help="disable runtime resource adaptation")
     trace.add_argument("--json", action="store_true",
                        help="dump the raw trace as JSON instead of text")
+    _add_chaos(trace)
     return parser
 
 
@@ -157,8 +199,12 @@ def cmd_run(args, session):
     source = _load_source(args.script)
     script_args = _parse_args_list(args.args)
     resource = _static_resource(args.static) if args.static else None
+    plan, policy = _chaos_plan(args)
+    if policy is not None:
+        session.retry_policy = policy
     outcome = session.run(
-        source, script_args, resource=resource, adapt=not args.no_adapt
+        source, script_args, resource=resource, adapt=not args.no_adapt,
+        chaos=plan,
     )
     for line in outcome.prints:
         print("|", line)
@@ -168,6 +214,7 @@ def cmd_run(args, session):
     print(f"simulated time: {result.total_time:.1f}s  "
           f"MR jobs: {result.mr_jobs}  migrations: {result.migrations}  "
           f"evictions: {result.evictions}")
+    _print_chaos_summary(outcome)
     return 0
 
 
@@ -250,8 +297,12 @@ def cmd_trace(args, session):
     scn = scenario(args.scenario, cols=args.cols, sparse=args.sparse)
     script_args = prepare_inputs(session.hdfs, args.script, scn)
     resource = _static_resource(args.static) if args.static else None
+    plan, policy = _chaos_plan(args)
+    if policy is not None:
+        session.retry_policy = policy
     outcome = session.run(
-        args.script, script_args, resource=resource, adapt=not args.no_adapt
+        args.script, script_args, resource=resource, adapt=not args.no_adapt,
+        chaos=plan,
     )
     if args.json:
         print(outcome.trace.to_json(indent=2))
@@ -263,6 +314,7 @@ def cmd_trace(args, session):
     print(f"simulated time: {outcome.total_time:.1f}s  "
           f"MR jobs: {outcome.result.mr_jobs}  "
           f"migrations: {outcome.migrations}\n")
+    _print_chaos_summary(outcome)
     print(outcome.trace.render())
     return 0
 

@@ -1,0 +1,156 @@
+"""End-to-end chaos runs: termination, numeric identity, accounting.
+
+The harness the issue asks for: parameterized over fault kinds, rates,
+and seeds, every run must either succeed or fail with a *typed*
+``repro.errors`` exception; recovered runs must be numerically
+identical to fault-free runs; and the trace counters must account for
+every injected fault.
+"""
+
+import pytest
+
+from repro.api import ElasticMLSession
+from repro.chaos import FaultKind, FaultPlan, FaultSpec
+from repro.cluster import ResourceConfig
+from repro.errors import ReproError
+from repro.obs import Tracer
+from repro.workloads import prepare_inputs, scenario
+
+STATIC = ResourceConfig(512, 512)
+
+
+def run_linreg(size, chaos=None, trace=False, adapt=False):
+    session = ElasticMLSession(sample_cap=256, trace=trace)
+    args = prepare_inputs(session.hdfs, "LinregCG", scenario(size))
+    return session.run(
+        "LinregCG", args, resource=STATIC, adapt=adapt, chaos=chaos
+    )
+
+
+@pytest.fixture(scope="module")
+def reference_s():
+    """Fault-free LinregCG on scenario S under the static config."""
+    outcome = run_linreg("S")
+    assert outcome.result.mr_jobs > 0  # the runs below exercise MR sites
+    return outcome
+
+
+class TestSeededRuns:
+    @pytest.mark.parametrize("seed", [3, 7, 11])
+    @pytest.mark.parametrize("rate", [0.05, 0.3])
+    def test_terminates_and_accounts(self, reference_s, seed, rate):
+        plan = FaultPlan.from_rate(seed, rate)
+        try:
+            outcome = run_linreg("S", chaos=plan, trace=True)
+        except ReproError:
+            return  # a typed failure is an acceptable terminal outcome
+        report = outcome.chaos
+        # accounting closes: every delivered fault appears exactly once
+        assert report.total_injected == len(report.faults)
+        assert report.total_injected == sum(report.injected.values())
+        counters = outcome.trace.counters
+        assert counters.get("chaos.injected", 0) == report.total_injected
+        assert counters.get("retry.attempts", 0) == report.retry_attempts
+        assert (
+            counters.get("retry.recovered", 0) == report.retry_recovered
+        )
+        # recovered runs are numerically identical to fault-free runs
+        assert outcome.prints == reference_s.prints
+        # fault handling never loses time: recovery only adds
+        if report.total_injected:
+            assert outcome.total_time >= reference_s.total_time
+
+    def test_same_seed_same_outcome(self):
+        plan = FaultPlan.from_rate(7, 0.3)
+        first = run_linreg("S", chaos=plan)
+        second = run_linreg("S", chaos=plan)
+        assert first.chaos.injected == second.chaos.injected
+        # fault decisions are (kind, index, payload)-deterministic; the
+        # site labels carry process-global block ids and may differ
+        key = lambda f: (f.kind, f.index, f.payload)  # noqa: E731
+        assert list(map(key, first.chaos.faults)) == list(
+            map(key, second.chaos.faults)
+        )
+        assert first.total_time == second.total_time
+        assert first.prints == second.prints
+
+    def test_chaos_off_is_chaos_free(self, reference_s):
+        outcome = run_linreg("S", chaos=FaultPlan.from_rate(7, 0.0))
+        assert outcome.chaos.total_injected == 0
+        assert outcome.prints == reference_s.prints
+        assert outcome.total_time == reference_s.total_time
+
+    @pytest.mark.parametrize("kind", list(FaultKind))
+    def test_every_kind_survivable(self, reference_s, kind):
+        """One scripted fault of each kind: the run recovers (or, for
+        kinds whose site is never visited, completes untouched)."""
+        plan = FaultPlan.from_faults(FaultSpec(kind, at=0))
+        outcome = run_linreg("S", chaos=plan)
+        assert outcome.prints == reference_s.prints
+        report = outcome.chaos
+        assert report.total_injected <= 1
+        if report.total_injected:
+            assert report.faults[0].kind is kind
+
+
+class TestAcceptance:
+    """The issue's acceptance scenario: LinregCG with a seed-pinned
+    container kill plus an allocation denial completes with the correct
+    numeric result and full accounting."""
+
+    def test_container_kill_plus_allocation_denial(self):
+        reference = run_linreg("M")
+        assert reference.result.mr_jobs > 0
+        plan = FaultPlan.from_faults(
+            FaultSpec(FaultKind.CONTAINER_KILL, at=0),
+            FaultSpec(FaultKind.ALLOCATION_DENIED, at=0),
+        )
+        tracer = Tracer()
+        session = ElasticMLSession(sample_cap=256, trace=tracer)
+        args = prepare_inputs(session.hdfs, "LinregCG", scenario("M"))
+        outcome = session.run(
+            "LinregCG", args, resource=STATIC, adapt=False, chaos=plan
+        )
+        # numerically identical to the fault-free run
+        assert outcome.prints == reference.prints
+        report = outcome.chaos
+        # chaos.injected equals the number of faults delivered
+        assert report.total_injected == 2
+        assert report.injected == {
+            "container_kill": 1, "allocation_denied": 1,
+        }
+        assert tracer.counters["chaos.injected"] == 2
+        # at least one retry.recovered event (the killed job re-ran)
+        assert report.retry_recovered >= 1
+        assert tracer.counters["retry.recovered"] >= 1
+        # the denial forced a fallback (the 512 MB request is already at
+        # the cluster heap floor, so the configuration cannot shrink)
+        assert report.fallbacks == 1
+        assert outcome.resource.cp_heap_mb <= STATIC.cp_heap_mb
+        # the lost work and backoff surface in the run's breakdown
+        assert outcome.result.category("chaos_wasted") > 0
+        assert outcome.result.category("retry_backoff") > 0
+
+
+class TestCliChaos:
+    def test_trace_subcommand_prints_chaos_summary(self, capsys):
+        from repro.tools.cli import main
+
+        code = main([
+            "trace", "LinregCG", "S", "--static", "512,512", "--no-adapt",
+            "--chaos-seed", "7", "--fault-rate", "0.1",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "faults injected" in out
+        assert "chaos.injected" in out  # counters section
+
+    def test_run_subcommand_without_chaos_has_no_summary(self, capsys):
+        from repro.tools.cli import main
+
+        code = main([
+            "demo", "LinregCG", "--size", "XS",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "faults injected" not in out

@@ -1,0 +1,187 @@
+"""Unit tests for the fault plan / injector core (repro.chaos)."""
+
+import pytest
+
+from repro.chaos import (
+    ChaosReport,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+)
+from repro.chaos.faults import ALL_FAULT_KINDS, FaultPayload
+
+
+class TestFaultPlan:
+    def test_decide_is_deterministic_across_plans(self):
+        a = FaultPlan.from_rate(42, 0.3)
+        b = FaultPlan.from_rate(42, 0.3)
+        for kind in ALL_FAULT_KINDS:
+            for index in range(50):
+                assert a.decide(kind, index) == b.decide(kind, index)
+
+    def test_decide_is_pure(self):
+        plan = FaultPlan.from_rate(7, 0.5)
+        first = [plan.decide(FaultKind.CONTAINER_KILL, i) for i in range(20)]
+        # interleave other kinds: decisions must not shift
+        for i in range(20):
+            plan.decide(FaultKind.HDFS_SLOW_READ, i)
+        second = [plan.decide(FaultKind.CONTAINER_KILL, i) for i in range(20)]
+        assert first == second
+
+    def test_different_seeds_diverge(self):
+        a = FaultPlan.from_rate(1, 0.5)
+        b = FaultPlan.from_rate(2, 0.5)
+        draws_a = [
+            a.decide(FaultKind.NODE_LOSS, i) is not None for i in range(100)
+        ]
+        draws_b = [
+            b.decide(FaultKind.NODE_LOSS, i) is not None for i in range(100)
+        ]
+        assert draws_a != draws_b
+
+    def test_rate_zero_never_fires(self):
+        plan = FaultPlan.from_rate(3, 0.0)
+        for kind in ALL_FAULT_KINDS:
+            assert all(plan.decide(kind, i) is None for i in range(100))
+
+    def test_rate_one_always_fires(self):
+        plan = FaultPlan.from_rate(3, 1.0)
+        for kind in ALL_FAULT_KINDS:
+            assert all(
+                plan.decide(kind, i) is not None for i in range(100)
+            )
+
+    def test_rate_roughly_respected(self):
+        plan = FaultPlan.from_rate(11, 0.2)
+        hits = sum(
+            1 for i in range(1000)
+            if plan.decide(FaultKind.CONTAINER_KILL, i) is not None
+        )
+        assert 120 <= hits <= 280  # ~200 expected
+
+    def test_scripted_fires_at_exact_index_only(self):
+        plan = FaultPlan.from_faults(
+            FaultSpec(FaultKind.CONTAINER_KILL, at=3)
+        )
+        fired = [
+            plan.decide(FaultKind.CONTAINER_KILL, i) is not None
+            for i in range(6)
+        ]
+        assert fired == [False, False, False, True, False, False]
+
+    def test_scripted_independent_of_seed(self):
+        spec = FaultSpec(FaultKind.ALLOCATION_DENIED, at=0)
+        for seed in (0, 1, 99):
+            plan = FaultPlan.from_faults(spec, seed=seed)
+            assert plan.decide(FaultKind.ALLOCATION_DENIED, 0) is not None
+            assert plan.decide(FaultKind.ALLOCATION_DENIED, 1) is None
+
+    def test_scripted_payload_passed_through(self):
+        payload = FaultPayload(progress=0.9, delay_s=42.0)
+        plan = FaultPlan.from_faults(
+            FaultSpec(FaultKind.HDFS_SLOW_READ, at=1, payload=payload)
+        )
+        assert plan.decide(FaultKind.HDFS_SLOW_READ, 1) is payload
+
+    def test_drawn_payloads_in_range(self):
+        plan = FaultPlan.from_rate(5, 1.0)
+        for i in range(50):
+            kill = plan.decide(FaultKind.CONTAINER_KILL, i)
+            assert 0.2 <= kill.progress <= 0.8
+            read = plan.decide(FaultKind.HDFS_SLOW_READ, i)
+            assert 1.0 <= read.delay_s <= 10.0
+
+
+class TestRetryPolicy:
+    def test_backoff_monotone_until_cap(self):
+        policy = RetryPolicy()
+        values = [policy.backoff(a) for a in range(1, 12)]
+        assert all(x <= y for x, y in zip(values, values[1:]))
+
+    def test_backoff_capped(self):
+        policy = RetryPolicy(backoff_cap_s=10.0)
+        assert policy.backoff(50) == 10.0
+
+    def test_backoff_first_attempt_is_base(self):
+        policy = RetryPolicy(backoff_base_s=3.0)
+        assert policy.backoff(1) == 3.0
+
+    def test_backoff_rejects_zero_attempt(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff(0)
+
+
+class TestFaultInjector:
+    def test_same_plan_same_fault_sequence(self):
+        plan = FaultPlan.from_rate(13, 0.4)
+        sequences = []
+        for _ in range(2):
+            injector = FaultInjector(plan)
+            fired = []
+            for i in range(30):
+                fault = injector.fire(FaultKind.NODE_LOSS, site="s")
+                fired.append(fault is not None)
+            sequences.append(fired)
+        assert sequences[0] == sequences[1]
+
+    def test_fire_advances_visit_counter(self):
+        injector = FaultInjector(FaultPlan.from_rate(0, 0.0))
+        for _ in range(4):
+            injector.fire(FaultKind.CONTAINER_KILL, site="x")
+        assert injector.visits(FaultKind.CONTAINER_KILL) == 4
+        assert injector.visits(FaultKind.NODE_LOSS) == 0
+
+    def test_report_accounts_for_every_fault(self):
+        plan = FaultPlan.from_rate(7, 0.5)
+        injector = FaultInjector(plan)
+        for i in range(40):
+            injector.fire(FaultKind.CONTAINER_KILL, site="a")
+            injector.fire(FaultKind.HDFS_SLOW_READ, site="b")
+        report = injector.report()
+        assert isinstance(report, ChaosReport)
+        assert report.total_injected == len(report.faults)
+        assert report.total_injected == sum(report.injected.values())
+        assert report.total_injected > 0
+        by_kind = {}
+        for fault in report.faults:
+            by_kind[fault.kind.value] = by_kind.get(fault.kind.value, 0) + 1
+        assert by_kind == report.injected
+
+    def test_report_is_a_snapshot(self):
+        plan = FaultPlan.from_rate(7, 1.0)
+        injector = FaultInjector(plan)
+        injector.fire(FaultKind.NODE_LOSS, site="s")
+        before = injector.report()
+        injector.fire(FaultKind.NODE_LOSS, site="s")
+        assert before.total_injected == 1
+        assert injector.report().total_injected == 2
+
+    def test_recovery_accounting(self):
+        injector = FaultInjector(FaultPlan.from_rate(0, 0.0))
+        injector.record_attempt("s", FaultKind.CONTAINER_KILL)
+        injector.record_backoff(2.0)
+        injector.record_wasted(5.0)
+        injector.record_recovery("s", FaultKind.CONTAINER_KILL, 1)
+        injector.record_exhausted("s", FaultKind.CONTAINER_KILL, 4)
+        report = injector.report()
+        assert report.retry_attempts == 1
+        assert report.backoff_s == 2.0
+        assert report.wasted_s == 5.0
+        assert report.retry_recovered == 1
+        assert report.retry_exhausted == 1
+
+    def test_deny_allocation_draws_both_kinds(self):
+        injector = FaultInjector(FaultPlan.from_rate(0, 0.0))
+        assert injector.deny_allocation() is False
+        assert injector.visits(FaultKind.ALLOCATION_TRANSIENT) == 1
+        assert injector.visits(FaultKind.ALLOCATION_DENIED) == 1
+
+    def test_deny_allocation_fires_on_scripted_denial(self):
+        plan = FaultPlan.from_faults(
+            FaultSpec(FaultKind.ALLOCATION_DENIED, at=0)
+        )
+        injector = FaultInjector(plan)
+        assert injector.deny_allocation() is True
+        assert injector.deny_allocation() is False

@@ -58,3 +58,59 @@ class TestAllocation:
         rm = ResourceManager(paper_cluster())
         # the paper's arithmetic: 6 x floor(80GB / (1.5 x 8GB)) = 36 apps
         assert rm.max_concurrent(int(8 * 1024 * 1.5)) == 36
+
+
+class TestNormalizeRequest:
+    """Edge cases of request normalization (regression tests: fractional
+    requests used to be truncated *down*, and non-positive requests were
+    silently clamped to the minimum)."""
+
+    def test_fractional_request_rounds_up(self, rm):
+        # under-allocation would violate the memory guarantee: a task
+        # needing 1024.3 MB must get 1025, not 1024
+        assert rm.normalize_request(1024.3) == 1025
+
+    def test_whole_request_unchanged(self, rm):
+        assert rm.normalize_request(2048) == 2048
+        assert rm.normalize_request(2048.0) == 2048
+
+    def test_small_request_clamped_to_min(self, rm):
+        assert rm.normalize_request(1) == rm.cluster.min_allocation_mb
+
+    def test_zero_request_raises(self, rm):
+        with pytest.raises(ClusterError):
+            rm.normalize_request(0)
+
+    def test_negative_request_raises(self, rm):
+        with pytest.raises(ClusterError):
+            rm.normalize_request(-512)
+
+    def test_nan_and_inf_raise(self, rm):
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ClusterError):
+                rm.normalize_request(bad)
+
+    def test_exact_max_boundary_accepted(self, rm):
+        assert (
+            rm.normalize_request(rm.cluster.max_allocation_mb)
+            == rm.cluster.max_allocation_mb
+        )
+
+    def test_fraction_above_max_raises(self, rm):
+        # ceil(max + 0.5) exceeds the max constraint
+        with pytest.raises(ClusterError):
+            rm.normalize_request(rm.cluster.max_allocation_mb + 0.5)
+
+    def test_within_max_but_above_node_capacity_returns_none(self):
+        # a request the RM accepts (<= max_allocation) but no single
+        # node can host must be a clean None, not an error or a hang
+        import dataclasses
+
+        from repro.cluster import small_cluster
+
+        cluster = dataclasses.replace(
+            small_cluster(num_nodes=2, node_memory_mb=4096),
+            max_allocation_mb=8192,
+        )
+        rm = ResourceManager(cluster)
+        assert rm.try_allocate(4097) is None

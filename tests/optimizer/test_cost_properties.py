@@ -1,0 +1,180 @@
+"""Property-based tests (hypothesis) for the cost model and plan cache.
+
+Seed-pinned for CI: ``derandomize=True`` makes every run draw the same
+examples, so failures reproduce deterministically.
+
+Scope note: cost is *not* globally monotone in memory — a bigger CP
+heap needs a bigger container, which lowers MR task parallelism, so the
+end-to-end cost of a *re-optimized* program can go up with more memory
+(that trade-off is the paper's point).  The provable monotonicities are
+narrower and tested here: for a **fixed** compiled plan, growing the CP
+budget only reduces buffer-pool pressure, so the estimated cost never
+increases; and the IO model is monotone in size and parallelism.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ResourceConfig, paper_cluster
+from repro.compiler import compile_program
+from repro.cost import CostModel, io_model
+from repro.cost.constants import DEFAULT_PARAMETERS
+from repro.common import MatrixCharacteristics
+from repro.optimizer import ResourceOptimizer
+from repro.runtime import SimulatedHDFS
+
+SETTINGS = settings(deadline=None, derandomize=True, max_examples=25)
+
+_SRC = """
+X = read($X)
+s = sum(X)
+Y = X * 2 + s
+z = sum(t(Y) %*% Y)
+print(z)
+"""
+
+
+def _compile_fixed_plan():
+    """A program compiled once at a generous CP heap (all-CP plan);
+    cached at module level so hypothesis examples share it."""
+    hdfs = SimulatedHDFS(sample_cap=64)
+    hdfs.create_dense_input("data/X", 400000, 500)  # ~1.6 GB dense
+    compiled = compile_program(
+        _SRC, {"X": "data/X"}, hdfs.input_meta(),
+        ResourceConfig(45000, 1024),
+    )
+    return compiled
+
+
+_FIXED = {}
+
+
+def fixed_plan():
+    if "compiled" not in _FIXED:
+        _FIXED["compiled"] = _compile_fixed_plan()
+        _FIXED["model"] = CostModel(paper_cluster(), DEFAULT_PARAMETERS)
+    return _FIXED["compiled"], _FIXED["model"]
+
+
+class TestFixedPlanCostMonotonicity:
+    heaps = st.floats(min_value=512, max_value=50000)
+
+    @given(a=heaps, b=heaps)
+    @SETTINGS
+    def test_more_cp_memory_never_costs_more(self, a, b):
+        lo, hi = sorted((a, b))
+        compiled, model = fixed_plan()
+        cost_lo = model.estimate_program(compiled, ResourceConfig(lo, 1024))
+        cost_hi = model.estimate_program(compiled, ResourceConfig(hi, 1024))
+        assert cost_hi <= cost_lo * (1 + 1e-9)
+
+    @given(heap=heaps)
+    @SETTINGS
+    def test_cost_positive_and_finite(self, heap):
+        compiled, model = fixed_plan()
+        cost = model.estimate_program(compiled, ResourceConfig(heap, 1024))
+        assert cost > 0
+        assert math.isfinite(cost)
+
+
+class TestIoModelMonotonicity:
+    rows = st.integers(min_value=1, max_value=10**7)
+    parallelism = st.floats(min_value=1.0, max_value=64.0)
+
+    @given(r1=rows, r2=rows)
+    @SETTINGS
+    def test_read_time_monotone_in_size(self, r1, r2):
+        lo, hi = sorted((r1, r2))
+        params = DEFAULT_PARAMETERS
+        small = io_model.hdfs_read_time(
+            MatrixCharacteristics(lo, 100, lo * 100), params
+        )
+        big = io_model.hdfs_read_time(
+            MatrixCharacteristics(hi, 100, hi * 100), params
+        )
+        assert small <= big
+
+    @given(rows=rows, p1=parallelism, p2=parallelism)
+    @SETTINGS
+    def test_read_time_antitone_in_parallelism(self, rows, p1, p2):
+        lo, hi = sorted((p1, p2))
+        mc = MatrixCharacteristics(rows, 50, rows * 50)
+        params = DEFAULT_PARAMETERS
+        assert (
+            io_model.hdfs_read_time(mc, params, parallelism=hi)
+            <= io_model.hdfs_read_time(mc, params, parallelism=lo)
+        )
+
+    @given(size=st.floats(min_value=0, max_value=1e12),
+           n1=st.integers(1, 64), n2=st.integers(1, 64))
+    @SETTINGS
+    def test_shuffle_time_antitone_in_nodes(self, size, n1, n2):
+        lo, hi = sorted((n1, n2))
+        params = DEFAULT_PARAMETERS
+        assert (
+            io_model.shuffle_time(size, params, hi)
+            <= io_model.shuffle_time(size, params, lo)
+        )
+
+
+def _resource_signature(resource):
+    """Configuration identity modulo process-global block ids."""
+    return (
+        resource.cp_heap_mb,
+        resource.mr_heap_mb,
+        tuple(sorted(resource.mr_heap_per_block.values())),
+    )
+
+
+class TestPlanCacheEquivalence:
+    """The memoizing plan cache is a pure optimization: enabling it must
+    never change the optimizer's chosen configuration or cost."""
+
+    @given(
+        rows=st.integers(min_value=1000, max_value=3 * 10**6),
+        cols=st.integers(min_value=10, max_value=800),
+    )
+    @settings(deadline=None, derandomize=True, max_examples=8)
+    def test_cache_on_off_same_choice(self, rows, cols):
+        src = (
+            "X = read($X)\n"
+            "w = t(X) %*% (X %*% rand(rows=ncol(X), cols=1))\n"
+            "print(sum(w))"
+        )
+        results = {}
+        for enabled in (True, False):
+            hdfs = SimulatedHDFS(sample_cap=16)
+            hdfs.create_dense_input("data/X", rows, cols)
+            compiled = compile_program(src, {"X": "data/X"},
+                                       hdfs.input_meta())
+            optimizer = ResourceOptimizer(
+                paper_cluster(), m=4, enable_plan_cache=enabled
+            )
+            results[enabled] = optimizer.optimize(compiled)
+        on, off = results[True], results[False]
+        assert _resource_signature(on.resource) == _resource_signature(
+            off.resource
+        )
+        assert on.cost == pytest.approx(off.cost, rel=1e-9)
+
+    @given(budgets=st.lists(
+        st.floats(min_value=512, max_value=50000), min_size=2, max_size=6,
+    ))
+    @SETTINGS
+    def test_cp_bucket_monotone_in_budget(self, budgets):
+        from repro.compiler.plan_cache import PlanCache
+
+        compiled, _ = fixed_plan()
+        block = next(
+            b for b in compiled.last_level_blocks() if b.hop_roots
+        )
+        cache = PlanCache()
+        ordered = sorted(budgets)
+        buckets = [
+            cache.cp_bucket(block, ResourceConfig(mb, 1024))
+            for mb in ordered
+        ]
+        assert buckets == sorted(buckets)
