@@ -1,11 +1,16 @@
 """Figure 18: parallel resource optimization for GLM (dense1000).
 
 Reports (a) measured wall clock of the serial and task-parallel
-optimizer (threads share the GIL in CPython, so measured speedup is
-bounded), and (b) the worker-schedule makespan model over the measured
+optimizer (threads share the GIL in CPython, so thread-measured speedup
+is bounded), (b) the worker-schedule makespan model over the measured
 per-task durations — the honest reading of the paper's speedup shape
-(pipelining effect at one worker, ~5x at many workers).
+(pipelining effect at one worker, ~5x at many workers) — and (c) the
+*measured* wall clock of the process-pool backend, so the figure shows
+model and reality side by side.  Process numbers track the model only
+when the host has that many free cores.
 """
+
+import time
 
 import pytest
 
@@ -16,6 +21,9 @@ from repro.optimizer.parallel import schedule_makespan
 from repro.workloads import scenario
 
 WORKERS = [1, 2, 4, 8, 16]
+#: worker counts measured with real processes (8/16 would only thrash
+#: typical CI hosts; the model covers the asymptote)
+MEASURED_WORKERS = [1, 2, 4]
 
 
 def run_parallel_experiment():
@@ -26,7 +34,8 @@ def run_parallel_experiment():
 
     compiled2, _, _ = fresh_compiled("GLM", scenario("L", cols=1000))
     parallel = ParallelResourceOptimizer(
-        cluster, grid_cp="equi", grid_mr="equi", m=45, num_workers=4
+        cluster, grid_cp="equi", grid_mr="equi", m=45, num_workers=4,
+        backend="thread",
     ).optimize(compiled2)
 
     makespans = {
@@ -35,20 +44,40 @@ def run_parallel_experiment():
     serial_model = schedule_makespan(
         parallel.task_records, 1, include_pipelining=False
     )
-    return serial, parallel, makespans, serial_model
+
+    measured = {}
+    for k in MEASURED_WORKERS:
+        compiled_k, _, _ = fresh_compiled("GLM", scenario("L", cols=1000))
+        optimizer = ParallelResourceOptimizer(
+            cluster, grid_cp="equi", grid_mr="equi", m=45, num_workers=k,
+            backend="process",
+        )
+        start = time.perf_counter()
+        result = optimizer.optimize(compiled_k)
+        measured[k] = time.perf_counter() - start
+        # reality must agree with the model's answer, not just its speed
+        assert result.resource.cp_heap_mb == serial.resource.cp_heap_mb
+        assert result.cost == serial.cost
+    return serial, parallel, makespans, serial_model, measured
 
 
 @pytest.mark.repro
 def test_fig18_parallel_optimizer(benchmark, report):
-    serial, parallel, makespans, serial_model = benchmark.pedantic(
+    serial, parallel, makespans, serial_model, measured = benchmark.pedantic(
         run_parallel_experiment, rounds=1, iterations=1
     )
     rows = [
-        [k, f"{makespans[k]:.3f}s", f"{serial_model / makespans[k]:.2f}x"]
+        [
+            k,
+            f"{makespans[k]:.3f}s",
+            f"{serial_model / makespans[k]:.2f}x",
+            f"{measured[k]:.3f}s" if k in measured else "-",
+        ]
         for k in WORKERS
     ]
     text = format_table(
-        ["# workers", "modeled makespan", "speedup vs serial"],
+        ["# workers", "modeled makespan", "speedup vs serial",
+         "measured (process)"],
         rows,
         title=(
             "Figure 18: parallel optimization, GLM dense1000 L "

@@ -1,0 +1,230 @@
+"""Measured optimizer wall clock: serial vs process-pool enumeration.
+
+The thread backend shares the GIL, so Figure 18 could only report a
+*modeled* makespan.  The process backend runs `recompile_block_plan` +
+`CostModel.estimate_block` in real OS processes, so this benchmark
+measures actual wall clock: serial vs process workers at 1/2/4 on the
+M-scenario GLM and MLogreg enumerations (Hybrid m=15), then exercises
+the cross-run optimizer result cache through a traced session.
+
+Invariants asserted at any worker count (CI-safe on small hosts):
+
+* every backend chooses the byte-identical ``(resource, cost)``;
+* ``optpar.tasks`` is populated by a parallel session run;
+* the second ``session.run`` of the same (script, scenario) hits the
+  cross-run cache (``optcache.hits >= 1``) and skips enumeration.
+
+The >= 2x speedup at 4 process workers is asserted only when the host
+actually has >= 4 CPUs — on fewer cores there is nothing to run on.
+
+Writes ``BENCH_optimizer.json`` (override with ``--out``) to seed the
+perf trajectory.  Also runnable standalone:
+``python benchmarks/bench_opt_wallclock.py [--workers N] [--out PATH]``.
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+
+from _lib import format_table, fresh_compiled
+from repro.api import ElasticMLSession
+from repro.cluster import paper_cluster
+from repro.obs import Tracer
+from repro.optimizer import ParallelResourceOptimizer, ResourceOptimizer
+from repro.workloads import prepare_inputs, scenario
+
+SCRIPTS = ["GLM", "MLogreg"]
+WORKER_STEPS = [1, 2, 4]
+M = 15
+DEFAULT_OUT = pathlib.Path(__file__).resolve().parent.parent / (
+    "BENCH_optimizer.json"
+)
+
+
+def _normalized(compiled, result):
+    """Configuration keyed by block position (block ids are stamped per
+    compilation, so raw ids are not comparable across compiles)."""
+    index_of = {
+        b.block_id: i for i, b in enumerate(compiled.last_level_blocks())
+    }
+    vector = tuple(
+        sorted(
+            (index_of[block_id], ri)
+            for block_id, ri in result.resource.mr_heap_per_block.items()
+        )
+    )
+    return (
+        result.resource.cp_heap_mb,
+        result.resource.mr_heap_mb,
+        vector,
+        result.cost,
+    )
+
+
+def measure_script(script, max_workers):
+    """Serial + process-backend wall clocks for one script; asserts
+    every backend picks the identical configuration."""
+    cluster = paper_cluster()
+    scn = scenario("M", cols=1000)
+
+    compiled, _, _ = fresh_compiled(script, scn)
+    start = time.perf_counter()
+    serial = ResourceOptimizer(cluster, m=M).optimize(compiled)
+    serial_s = time.perf_counter() - start
+    golden = _normalized(compiled, serial)
+
+    process_s = {}
+    for workers in [w for w in WORKER_STEPS if w <= max_workers]:
+        compiled_k, _, _ = fresh_compiled(script, scn)
+        optimizer = ParallelResourceOptimizer(
+            cluster, m=M, num_workers=workers, backend="process"
+        )
+        start = time.perf_counter()
+        result = optimizer.optimize(compiled_k)
+        process_s[workers] = time.perf_counter() - start
+        got = _normalized(compiled_k, result)
+        assert got == golden, (
+            f"{script}: process x{workers} diverged from serial: "
+            f"{got} != {golden}"
+        )
+    return {
+        "serial_s": serial_s,
+        "process_s": process_s,
+        "speedup": {k: serial_s / v for k, v in process_s.items()},
+        "cost_s": serial.cost,
+        "resource": serial.resource.describe(),
+    }
+
+
+def measure_cache(max_workers):
+    """Cross-run result cache through the session API, traced."""
+    tracer = Tracer()
+    workers = 2 if max_workers >= 2 else 0
+    session = ElasticMLSession(
+        sample_cap=256, trace=tracer, opt_workers=workers,
+        opt_backend="process",
+    )
+    args = prepare_inputs(session.hdfs, "GLM", scenario("M", cols=1000),
+                          glm_family=2, seed=7)
+    start = time.perf_counter()
+    first = session.run("GLM", args)
+    first_s = time.perf_counter() - start
+    start = time.perf_counter()
+    second = session.run("GLM", args)
+    second_s = time.perf_counter() - start
+
+    assert first.optimizer_result.from_cache is False
+    assert second.optimizer_result.from_cache is True, (
+        "second run must hit the cross-run optimizer cache"
+    )
+    assert tracer.counter("optcache.misses") >= 1
+    assert tracer.counter("optcache.hits") >= 1
+    assert second.resource == first.resource
+    if workers:
+        assert tracer.counter("optpar.tasks") > 0, (
+            "parallel run must dispatch enumeration tasks"
+        )
+    return {
+        "first_run_s": first_s,
+        "second_run_s": second_s,
+        "optcache_hits": tracer.counter("optcache.hits"),
+        "optpar_tasks": tracer.counter("optpar.tasks"),
+    }
+
+
+def run_experiment(max_workers=4):
+    records = {script: measure_script(script, max_workers)
+               for script in SCRIPTS}
+    cache = measure_cache(max_workers)
+    return {
+        "bench": "optimizer_wallclock",
+        "scenario": "M dense1000 (Hybrid m=15)",
+        "cpu_count": os.cpu_count(),
+        "max_workers": max_workers,
+        "scripts": records,
+        "cache": cache,
+    }
+
+
+def render(data):
+    rows = []
+    for script, rec in data["scripts"].items():
+        row = [script, f"{rec['serial_s']:.3f}s"]
+        for workers in WORKER_STEPS:
+            if workers in rec["process_s"]:
+                row.append(
+                    f"{rec['process_s'][workers]:.3f}s "
+                    f"({rec['speedup'][workers]:.2f}x)"
+                )
+            else:
+                row.append("-")
+        row.append(rec["resource"])
+        rows.append(row)
+    cache = data["cache"]
+    return format_table(
+        ["Prog.", "serial", "proc x1", "proc x2", "proc x4", "chosen"],
+        rows,
+        title=(
+            f"Optimizer wall clock, {data['scenario']}; host has "
+            f"{data['cpu_count']} CPUs\ncross-run cache: first run "
+            f"{cache['first_run_s']:.3f}s -> cached run "
+            f"{cache['second_run_s']:.3f}s "
+            f"({cache['optcache_hits']} hit(s), enumeration skipped)"
+        ),
+    )
+
+
+def check_speedup(data):
+    """>= 2x at 4 process workers — only meaningful with >= 4 CPUs."""
+    if data["cpu_count"] < 4 or data["max_workers"] < 4:
+        return False
+    for script, rec in data["scripts"].items():
+        assert rec["speedup"][4] >= 2.0, (
+            f"{script}: expected >= 2x at 4 workers, got "
+            f"{rec['speedup'][4]:.2f}x"
+        )
+    return True
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=4,
+                        help="max process workers to measure (default 4)")
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT,
+                        help="where to write BENCH_optimizer.json")
+    args = parser.parse_args(argv)
+    data = run_experiment(args.workers)
+    print(render(data))
+    checked = check_speedup(data)
+    data["speedup_asserted"] = checked
+    args.out.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {args.out}"
+          + ("" if checked else
+             " (speedup not asserted: needs >= 4 CPUs and --workers 4)"))
+    return 0
+
+
+try:
+    import pytest
+except ImportError:  # standalone mode in minimal environments
+    pytest = None
+
+if pytest is not None:
+
+    @pytest.mark.repro
+    def test_opt_wallclock(benchmark, report):
+        data = benchmark.pedantic(
+            run_experiment, args=(4,), rounds=1, iterations=1
+        )
+        data["speedup_asserted"] = check_speedup(data)
+        report("optimizer_wallclock", render(data))
+        DEFAULT_OUT.write_text(
+            json.dumps(data, indent=2, sort_keys=True) + "\n"
+        )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,7 +18,7 @@ Entry points:
 * :mod:`repro.optimizer` — the resource optimizer itself.
 """
 
-from repro.api import ElasticMLSession, RunOutcome
+from repro.api import ElasticMLSession, OptimizerResultCache, RunOutcome
 from repro.chaos import (
     ChaosReport,
     FaultInjector,
@@ -35,6 +35,7 @@ from repro.obs import Tracer, get_tracer, use_tracer
 from repro.optimizer import (
     OptimizerOptions,
     OptimizerResult,
+    ParallelResourceOptimizer,
     ResourceAdapter,
     ResourceOptimizer,
 )
@@ -42,10 +43,11 @@ from repro.runtime import ExecutionResult, Interpreter, SimulatedHDFS
 from repro.scripts import SCRIPTS, load_script
 from repro.workloads import prepare_inputs, scenario
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "ElasticMLSession",
+    "OptimizerResultCache",
     "RunOutcome",
     "ChaosReport",
     "FaultInjector",
@@ -64,6 +66,7 @@ __all__ = [
     "ResourceOptimizer",
     "OptimizerOptions",
     "OptimizerResult",
+    "ParallelResourceOptimizer",
     "ResourceAdapter",
     "Interpreter",
     "SimulatedHDFS",

@@ -102,6 +102,12 @@ class PlanCache:
     the thresholds computed by the master — ``copy.deepcopy`` of a cache
     yields an *empty* cache with the same thresholds, so deep-copying a
     :class:`CompiledProgram` does the right thing automatically).
+
+    Unlike deep copy, *pickling* preserves the full cache state
+    (thresholds, plans, and counters): the process-pool optimizer
+    backend ships one pickled program snapshot — cache included — to
+    each worker at startup, and every worker then grows its own private
+    copy.  Worker caches are folded back via :meth:`merge`.
     """
 
     def __init__(self, thresholds=None):
@@ -159,6 +165,22 @@ class PlanCache:
 
     def store(self, key, plan):
         self.plans[key] = plan
+
+    def merge(self, other):
+        """Fold a worker's cache into this one (task-parallel optimizer
+        teardown): counters accumulate, and plans/thresholds present in
+        ``other`` but missing here are adopted.  Adoption is sound
+        because bucket keys identify *identical* generated plans — the
+        worker's plan is exactly what a recompilation here would
+        regenerate."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.invalidations += other.invalidations
+        for block_id, entry in other.thresholds.items():
+            self.thresholds.setdefault(block_id, entry)
+        for key, plan in other.plans.items():
+            self.plans.setdefault(key, plan)
+        return self
 
     def invalidate_block(self, block_id):
         """Drop a block's plans *and* thresholds (dynamic recompilation

@@ -27,7 +27,10 @@ from repro.optimizer.grids import (
     memory_grid,
 )
 from repro.optimizer.adaptation import ResourceAdapter
-from repro.optimizer.parallel import ParallelResourceOptimizer
+from repro.optimizer.parallel import (
+    ParallelOptimizerResult,
+    ParallelResourceOptimizer,
+)
 from repro.optimizer.utilization import UtilizationAwareAdapter
 
 __all__ = [
@@ -35,6 +38,7 @@ __all__ = [
     "OptimizerOptions",
     "OptimizerResult",
     "OptimizerStats",
+    "ParallelOptimizerResult",
     "ParallelResourceOptimizer",
     "ResourceAdapter",
     "UtilizationAwareAdapter",

@@ -139,6 +139,28 @@ class OptimizerOptions:
     enable_pruning: bool = True
     #: ablation switch: disable the memoizing plan/cost cache
     enable_plan_cache: bool = True
+    #: run grid enumeration on parallel workers (Appendix C); when set,
+    #: :meth:`ElasticMLSession.make_optimizer` builds a
+    #: :class:`~repro.optimizer.parallel.ParallelResourceOptimizer`
+    parallel: bool = False
+    #: worker count of the parallel enumeration
+    num_workers: int = 4
+    #: parallel enumeration backend: ``"process"`` (real wall-clock
+    #: parallelism, the default) or ``"thread"`` (GIL-bound; kept for
+    #: the paper's Appendix C task model and the makespan benchmark)
+    backend: str = "process"
+
+    def decision_signature(self):
+        """The subset of fields the optimization *decision* depends on.
+
+        Parallelism knobs are excluded: every backend chooses the
+        identical configuration (the parity regression test enforces
+        this), so the cross-run result cache keys on this signature and
+        serial/thread/process runs share entries.
+        """
+        return (self.grid_cp, self.grid_mr, self.m, self.w,
+                self.time_budget, self.enable_pruning,
+                self.enable_plan_cache)
 
 
 @dataclass
@@ -181,6 +203,9 @@ class OptimizerResult:
     stats: OptimizerStats = field(default_factory=OptimizerStats)
     #: (cp_heap_mb, program_cost) samples for analysis/plots
     cp_profile: list = field(default_factory=list)
+    #: True when this result was answered by the session's cross-run
+    #: optimizer result cache (no enumeration ran)
+    from_cache: bool = False
 
 
 class ResourceOptimizer:

@@ -1,31 +1,43 @@
 """Task-parallel resource optimizer (paper Appendix C, Figure 17).
 
-A master enumerates CP memory budgets, performs the per-r_c baseline
-compilation and pruning, and enqueues
+Two backends share one public class, :class:`ParallelResourceOptimizer`:
 
-* ``Enum_Srm`` tasks — one per (r_c, remaining block): enumerate the MR
-  dimension for that block and update the shared memo structure with
-  the locally optimal (r_i, cost); and
-* ``Agg_rc`` tasks — one per r_c: once all block entries for r_c are
-  present, compile the whole program under the memoized vector and
-  record the aggregate program cost.
+* ``backend="process"`` (the default) — real wall-clock parallelism on
+  a :class:`~concurrent.futures.ProcessPoolExecutor`.  The master
+  generates the grids, pickles **one snapshot** of the compiled program
+  (plan cache included) that ships to each worker at pool startup, and
+  dispatches *batched* task chunks: each chunk covers every
+  ``(r_c, block)`` enumeration point of one or more CP grid points, so
+  one IPC round trip amortizes hundreds of
+  :func:`recompile_block_plan` + :meth:`CostModel.estimate_block`
+  calls.  Workers run the exact per-``r_c`` loop of the serial
+  optimizer (baseline compile, prune, per-block MR enumeration,
+  whole-program aggregate costing) against their private program copy,
+  plan cache, and cost memo, and return the chosen per-block MR vector,
+  the aggregate cost, measured task durations, and counter deltas.  The
+  master merges worker stats/cache counters back, replays the serial
+  selection rule (:func:`update_best`) over the CP grid in ascending
+  order, and therefore chooses the byte-identical ``(resource, cost)``
+  the serial optimizer would.
 
-Workers own deep copies of the program (and their HOP DAGs) so
-concurrent recompilation never races; memo updates are lock-free
-dictionary writes (exactly the design of the paper).  CPython's GIL
-prevents real compute parallelism, so alongside the measured wall
-clock the module provides :func:`schedule_makespan` — a list-scheduling
-model over the measured per-task durations that reports what a k-worker
-schedule achieves (used for Figure 18's speedup shape; both numbers are
-printed by the benchmark).
+* ``backend="thread"`` — the paper's master/worker architecture with a
+  central task queue (``Enum_Srm`` / ``Agg_rc`` tasks, lock-free memo
+  updates).  CPython's GIL prevents real compute parallelism here, so
+  alongside the measured wall clock the module provides
+  :func:`schedule_makespan` — a list-scheduling model over the measured
+  per-task durations that reports what a k-worker schedule achieves
+  (used for Figure 18's speedup shape; the benchmark prints model and
+  measured process-backend reality side by side).
 """
 
 from __future__ import annotations
 
 import copy
+import pickle
 import queue
 import threading
 import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 
 from repro.cluster.resources import ResourceConfig
@@ -33,6 +45,7 @@ from repro.compiler.pipeline import recompile_block_plan
 from repro.compiler.plan_cache import PlanCache
 from repro.cost import CostModel
 from repro.errors import OptimizationError
+from repro.obs import get_tracer
 from repro.optimizer.enumerate import (
     OptimizerResult,
     OptimizerStats,
@@ -41,6 +54,9 @@ from repro.optimizer.enumerate import (
 )
 from repro.optimizer.grids import collect_memory_estimates_mb, generate_grid
 from repro.optimizer.pruning import prune_program_blocks
+
+#: recognised enumeration backends
+BACKENDS = ("process", "thread")
 
 
 @dataclass
@@ -57,14 +73,30 @@ class TaskRecord:
 class ParallelOptimizerResult(OptimizerResult):
     task_records: list = field(default_factory=list)
     num_workers: int = 1
+    #: which enumeration backend produced this result
+    backend: str = "thread"
+    #: task chunks dispatched to the pool (process backend)
+    tasks_dispatched: int = 0
 
 
 class ParallelResourceOptimizer:
-    """Master/worker grid enumeration with a central task queue."""
+    """Grid enumeration fanned out over worker processes or threads."""
 
     def __init__(self, cluster, params=None, grid_cp="hybrid",
                  grid_mr="hybrid", m=15, w=2.0, num_workers=4,
-                 enable_plan_cache=True):
+                 enable_plan_cache=True, backend="process",
+                 batch_size=None, options=None):
+        if options is not None:
+            grid_cp, grid_mr = options.grid_cp, options.grid_mr
+            m, w = options.m, options.w
+            enable_plan_cache = options.enable_plan_cache
+            num_workers = options.num_workers
+            backend = options.backend
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown enumeration backend {backend!r}; "
+                f"expected one of {BACKENDS}"
+            )
         self.cluster = cluster
         self.params = params
         self.grid_cp = grid_cp
@@ -74,8 +106,189 @@ class ParallelResourceOptimizer:
         self.num_workers = max(1, num_workers)
         #: ablation switch: disable the memoizing plan/cost cache
         self.enable_plan_cache = enable_plan_cache
+        #: "process" (wall-clock parallel) or "thread" (Appendix C model)
+        self.backend = backend
+        #: CP grid points per dispatched task chunk (process backend);
+        #: None picks one r_c per chunk — each chunk already batches all
+        #: of that point's (r_c, block) enumeration work
+        self.batch_size = batch_size
 
     def optimize(self, compiled):
+        tracer = get_tracer()
+        with tracer.span(
+            "optimizer.optimize", scope="program",
+            backend=self.backend, workers=self.num_workers,
+        ) as span:
+            if self.backend == "process":
+                result = self._optimize_process(compiled)
+            else:
+                result = self._optimize_thread(compiled)
+            if tracer.enabled:
+                span.set("cost_s", result.cost)
+                span.set("resource", result.resource.describe()
+                         if result.resource else None)
+                tracer.incr("optimizer.runs")
+                tracer.incr("optimizer.pruned_small",
+                            result.stats.pruned_small)
+                tracer.incr("optimizer.pruned_unknown",
+                            result.stats.pruned_unknown)
+                tracer.incr("optimizer.grid_points",
+                            len(result.cp_profile))
+                tracer.incr("optpar.tasks", result.tasks_dispatched)
+                tracer.incr("optpar.enum_records",
+                            len(result.task_records))
+                tracer.gauge("optpar.workers", result.num_workers)
+                if self.backend == "process":
+                    # pool workers traced into the void (their processes
+                    # hold no tracer): mirror the counters the serial
+                    # path would have recorded on the session tracer —
+                    # thread workers share this tracer and have already
+                    # incremented them directly
+                    tracer.incr("cost.invocations",
+                                result.stats.cost_invocations)
+                    tracer.incr("costcache.hits",
+                                result.stats.cost_memo_hits)
+                    tracer.incr("plancache.hits",
+                                result.stats.plan_cache_hits)
+                    tracer.incr("plancache.misses",
+                                result.stats.plan_cache_misses)
+            return result
+
+    # -- process backend -----------------------------------------------------
+
+    def _optimize_process(self, compiled):
+        start = time.perf_counter()
+        compiled.stats.reset()
+        min_mb = self.cluster.min_heap_mb
+        max_mb = self.cluster.max_heap_mb
+        estimates = collect_memory_estimates_mb(compiled)
+        src = generate_grid(self.grid_cp, min_mb, max_mb, estimates,
+                            self.m, self.w)
+        srm = generate_grid(self.grid_mr, min_mb, max_mb, estimates,
+                            self.m, self.w)
+        if not src or not srm:
+            raise OptimizationError("empty resource grid")
+
+        result = ParallelOptimizerResult(
+            num_workers=self.num_workers, backend="process"
+        )
+        result.stats = OptimizerStats(cp_points=len(src), mr_points=len(srm))
+        blocks = list(compiled.last_level_blocks())
+        result.stats.total_blocks = len(blocks)
+
+        # one snapshot ships to every worker: attach a fresh (empty)
+        # plan cache first so workers inherit caching without a second
+        # message (None detaches any stale cache from a previous run)
+        cache = PlanCache() if self.enable_plan_cache else None
+        compiled.plan_cache = cache
+        payload = pickle.dumps(
+            {
+                "compiled": compiled,
+                "cluster": self.cluster,
+                "params": self.params,
+                "min_mb": min_mb,
+                "srm": srm,
+                "enable_plan_cache": self.enable_plan_cache,
+            },
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+
+        batch = self.batch_size or 1
+        chunks = [src[i:i + batch] for i in range(0, len(src), batch)]
+        result.tasks_dispatched = len(chunks)
+
+        points = {}  # rc -> worker-reported point dict
+        totals = {"compilations": 0, "cost_invocations": 0,
+                  "cost_memo_hits": 0, "cache_hits": 0, "cache_misses": 0,
+                  "mr_points_skipped": 0}
+        with ProcessPoolExecutor(
+            max_workers=self.num_workers,
+            initializer=_process_worker_init,
+            initargs=(payload,),
+        ) as pool:
+            futures = [
+                pool.submit(_process_enumerate_chunk, chunk)
+                for chunk in chunks
+            ]
+            try:
+                for future in as_completed(futures):
+                    out = future.result()
+                    for point in out["points"]:
+                        points[point["rc"]] = point
+                    for key in totals:
+                        totals[key] += out[key]
+            except BaseException:
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
+        if len(points) != len(src):
+            raise OptimizationError(
+                "process enumeration lost grid points: "
+                f"expected {len(src)}, got {len(points)}"
+            )
+
+        # pruning is reported at the first CP point, exactly like the
+        # serial optimizer (MR usage is maximal at min heap)
+        first = points[src[0]]
+        result.stats.pruned_small = first["pruned_small"]
+        result.stats.pruned_unknown = first["pruned_unknown"]
+        result.stats.remaining_blocks = first["remaining"]
+
+        # replay the serial selection rule over the CP grid in ascending
+        # order: identical update_best sequence => identical choice
+        best_resource = None
+        best_cost = float("inf")
+        for rc in src:
+            point = points[rc]
+            chosen = ResourceConfig(
+                cp_heap_mb=rc,
+                mr_heap_mb=min_mb,
+                mr_heap_per_block=dict(point["vector"]),
+            )
+            result.cp_profile.append((rc, point["cost"]))
+            best_resource, best_cost = update_best(
+                best_resource, best_cost, chosen, point["cost"]
+            )
+            result.task_records.extend(
+                TaskRecord(*record) for record in point["records"]
+            )
+
+        # leave the master program compiled under the returned
+        # configuration (workers only mutated their snapshot copies)
+        for block in blocks:
+            recompile_block_plan(compiled, block, best_resource, cache=cache)
+        compiled.resource = best_resource
+
+        result.resource = best_resource
+        result.cost = best_cost
+        result.stats.optimization_time = time.perf_counter() - start
+        result.stats.block_compilations = (
+            compiled.stats.block_compilations + totals["compilations"]
+        )
+        result.stats.cost_invocations = totals["cost_invocations"]
+        result.stats.cost_memo_hits = totals["cost_memo_hits"]
+        result.stats.mr_points_skipped = totals["mr_points_skipped"]
+        if cache is not None:
+            result.stats.plan_cache_hits = cache.hits + totals["cache_hits"]
+            result.stats.plan_cache_misses = (
+                cache.misses + totals["cache_misses"]
+            )
+        return result
+
+    # -- thread backend ------------------------------------------------------
+
+    def _optimize_thread(self, compiled):
+        """Master/worker enumeration with a central task queue.
+
+        The master enumerates CP memory budgets, performs the per-r_c
+        baseline compilation and pruning, and enqueues ``Enum_Srm``
+        tasks (one per remaining (r_c, block): enumerate the MR
+        dimension, update the shared memo) and ``Agg_rc`` tasks (once
+        all block entries for r_c are present, compile the program under
+        the memoized vector and record the aggregate cost).  Workers own
+        deep copies of the program so concurrent recompilation never
+        races; memo updates are lock-free dictionary writes (exactly the
+        design of the paper).
+        """
         start = time.perf_counter()
         compiled.stats.reset()
         min_mb = self.cluster.min_heap_mb
@@ -86,7 +299,9 @@ class ParallelResourceOptimizer:
         srm = generate_grid(self.grid_mr, min_mb, max_mb, estimates,
                             self.m, self.w)
 
-        result = ParallelOptimizerResult(num_workers=self.num_workers)
+        result = ParallelOptimizerResult(
+            num_workers=self.num_workers, backend="thread"
+        )
         result.stats = OptimizerStats(cp_points=len(src), mr_points=len(srm))
 
         cache = None
@@ -104,6 +319,7 @@ class ParallelResourceOptimizer:
         errors = []  # first worker exception wins, re-raised after join
         tasks = queue.Queue()
         stop = object()
+        tasks_dispatched = 0
 
         def record(kind, rc, block_id, duration):
             with records_lock:
@@ -137,7 +353,10 @@ class ParallelResourceOptimizer:
             record("baseline", rc, 0, time.perf_counter() - t0)
             for block in remaining:
                 tasks.put(("enum", rc, block.block_id))
+                tasks_dispatched += 1
             tasks.put(("agg", rc, None))
+            tasks_dispatched += 1
+        result.tasks_dispatched = tasks_dispatched
 
         worker_caches = []
         worker_cost_models = []
@@ -285,13 +504,121 @@ class ParallelResourceOptimizer:
             + sum(cm.memo_hits for cm in worker_cost_models)
         )
         if cache is not None:
-            result.stats.plan_cache_hits = (
-                cache.hits + sum(c.hits for c in worker_caches)
-            )
-            result.stats.plan_cache_misses = (
-                cache.misses + sum(c.misses for c in worker_caches)
-            )
+            # fold the per-worker caches back into the master's: counter
+            # totals for the stats, and worker-generated plans so later
+            # recompilations (e.g. runtime adaptation) start warm
+            for worker_cache in worker_caches:
+                cache.merge(worker_cache)
+            result.stats.plan_cache_hits = cache.hits
+            result.stats.plan_cache_misses = cache.misses
         return result
+
+
+# -- process-pool worker side ------------------------------------------------
+#
+# Worker state lives in a module global set by the pool initializer: the
+# snapshot is unpickled once per worker process and reused for every
+# task chunk, so per-chunk IPC carries only grid points and results.
+
+_WORKER_STATE = None
+
+
+def _process_worker_init(payload):
+    """Pool initializer: unpack the program snapshot into this process."""
+    global _WORKER_STATE
+    state = pickle.loads(payload)
+    compiled = state["compiled"]
+    _WORKER_STATE = {
+        "compiled": compiled,
+        "blocks": list(compiled.last_level_blocks()),
+        "cache": compiled.plan_cache if state["enable_plan_cache"] else None,
+        "cost_model": CostModel(state["cluster"], state["params"]),
+        "min_mb": state["min_mb"],
+        "srm": state["srm"],
+    }
+
+
+def _process_enumerate_chunk(rcs):
+    """Run the full per-r_c enumeration for a chunk of CP grid points.
+
+    Mirrors the serial optimizer's inner loop exactly (baseline compile,
+    prune, baseline costing, per-block MR enumeration, whole-program
+    aggregate costing) so the reported costs are the byte-identical
+    floats the serial optimizer computes.  Returns the per-point results
+    plus counter deltas for the master's stats merge.
+    """
+    st = _WORKER_STATE
+    compiled = st["compiled"]
+    cache = st["cache"]
+    cost_model = st["cost_model"]
+    comp0 = compiled.stats.block_compilations
+    inv0, memo0 = cost_model.invocations, cost_model.memo_hits
+    hits0 = cache.hits if cache is not None else 0
+    miss0 = cache.misses if cache is not None else 0
+    local_stats = OptimizerStats()
+    points = [_enumerate_rc(st, rc, local_stats) for rc in rcs]
+    return {
+        "points": points,
+        "compilations": compiled.stats.block_compilations - comp0,
+        "cost_invocations": cost_model.invocations - inv0,
+        "cost_memo_hits": cost_model.memo_hits - memo0,
+        "cache_hits": (cache.hits - hits0) if cache is not None else 0,
+        "cache_misses": (cache.misses - miss0) if cache is not None else 0,
+        "mr_points_skipped": local_stats.mr_points_skipped,
+    }
+
+
+def _enumerate_rc(st, rc, local_stats):
+    """One CP grid point, start to finish, on this worker's snapshot."""
+    compiled, blocks = st["compiled"], st["blocks"]
+    cache, cost_model = st["cache"], st["cost_model"]
+    min_mb, srm = st["min_mb"], st["srm"]
+    records = []
+
+    t0 = time.perf_counter()
+    baseline = ResourceConfig(cp_heap_mb=rc, mr_heap_mb=min_mb)
+    for block in blocks:
+        recompile_block_plan(compiled, block, baseline, cache=cache)
+    remaining, pruned_small, pruned_unknown = prune_program_blocks(blocks)
+    memo = {}
+    for block in remaining:
+        memo[block.block_id] = (
+            min_mb,
+            cost_model.estimate_block(
+                compiled, block, baseline, use_memo=cache is not None
+            ),
+        )
+    records.append(("baseline", rc, 0, time.perf_counter() - t0))
+
+    for block in remaining:
+        t1 = time.perf_counter()
+        memo[block.block_id], _ = enumerate_block_mr(
+            compiled, block, rc, min_mb, srm, cost_model,
+            memo[block.block_id][1], cache=cache, stats=local_stats,
+        )
+        records.append(("enum", rc, block.block_id,
+                        time.perf_counter() - t1))
+
+    t2 = time.perf_counter()
+    chosen = ResourceConfig(
+        cp_heap_mb=rc,
+        mr_heap_mb=min_mb,
+        mr_heap_per_block={bid: ri for bid, (ri, _) in memo.items()},
+    )
+    for block in blocks:
+        recompile_block_plan(compiled, block, chosen, cache=cache)
+    cost = cost_model.estimate_program(compiled, chosen)
+    records.append(("agg", rc, 0, time.perf_counter() - t2))
+
+    return {
+        "rc": rc,
+        "vector": dict(chosen.mr_heap_per_block),
+        "cost": cost,
+        "pruned_small": len(pruned_small),
+        "pruned_unknown": len(pruned_unknown),
+        "remaining": len(remaining),
+        "records": records,
+    }
 
 
 def schedule_makespan(records, num_workers, include_pipelining=True):

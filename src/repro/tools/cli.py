@@ -3,7 +3,8 @@
 Mirrors how SystemML's YARN client is driven from the shell:
 
     python -m repro run script.dml -arg X=data/X -arg Y=data/y [--static CP,MR]
-    python -m repro optimize script.dml -arg X=data/X ...
+    python -m repro optimize script.dml -arg X=data/X ...   # alias: opt
+    python -m repro opt script.dml ... --workers 4 --opt-backend process
     python -m repro explain script.dml -arg X=data/X [--level hops]
     python -m repro whatif script.dml ... [--cp 1,10,20 --mr 1,5]
     python -m repro scripts                     # list bundled ML programs
@@ -85,6 +86,44 @@ def _add_common(parser):
                         help="generate a random input matrix on HDFS")
 
 
+def _add_opt_flags(parser):
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="parallel optimizer workers "
+                             "(default: serial enumeration)")
+    parser.add_argument("--opt-backend", default=None,
+                        choices=["serial", "thread", "process"],
+                        help="enumeration backend; choosing thread/process "
+                             "without --workers implies 4 workers")
+
+
+def _apply_opt_flags(session, args):
+    """Translate --workers/--opt-backend into session optimizer knobs."""
+    backend = getattr(args, "opt_backend", None)
+    workers = getattr(args, "workers", None)
+    if backend == "serial":
+        session.opt_workers = 0
+        return
+    if backend is not None:
+        session.opt_backend = backend
+    if workers is not None:
+        session.opt_workers = workers
+    elif backend is not None:
+        session.opt_workers = 4
+
+
+def _describe_optimizer(result):
+    """One-line backend summary for run/optimize/trace output."""
+    if result is None:
+        return None
+    if getattr(result, "from_cache", False):
+        return "cached (enumeration skipped)"
+    backend = getattr(result, "backend", None)
+    if backend is None:
+        return "serial"
+    return (f"{backend} ({result.num_workers} workers, "
+            f"{result.tasks_dispatched} tasks)")
+
+
 def _add_chaos(parser):
     parser.add_argument("--chaos-seed", type=int, default=None,
                         metavar="SEED",
@@ -140,13 +179,16 @@ def build_parser():
                      help="skip the optimizer; use a static configuration")
     run.add_argument("--no-adapt", action="store_true",
                      help="disable runtime resource adaptation")
+    _add_opt_flags(run)
     _add_chaos(run)
 
-    opt = sub.add_parser("optimize", help="run resource optimization only")
+    opt = sub.add_parser("optimize", aliases=["opt"],
+                         help="run resource optimization only")
     _add_common(opt)
     opt.add_argument("--grid", default="hybrid",
                      choices=["equi", "exp", "mem", "hybrid"])
     opt.add_argument("-m", type=int, default=15, help="base grid points")
+    _add_opt_flags(opt)
 
     explain = sub.add_parser("explain", help="print the compiled plan")
     _add_common(explain)
@@ -190,12 +232,14 @@ def build_parser():
                        help="disable runtime resource adaptation")
     trace.add_argument("--json", action="store_true",
                        help="dump the raw trace as JSON instead of text")
+    _add_opt_flags(trace)
     _add_chaos(trace)
     return parser
 
 
 def cmd_run(args, session):
     _parse_gen(session, args.gen)
+    _apply_opt_flags(session, args)
     source = _load_source(args.script)
     script_args = _parse_args_list(args.args)
     resource = _static_resource(args.static) if args.static else None
@@ -210,6 +254,9 @@ def cmd_run(args, session):
         print("|", line)
     print(f"\nconfiguration: {outcome.resource.describe()}"
           + ("" if args.static else " (optimized)"))
+    backend = _describe_optimizer(outcome.optimizer_result)
+    if backend is not None:
+        print(f"optimizer: {backend}")
     result = outcome.result
     print(f"simulated time: {result.total_time:.1f}s  "
           f"MR jobs: {result.mr_jobs}  migrations: {result.migrations}  "
@@ -220,12 +267,14 @@ def cmd_run(args, session):
 
 def cmd_optimize(args, session):
     _parse_gen(session, args.gen)
+    _apply_opt_flags(session, args)
     source = _load_source(args.script)
     compiled = session.compile_script(source, _parse_args_list(args.args))
     result = session.optimize(compiled, grid_cp=args.grid, grid_mr=args.grid,
                               m=args.m)
     print(f"chosen configuration: {result.resource.describe()}")
     print(f"estimated cost: {result.cost:.1f}s")
+    print(f"backend: {_describe_optimizer(result)}")
     stats = result.stats
     print(f"grid: {stats.cp_points} x {stats.mr_points} points; "
           f"{stats.block_compilations} block recompilations; "
@@ -294,6 +343,7 @@ def cmd_demo(args, session):
 
 def cmd_trace(args, session):
     session.trace = True
+    _apply_opt_flags(session, args)
     scn = scenario(args.scenario, cols=args.cols, sparse=args.sparse)
     script_args = prepare_inputs(session.hdfs, args.script, scn)
     resource = _static_resource(args.static) if args.static else None
@@ -311,6 +361,9 @@ def cmd_trace(args, session):
           f"({scn.rows:,} x {scn.cols}, {scn.dense_bytes / 1e9:.2f} GB dense)")
     print(f"configuration: {outcome.resource.describe()}"
           + ("" if args.static else " (optimized)"))
+    backend = _describe_optimizer(outcome.optimizer_result)
+    if backend is not None:
+        print(f"optimizer: {backend}")
     print(f"simulated time: {outcome.total_time:.1f}s  "
           f"MR jobs: {outcome.result.mr_jobs}  "
           f"migrations: {outcome.migrations}\n")
@@ -326,6 +379,7 @@ def main(argv=None):
     handler = {
         "run": cmd_run,
         "optimize": cmd_optimize,
+        "opt": cmd_optimize,
         "explain": cmd_explain,
         "whatif": cmd_whatif,
         "scripts": cmd_scripts,

@@ -119,7 +119,9 @@ class TestTracingModes:
 
     def test_shared_tracer_accumulates(self):
         shared = Tracer()
-        session = ElasticMLSession(sample_cap=64, trace=shared)
+        # opt_cache=None: the second identical run must re-enumerate for
+        # optimizer.runs to double (the cross-run cache would skip it)
+        session = ElasticMLSession(sample_cap=64, trace=shared, opt_cache=None)
         args = prepare_inputs(
             session.hdfs, "LinregDS", scenario("XS", cols=100)
         )

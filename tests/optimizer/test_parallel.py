@@ -85,6 +85,10 @@ def _optimize_with_timeout(optimizer, compiled, timeout=60.0):
 
 
 class TestWorkerFailure:
+    """Thread-backend failure semantics (the monkeypatched hooks —
+    in-process CostModel and copy.deepcopy — are thread-path
+    mechanics; the process backend ships pickled snapshots instead)."""
+
     def test_task_exception_propagates_without_hang(
         self, cluster, monkeypatch
     ):
@@ -101,7 +105,9 @@ class TestWorkerFailure:
 
         monkeypatch.setattr(par, "CostModel", RaisingCostModel)
         compiled = compile_program(SOURCE, ARGS, BIG)
-        optimizer = ParallelResourceOptimizer(cluster, num_workers=2)
+        optimizer = ParallelResourceOptimizer(
+            cluster, num_workers=2, backend="thread"
+        )
         outcome = _optimize_with_timeout(optimizer, compiled)
         assert isinstance(outcome.get("error"), _Boom)
 
@@ -116,7 +122,9 @@ class TestWorkerFailure:
             raise _Boom("injected deepcopy failure")
 
         compiled = compile_program(SOURCE, ARGS, BIG)
-        optimizer = ParallelResourceOptimizer(cluster, num_workers=2)
+        optimizer = ParallelResourceOptimizer(
+            cluster, num_workers=2, backend="thread"
+        )
         monkeypatch.setattr(par.copy, "deepcopy", boom)
         outcome = _optimize_with_timeout(optimizer, compiled)
         assert isinstance(outcome.get("error"), _Boom)

@@ -1,0 +1,120 @@
+"""Backend parity regression: process and thread enumeration choose
+byte-identical configurations vs the serial optimizer.
+
+Every backend walks the identical grid in the identical order and the
+cost model is deterministic, so the chosen ``(resource, cost)`` must be
+*equal*, not approximately equal — any drift means a backend reordered,
+dropped, or double-costed a grid point.  Pruning statistics must agree
+for the same reason.  Block ids are stamped per compilation, so
+per-block MR vectors are compared by block *position*.
+"""
+
+import pytest
+
+from repro.cluster import paper_cluster
+from repro.compiler.pipeline import compile_program
+from repro.optimizer import ParallelResourceOptimizer, ResourceOptimizer
+from repro.runtime import SimulatedHDFS
+from repro.scripts import load_script
+from repro.workloads import prepare_inputs, scenario
+
+#: the five ML programs of the paper's Table 1
+TABLE1_SCRIPTS = ["LinregDS", "LinregCG", "L2SVM", "MLogreg", "GLM"]
+
+#: base grid points: small enough to keep 5 scripts x 3 backends fast,
+#: large enough that the enumeration exercises pruning and both budgets
+M = 7
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return paper_cluster()
+
+
+def _fresh_compiled(script):
+    hdfs = SimulatedHDFS(sample_cap=64)
+    args = prepare_inputs(hdfs, script, scenario("S"), glm_family=2,
+                          seed=7)
+    return compile_program(load_script(script), args, hdfs.input_meta())
+
+
+def _normalized(compiled, result):
+    """(cp, mr, position-keyed MR vector, cost): comparable across
+    independent compilations of the same script."""
+    index_of = {
+        b.block_id: i for i, b in enumerate(compiled.last_level_blocks())
+    }
+    vector = tuple(
+        sorted(
+            (index_of[block_id], ri)
+            for block_id, ri in result.resource.mr_heap_per_block.items()
+        )
+    )
+    return (
+        result.resource.cp_heap_mb,
+        result.resource.mr_heap_mb,
+        vector,
+        result.cost,
+    )
+
+
+def _stats_tuple(stats):
+    return (
+        stats.cp_points,
+        stats.mr_points,
+        stats.total_blocks,
+        stats.pruned_small,
+        stats.pruned_unknown,
+        stats.remaining_blocks,
+    )
+
+
+def _run(script, cluster, backend, enable_plan_cache=True):
+    compiled = _fresh_compiled(script)
+    if backend == "serial":
+        opt = ResourceOptimizer(
+            cluster, m=M, enable_plan_cache=enable_plan_cache
+        )
+    else:
+        opt = ParallelResourceOptimizer(
+            cluster, m=M, num_workers=2, backend=backend,
+            enable_plan_cache=enable_plan_cache,
+        )
+    result = opt.optimize(compiled)
+    return compiled, result
+
+
+class TestBackendParity:
+    @pytest.mark.parametrize("script", TABLE1_SCRIPTS)
+    def test_process_and_thread_match_serial(self, cluster, script):
+        compiled_s, serial = _run(script, cluster, "serial")
+        golden = _normalized(compiled_s, serial)
+        golden_stats = _stats_tuple(serial.stats)
+        golden_profile = tuple(serial.cp_profile)
+        for backend in ("process", "thread"):
+            compiled_b, result = _run(script, cluster, backend)
+            assert _normalized(compiled_b, result) == golden, backend
+            assert _stats_tuple(result.stats) == golden_stats, backend
+            assert tuple(result.cp_profile) == golden_profile, backend
+
+    @pytest.mark.parametrize("script", ["LinregCG", "GLM"])
+    def test_parity_survives_plan_cache_ablation(self, cluster, script):
+        """The plan cache is a pure memo: disabling it must not move
+        the chosen configuration for any backend."""
+        compiled_s, serial = _run(
+            script, cluster, "serial", enable_plan_cache=False
+        )
+        golden = _normalized(compiled_s, serial)
+        for backend in ("process", "thread"):
+            compiled_b, result = _run(
+                script, cluster, backend, enable_plan_cache=False
+            )
+            assert _normalized(compiled_b, result) == golden, backend
+            assert result.stats.plan_cache_hits == 0, backend
+
+    def test_process_backend_reports_itself(self, cluster):
+        compiled, result = _run("LinregDS", cluster, "process")
+        assert result.backend == "process"
+        assert result.num_workers == 2
+        assert result.tasks_dispatched > 0
+        assert result.task_records

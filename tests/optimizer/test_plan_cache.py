@@ -249,3 +249,66 @@ class TestAcceptance:
         assert parallel.resource == serial.resource
         assert parallel.cost == serial.cost
         assert parallel.stats.plan_cache_hits > 0
+
+
+class TestPickleAndMerge:
+    """Process-backend contracts: pickling preserves the full cache
+    state (the snapshot each worker receives), and merge() folds a
+    worker's grown cache back into the master."""
+
+    def _warm_cache(self):
+        compiled = compile_program(CG_STYLE, ARGS, BIG)
+        block = _mr_block(compiled)
+        cache = PlanCache()
+        for rc in (512.0, 2048.0, 54613.3):
+            recompile_block_plan(
+                compiled, block, ResourceConfig(rc, 512.0), cache=cache
+            )
+        return compiled, block, cache
+
+    def test_pickle_roundtrip_preserves_state(self):
+        import pickle
+
+        compiled, block, cache = self._warm_cache()
+        clone = pickle.loads(pickle.dumps(cache))
+        assert set(clone.plans) == set(cache.plans)
+        assert clone.thresholds == cache.thresholds
+        assert (clone.hits, clone.misses) == (cache.hits, cache.misses)
+        # the revived cache keeps serving hits at the warmed budgets
+        before = clone.hits
+        plan = recompile_block_plan(
+            compiled, block, ResourceConfig(512.0, 512.0), cache=clone
+        )
+        assert clone.hits == before + 1
+        assert _fingerprint(plan) == _fingerprint(
+            cache.plans[cache.key_for(block, ResourceConfig(512.0, 512.0))]
+        )
+
+    def test_merge_accumulates_counters_and_adopts_plans(self):
+        compiled, block, worker = self._warm_cache()
+        master = PlanCache()
+        # master knows one budget the worker also probed, plus nothing else
+        recompile_block_plan(
+            compiled, block, ResourceConfig(512.0, 512.0), cache=master
+        )
+        master_plans_before = dict(master.plans)
+        hits = master.hits + worker.hits
+        misses = master.misses + worker.misses
+        master.merge(worker)
+        assert master.hits == hits
+        assert master.misses == misses
+        # all worker keys present; keys the master already held keep
+        # the master's plan object
+        assert set(worker.plans) <= set(master.plans)
+        for key, plan in master_plans_before.items():
+            assert master.plans[key] is plan
+
+    def test_merge_is_usable_after_fold(self):
+        compiled, block, worker = self._warm_cache()
+        master = PlanCache()
+        master.merge(worker)
+        before = master.hits
+        recompile_block_plan(
+            compiled, block, ResourceConfig(2048.0, 512.0), cache=master
+        )
+        assert master.hits == before + 1

@@ -91,6 +91,39 @@ class TestCLI:
         assert "chosen configuration" in out
         assert "CP profile" in out
 
+    def test_opt_alias_with_workers(self, capsys):
+        code = main([
+            "opt", "LinregDS",
+            "--gen", "gx=50000x100", "--gen", "gy=50000x1",
+            "-arg", "X=gx", "-arg", "Y=gy", "-arg", "B=out",
+            "--workers", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "chosen configuration" in out
+        assert "backend: process (2 workers" in out
+
+    def test_optimize_serial_backend_reported(self, capsys):
+        code = main([
+            "optimize", "LinregDS",
+            "--gen", "gx=50000x100", "--gen", "gy=50000x1",
+            "-arg", "X=gx", "-arg", "Y=gy", "-arg", "B=out",
+            "--opt-backend", "serial",
+        ])
+        assert code == 0
+        assert "backend: serial" in capsys.readouterr().out
+
+    def test_run_with_thread_backend(self, capsys):
+        code = main([
+            "run", "LinregDS",
+            "--gen", "gx=50000x100", "--gen", "gy=50000x1",
+            "-arg", "X=gx", "-arg", "Y=gy", "-arg", "B=out",
+            "--workers", "2", "--opt-backend", "thread",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "optimizer: thread (2 workers" in out
+
     def test_explain_command(self, capsys):
         code = main([
             "explain", "LinregDS",
