@@ -1,0 +1,212 @@
+"""Multi-tenant serving benchmark: sustained throughput + latency.
+
+Drives 100s of queued tenant submissions through
+:class:`repro.serving.ElasticMLServer` (the Section 5.3 multi-tenant
+setting: concurrency bounded by AM-container admission under the
+1.5x-heap rule) and measures sustained request throughput and
+wall-clock latency percentiles, with a cache-sharing on/off ablation
+(shared ProgramCache + OptimizerResultCache + PlanCache vs none).
+
+Invariants asserted on every run (CI-safe at any CPU count):
+
+* every submission completes;
+* **byte-identical determinism** — every tenant's simulated result
+  (total time, MR jobs, prints, chosen configuration) equals the same
+  run on a private single-tenant ``ElasticMLSession`` with the same
+  seed, for both admission policies and with caches on or off;
+* cache sharing actually engages (hits > 0) in the shared arm.
+
+Writes ``BENCH_serving.json`` (override with ``--out``).  Standalone:
+``python benchmarks/bench_serving.py [--tenants N] [--out PATH]``.
+"""
+
+import argparse
+import json
+import pathlib
+import statistics
+import sys
+import time
+
+from repro.api import ElasticMLSession, SessionConfig
+from repro.serving import (
+    ElasticMLServer,
+    HeapRulePolicy,
+    PackingPolicy,
+    Submission,
+)
+from repro.workloads import prepare_inputs, scenario
+
+#: submission mix cycled across the queued tenants
+MIX = [("LinregDS", "XS"), ("LinregCG", "XS"), ("L2SVM", "XS")]
+SAMPLE_CAP = 64
+COLS = 100
+DEFAULT_OUT = pathlib.Path(__file__).resolve().parent.parent / (
+    "BENCH_serving.json"
+)
+
+
+def _canonical(outcome):
+    """Simulated-result identity, independent of block-id stamps."""
+    result = outcome.result
+    resource = outcome.resource
+    return (
+        result.total_time,
+        result.mr_jobs,
+        tuple(result.prints),
+        resource.cp_heap_mb,
+        resource.mr_heap_mb,
+        tuple(sorted(resource.mr_heap_per_block.values())),
+    )
+
+
+def serial_references(config):
+    """Per-script canonical results from private single-tenant runs."""
+    references = {}
+    for name, size in MIX:
+        session = ElasticMLSession(sample_cap=SAMPLE_CAP, config=config)
+        args = prepare_inputs(
+            session.hdfs, name, scenario(size, cols=COLS)
+        )
+        references[name] = _canonical(session.run(name, args))
+    return references
+
+
+def run_arm(label, tenants, policy, config, references, tenant_pool=16,
+            workers=8):
+    server = ElasticMLServer(
+        sample_cap=SAMPLE_CAP,
+        config=config,
+        policy=policy,
+        max_workers=workers,
+        queue_limit=max(tenants, 1024),
+        trace=True,
+    )
+    prepared = {
+        name: prepare_inputs(server.hdfs, name, scenario(size, cols=COLS))
+        for name, size in MIX
+    }
+    submitted = []
+    started = time.perf_counter()
+    for index in range(tenants):
+        name, _ = MIX[index % len(MIX)]
+        server.submit(Submission(
+            tenant=f"tenant-{index % tenant_pool:03d}",
+            script=name,
+            args=prepared[name],
+            seed=0,
+        ))
+        submitted.append(name)
+    results = server.drain()
+    elapsed = time.perf_counter() - started
+    server.shutdown()
+
+    failures = [r for r in results if not r.ok]
+    assert not failures, (
+        f"{label}: {len(failures)} submissions did not complete: "
+        f"{failures[:3]}"
+    )
+    for name, result in zip(submitted, results):
+        assert _canonical(result.outcome) == references[name], (
+            f"{label}: tenant {result.tenant} (ticket {result.ticket}, "
+            f"{name}) diverged from its serial single-session run"
+        )
+
+    latencies = sorted(r.latency_s for r in results)
+    waits = [r.wait_s for r in results]
+    stats = server.stats()
+    return {
+        "label": label,
+        "policy": policy.name,
+        "tenants": tenants,
+        "workers": workers,
+        "wall_s": round(elapsed, 3),
+        "throughput_rps": round(tenants / elapsed, 2),
+        "latency_p50_s": round(statistics.median(latencies), 4),
+        "latency_p95_s": round(
+            latencies[int(0.95 * (len(latencies) - 1))], 4
+        ),
+        "latency_max_s": round(latencies[-1], 4),
+        "admission_wait_mean_s": round(statistics.mean(waits), 4),
+        "serving": {
+            key: stats[key]
+            for key in (
+                "serving.submitted", "serving.admitted",
+                "serving.completed", "serving.failed", "serving.rejected",
+            )
+        },
+        "caches": {
+            "program_hits": stats["program_cache.hits"],
+            "program_misses": stats["program_cache.misses"],
+            "optimizer_hits": stats["optcache.hits"],
+            "optimizer_misses": stats["optcache.misses"],
+            "plan_entries": stats["plan_cache.entries"],
+        },
+        "deterministic": True,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tenants", type=int, default=150,
+                        help="queued submissions per arm (default 150)")
+    parser.add_argument("--workers", type=int, default=8)
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+    if args.tenants < 100:
+        parser.error("--tenants must be >= 100 (acceptance floor)")
+
+    shared_config = SessionConfig()
+    unshared_config = SessionConfig(
+        opt_cache=False, enable_plan_cache=False
+    )
+    references = serial_references(shared_config)
+    # caches must not change simulated results: same references apply
+    unshared_references = serial_references(unshared_config)
+    assert references == unshared_references, (
+        "cache ablation changed single-session results"
+    )
+
+    arms = [
+        run_arm("shared-caches/heap-rule", args.tenants, HeapRulePolicy(),
+                shared_config, references, workers=args.workers),
+        run_arm("shared-caches/packing", args.tenants, PackingPolicy(),
+                shared_config, references, workers=args.workers),
+        run_arm("no-cache-sharing/heap-rule", args.tenants,
+                HeapRulePolicy(), unshared_config, references,
+                workers=args.workers),
+    ]
+    shared, _, unshared = arms
+    assert shared["caches"]["optimizer_hits"] > 0, (
+        "shared arm never hit the optimizer cache"
+    )
+    assert shared["caches"]["program_hits"] > 0, (
+        "shared arm never hit the program cache"
+    )
+    assert unshared["caches"]["optimizer_hits"] == 0
+
+    payload = {
+        "benchmark": "serving",
+        "mix": [f"{name}:{size}" for name, size in MIX],
+        "arms": arms,
+        "cache_sharing_speedup": round(
+            unshared["wall_s"] / shared["wall_s"], 2
+        ),
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(f"{'arm':28} {'req/s':>8} {'p50':>8} {'p95':>8} "
+          f"{'opt hits':>9}")
+    for arm in arms:
+        print(f"{arm['label']:28} {arm['throughput_rps']:8.1f} "
+              f"{arm['latency_p50_s']:8.3f} {arm['latency_p95_s']:8.3f} "
+              f"{arm['caches']['optimizer_hits']:9d}")
+    print(f"\nall {3 * args.tenants} tenant results byte-identical to "
+          f"serial single-session runs")
+    print(f"cache sharing speedup: {payload['cache_sharing_speedup']}x "
+          f"wall clock")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,7 +18,12 @@ Entry points:
 * :mod:`repro.optimizer` — the resource optimizer itself.
 """
 
-from repro.api import ElasticMLSession, OptimizerResultCache, RunOutcome
+from repro.api import (
+    ElasticMLSession,
+    OptimizerResultCache,
+    RunOutcome,
+    SessionConfig,
+)
 from repro.chaos import (
     ChaosReport,
     FaultInjector,
@@ -41,14 +46,27 @@ from repro.optimizer import (
 )
 from repro.runtime import ExecutionResult, Interpreter, SimulatedHDFS
 from repro.scripts import SCRIPTS, load_script
+from repro.serving import (
+    ElasticMLServer,
+    HeapRulePolicy,
+    PackingPolicy,
+    Submission,
+    SubmissionResult,
+)
 from repro.workloads import prepare_inputs, scenario
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "ElasticMLSession",
     "OptimizerResultCache",
     "RunOutcome",
+    "SessionConfig",
+    "ElasticMLServer",
+    "HeapRulePolicy",
+    "PackingPolicy",
+    "Submission",
+    "SubmissionResult",
     "ChaosReport",
     "FaultInjector",
     "FaultKind",

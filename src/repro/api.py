@@ -21,7 +21,7 @@ Typical use::
 from __future__ import annotations
 
 import hashlib
-import warnings
+import threading
 from dataclasses import dataclass, field, replace
 
 from repro.chaos import FaultInjector
@@ -38,6 +38,7 @@ from repro.cost import CostModel
 from repro.cost.constants import DEFAULT_PARAMETERS
 from repro.obs import NULL_TRACER, Tracer, get_tracer, use_tracer
 from repro.optimizer import (
+    DEFAULT_AUTO_SERIAL_POINTS,
     OptimizerOptions,
     OptimizerResult,
     OptimizerStats,
@@ -93,6 +94,67 @@ class RunOutcome:
         return self.result.chaos
 
 
+@dataclass(frozen=True)
+class SessionConfig:
+    """Consolidated session/serving knobs.
+
+    One object now carries what used to be loose keyword arguments on
+    :class:`ElasticMLSession` (``grid_cp``, ``grid_m``, ``opt_workers``,
+    ``opt_backend``, ...), so sessions and the multi-tenant
+    :class:`~repro.serving.ElasticMLServer` are configured with the same
+    vocabulary.  The old keyword arguments still work as a thin
+    compatibility shim for one release — they are applied as overrides
+    onto the config at construction.
+    """
+
+    # -- optimizer grid (Section 5.1 defaults: Hybrid, m = 15) -------------
+    grid_cp: str = "hybrid"
+    grid_mr: str = "hybrid"
+    grid_m: int = 15
+    # -- parallel enumeration ----------------------------------------------
+    #: parallel enumeration workers (0/1 = serial optimizer)
+    opt_workers: int = 0
+    #: parallel enumeration backend ("process" or "thread")
+    opt_backend: str = "process"
+    #: auto backend policy: below this many enumeration points the
+    #: process backend falls back to serial (0 disables)
+    auto_serial_points: int = DEFAULT_AUTO_SERIAL_POINTS
+    # -- caches -------------------------------------------------------------
+    #: ablation switch: disable the memoizing plan/cost cache
+    enable_plan_cache: bool = True
+    #: build a cross-run :class:`OptimizerResultCache` for the session
+    opt_cache: bool = True
+    #: LRU bound of the default cross-run cache
+    opt_cache_entries: int = 64
+
+    def optimizer_options(self):
+        """This configuration as :class:`OptimizerOptions`."""
+        return OptimizerOptions(
+            grid_cp=self.grid_cp,
+            grid_mr=self.grid_mr,
+            m=self.grid_m,
+            parallel=self.opt_workers > 1,
+            num_workers=self.opt_workers if self.opt_workers > 1 else 4,
+            backend=self.opt_backend,
+            enable_plan_cache=self.enable_plan_cache,
+            auto_serial_points=self.auto_serial_points,
+        )
+
+    def build_opt_cache(self):
+        """A fresh cross-run cache per this config (None if disabled)."""
+        if not self.opt_cache:
+            return None
+        return OptimizerResultCache(max_entries=self.opt_cache_entries)
+
+
+#: legacy ElasticMLSession keyword arguments -> SessionConfig fields
+#: (the one-release compatibility shim)
+_LEGACY_CONFIG_KNOBS = (
+    "grid_cp", "grid_mr", "grid_m", "opt_workers", "opt_backend",
+    "auto_serial_points", "enable_plan_cache",
+)
+
+
 @dataclass
 class OptimizerResultCache:
     """Cross-run cache of resource-optimization decisions.
@@ -117,6 +179,10 @@ class OptimizerResultCache:
     Per-block MR heaps are stored by *block position* (block ids are
     stamped per process and differ between compilations of the same
     script); :meth:`lookup` remaps them onto the current compilation.
+
+    Lookup/store take an internal lock: one instance is shared by every
+    tenant of an :class:`~repro.serving.ElasticMLServer`, where
+    concurrent submissions hit it from worker threads.
     """
 
     max_entries: int = 64
@@ -125,6 +191,8 @@ class OptimizerResultCache:
     stores: int = 0
     #: key -> frozen decision entry, in LRU order (oldest first)
     _entries: dict = field(default_factory=dict, repr=False)
+    _lock: object = field(default_factory=threading.RLock, repr=False,
+                          compare=False)
 
     def __len__(self):
         return len(self._entries)
@@ -178,15 +246,16 @@ class OptimizerResultCache:
     def lookup(self, key, compiled):
         """Return a cached :class:`OptimizerResult` remapped onto
         ``compiled``, or None on a miss."""
-        entry = self._entries.get(key)
         order = [b.block_id for b in compiled.last_level_blocks()]
-        if entry is None or len(order) != entry["num_blocks"]:
-            self.misses += 1
-            get_tracer().incr("optcache.misses")
-            return None
-        # LRU touch: re-insert at the back
-        self._entries[key] = self._entries.pop(key)
-        self.hits += 1
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or len(order) != entry["num_blocks"]:
+                self.misses += 1
+                get_tracer().incr("optcache.misses")
+                return None
+            # LRU touch: re-insert at the back
+            self._entries[key] = self._entries.pop(key)
+            self.hits += 1
         get_tracer().incr("optcache.hits")
         resource = ResourceConfig(
             cp_heap_mb=entry["cp_heap_mb"],
@@ -221,62 +290,121 @@ class OptimizerResultCache:
             if block_id not in index_of:
                 return False  # not a whole-program optimization
             vector.append((index_of[block_id], ri))
-        self._entries[key] = {
-            "cp_heap_mb": result.resource.cp_heap_mb,
-            "mr_heap_mb": result.resource.mr_heap_mb,
-            "vector": tuple(vector),
-            "num_blocks": len(index_of),
-            "cost": result.cost,
-            "stats": replace(result.stats),
-            "cp_profile": tuple(result.cp_profile),
-        }
-        while len(self._entries) > self.max_entries:
-            self._entries.pop(next(iter(self._entries)))
-        self.stores += 1
+        with self._lock:
+            self._entries[key] = {
+                "cp_heap_mb": result.resource.cp_heap_mb,
+                "mr_heap_mb": result.resource.mr_heap_mb,
+                "vector": tuple(vector),
+                "num_blocks": len(index_of),
+                "cost": result.cost,
+                "stats": replace(result.stats),
+                "cp_profile": tuple(result.cp_profile),
+            }
+            while len(self._entries) > self.max_entries:
+                self._entries.pop(next(iter(self._entries)))
+            self.stores += 1
         get_tracer().incr("optcache.stores")
         return True
 
     def clear(self):
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
 
-@dataclass
+#: sentinel distinguishing "not passed" from an explicit None
+_UNSET = object()
+
+
+def _config_knob(name, doc):
+    """A property delegating one knob to the session's SessionConfig.
+
+    Sessions historically exposed the knobs as plain attributes
+    (``session.grid_m = 5``); the properties keep that working while the
+    single source of truth is the immutable config object.
+    """
+
+    def _get(self):
+        return getattr(self.config, name)
+
+    def _set(self, value):
+        self.config = replace(self.config, **{name: value})
+
+    return property(_get, _set, doc=doc)
+
+
 class ElasticMLSession:
-    """A client session against one simulated cluster."""
+    """A client session against one simulated cluster.
 
-    cluster: object = field(default_factory=paper_cluster)
-    params: object = field(default_factory=lambda: DEFAULT_PARAMETERS)
-    hdfs: SimulatedHDFS = None
-    sample_cap: int = DEFAULT_SAMPLE_CAP
-    seed: int = 0
-    # optimizer defaults (Section 5.1: Hybrid, m = 15)
-    grid_cp: str = "hybrid"
-    grid_mr: str = "hybrid"
-    grid_m: int = 15
-    #: parallel enumeration workers (0/1 = serial optimizer)
-    opt_workers: int = 0
-    #: parallel enumeration backend ("process" or "thread")
-    opt_backend: str = "process"
-    #: cross-run optimizer result cache consulted by :meth:`run`
-    #: (set to None to disable)
-    opt_cache: OptimizerResultCache | None = field(
-        default_factory=OptimizerResultCache
+    Knobs live on a :class:`SessionConfig` passed as ``config``; the old
+    loose keyword arguments (``grid_m=5``, ``opt_workers=4``, ...) are
+    still accepted for one release and are applied as overrides onto the
+    config.  ``submit``/``poll``/``drain`` expose the session as a
+    single-tenant facade over :class:`repro.serving.ElasticMLServer`.
+    """
+
+    def __init__(self, cluster=None, params=None, hdfs=None,
+                 sample_cap=DEFAULT_SAMPLE_CAP, seed=0, *,
+                 config=None, opt_cache=_UNSET, trace=False,
+                 tracer=None, chaos=None, retry_policy=None,
+                 **legacy_knobs):
+        config = config if config is not None else SessionConfig()
+        overrides = {}
+        for knob in list(legacy_knobs):
+            if knob in _LEGACY_CONFIG_KNOBS:
+                overrides[knob] = legacy_knobs.pop(knob)
+        if legacy_knobs:
+            raise TypeError(
+                "ElasticMLSession() got unexpected keyword arguments "
+                f"{sorted(legacy_knobs)}"
+            )
+        if overrides:
+            config = replace(config, **overrides)
+        #: consolidated knobs (:class:`SessionConfig`)
+        self.config = config
+        self.cluster = cluster if cluster is not None else paper_cluster()
+        self.params = params if params is not None else DEFAULT_PARAMETERS
+        self.sample_cap = sample_cap
+        self.hdfs = (
+            hdfs if hdfs is not None
+            else SimulatedHDFS(sample_cap=sample_cap)
+        )
+        self.seed = seed
+        #: cross-run optimizer result cache consulted by :meth:`run`
+        #: (None disables; default built per ``config.opt_cache``)
+        self.opt_cache = (
+            config.build_opt_cache() if opt_cache is _UNSET else opt_cache
+        )
+        #: telemetry: False (off), True (fresh Tracer per run), or a
+        #: Tracer instance shared across runs
+        self.trace = trace
+        #: the tracer of the most recent traced run (or the shared one)
+        self.tracer = tracer
+        #: default fault-injection plan (:class:`repro.chaos.FaultPlan`)
+        #: applied to every run unless overridden per call
+        self.chaos = chaos
+        #: retry/backoff policy for fault recovery
+        #: (:class:`repro.chaos.RetryPolicy`); None = the default policy
+        self.retry_policy = retry_policy
+        self._server = None
+
+    # legacy knob attributes, backed by the config (compat shim)
+    grid_cp = _config_knob("grid_cp", "CP heap grid type (Section 3.3.2).")
+    grid_mr = _config_knob("grid_mr", "MR heap grid type (Section 3.3.2).")
+    grid_m = _config_knob("grid_m", "Grid resolution m (Section 5.1).")
+    opt_workers = _config_knob(
+        "opt_workers", "Parallel enumeration workers (0/1 = serial)."
     )
-    #: telemetry: False (off), True (fresh Tracer per run), or a Tracer
-    #: instance shared across runs
-    trace: object = False
-    #: the tracer of the most recent traced run (or the shared instance)
-    tracer: Tracer = field(default=None, repr=False)
-    #: default fault-injection plan (:class:`repro.chaos.FaultPlan`)
-    #: applied to every run unless overridden per call; None = no chaos
-    chaos: object = None
-    #: retry/backoff policy for fault recovery
-    #: (:class:`repro.chaos.RetryPolicy`); None = the default policy
-    retry_policy: object = None
-
-    def __post_init__(self):
-        if self.hdfs is None:
-            self.hdfs = SimulatedHDFS(sample_cap=self.sample_cap)
+    opt_backend = _config_knob(
+        "opt_backend", 'Parallel enumeration backend ("process"/"thread").'
+    )
+    auto_serial_points = _config_knob(
+        "auto_serial_points",
+        "Below this many enumeration points the process backend falls "
+        "back to serial (0 disables).",
+    )
+    enable_plan_cache = _config_knob(
+        "enable_plan_cache", "Memoizing plan/cost cache ablation switch."
+    )
 
     # -- compilation -----------------------------------------------------
 
@@ -293,14 +421,7 @@ class ElasticMLSession:
     @property
     def optimizer_options(self):
         """The session's default :class:`OptimizerOptions`."""
-        return OptimizerOptions(
-            grid_cp=self.grid_cp,
-            grid_mr=self.grid_mr,
-            m=self.grid_m,
-            parallel=self.opt_workers > 1,
-            num_workers=self.opt_workers if self.opt_workers > 1 else 4,
-            backend=self.opt_backend,
-        )
+        return self.config.optimizer_options()
 
     def make_optimizer(self, options=None, **overrides):
         """Build an optimizer from the session defaults.
@@ -329,7 +450,7 @@ class ElasticMLSession:
         """Run initial resource optimization on a compiled program."""
         return self.make_optimizer(options, **overrides).optimize(compiled)
 
-    def _optimize_with_cache(self, source, args, compiled):
+    def optimize_cached(self, source, args, compiled):
         """Initial optimization for :meth:`run`, consulting the
         cross-run result cache.
 
@@ -421,7 +542,7 @@ class ElasticMLSession:
                 optimizer_result = None
                 if resource is None and optimize:
                     with tracer.span("optimize"):
-                        optimizer_result = self._optimize_with_cache(
+                        optimizer_result = self.optimize_cached(
                             source, args, compiled
                         )
                     resource = optimizer_result.resource
@@ -452,31 +573,49 @@ class ElasticMLSession:
             return NULL_TRACER
         return self.tracer
 
-    # -- deprecated entry points -----------------------------------------
+    # -- serving facade ----------------------------------------------------
+    # (run_script()/run_registered(), deprecated since 1.1, were removed
+    # in 1.4 — use run(script_or_name, args, ...).)
 
-    def run_script(self, source, args, resource=None, adapt=True):
-        """Deprecated: use :meth:`run`."""
-        warnings.warn(
-            "ElasticMLSession.run_script() is deprecated; use "
-            "ElasticMLSession.run(source, args, ...)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.run(source, args, resource=resource, adapt=adapt)
+    def _ensure_server(self):
+        if self._server is None:
+            # local import: repro.serving imports SessionConfig and
+            # OptimizerResultCache from this module
+            from repro.serving import ElasticMLServer
 
-    def run_registered(self, name, args, resource=None, adapt=True):
-        """Deprecated: use :meth:`run`."""
-        warnings.warn(
-            "ElasticMLSession.run_registered() is deprecated; use "
-            "ElasticMLSession.run(name, args, ...)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        if name not in SCRIPTS:
-            raise KeyError(
-                f"unknown script {name!r}; available: {sorted(SCRIPTS)}"
+            self._server = ElasticMLServer(
+                cluster=self.cluster,
+                params=self.params,
+                hdfs=self.hdfs,
+                sample_cap=self.sample_cap,
+                config=self.config,
+                opt_cache=self.opt_cache,
+                retry_policy=self.retry_policy,
+                trace=bool(self.trace),
             )
-        return self.run(name, args, resource=resource, adapt=adapt)
+        return self._server
+
+    def submit(self, submission):
+        """Queue a :class:`repro.serving.Submission` on the session's
+        embedded single-cluster server; returns a ticket for
+        :meth:`poll`."""
+        return self._ensure_server().submit(submission)
+
+    def poll(self, ticket, timeout=None):
+        """The :class:`repro.serving.SubmissionResult` for a ticket, or
+        None while it is still queued/running."""
+        return self._ensure_server().poll(ticket, timeout=timeout)
+
+    def drain(self):
+        """Block until every queued submission finishes; returns all
+        results in submission order."""
+        return self._ensure_server().drain()
+
+    def shutdown(self):
+        """Stop the embedded server (if one was ever started)."""
+        if self._server is not None:
+            self._server.shutdown()
+            self._server = None
 
     # -- analysis helpers --------------------------------------------------
 

@@ -39,6 +39,14 @@ class ResourceConfig:
         heap = self.mr_heap_mb if block_id is None else self.mr_heap_for_block(block_id)
         return heap * MB * BUDGET_FRACTION
 
+    def container_request_mb(self, cluster):
+        """AM container request for this configuration's CP heap — the
+        paper's 1.5x-heap rule, clamped to the cluster's min allocation.
+        This is the quantity admission control reasons about: allocated
+        AM containers bound how many tenants run concurrently
+        (Section 5.3)."""
+        return cluster.container_mb_for_heap(self.cp_heap_mb)
+
     @property
     def max_mr_heap_mb(self):
         """Largest MR heap across all blocks (reported in Table 2)."""

@@ -27,6 +27,8 @@ class Container:
     container_id: int
     node_id: int
     memory_mb: int
+    #: owning tenant (None for single-application accounting)
+    tenant: str | None = None
 
 
 @dataclass
@@ -63,13 +65,15 @@ class NodeManager:
         """The node manager rejoins the cluster (empty)."""
         self.lost = False
 
-    def allocate(self, memory_mb):
+    def allocate(self, memory_mb, tenant=None):
         if not self.can_allocate(memory_mb):
             raise ClusterError(
                 f"node {self.node_id} cannot allocate {memory_mb} MB "
                 f"({self.available_mb} MB free)"
             )
-        container = Container(next(_container_ids), self.node_id, memory_mb)
+        container = Container(
+            next(_container_ids), self.node_id, memory_mb, tenant=tenant
+        )
         self.used_mb += memory_mb
         self.containers[container.container_id] = container
         return container
@@ -99,6 +103,9 @@ class ResourceManager:
             NodeManager(node_id=i, capacity_mb=cluster.node_memory_mb)
             for i in range(cluster.num_nodes)
         ]
+        #: tenant -> (used_mb, containers) for multi-tenant serving
+        self._tenant_used_mb = {}
+        self._tenant_containers = {}
 
     @property
     def available_mb(self):
@@ -129,10 +136,16 @@ class ResourceManager:
             )
         return request
 
-    def try_allocate(self, memory_mb):
+    def can_fit(self, memory_mb):
+        """Whether some node could grant the request right now."""
+        request = self.normalize_request(memory_mb)
+        return any(node.can_allocate(request) for node in self.nodes)
+
+    def try_allocate(self, memory_mb, tenant=None):
         """First-fit allocation; returns a Container or None if the
         cluster currently lacks capacity (or the fault injector denies
-        the request)."""
+        the request).  ``tenant`` attributes the grant in the per-tenant
+        ledger (serving-layer accounting)."""
         request = self.normalize_request(memory_mb)
         tracer = get_tracer()
         if self.injector is not None and self.injector.deny_allocation("rm"):
@@ -140,7 +153,8 @@ class ResourceManager:
             return None
         for node in self.nodes:
             if node.can_allocate(request):
-                container = node.allocate(request)
+                container = node.allocate(request, tenant=tenant)
+                self._ledger_add(container)
                 if tracer.enabled:
                     tracer.incr("yarn.allocations")
                     tracer.incr("yarn.allocated_mb", request)
@@ -151,10 +165,52 @@ class ResourceManager:
 
     def release(self, container):
         self.nodes[container.node_id].release(container)
+        self._ledger_drop(container)
         tracer = get_tracer()
         if tracer.enabled:
             tracer.incr("yarn.releases")
             tracer.gauge("yarn.used_mb", self.used_mb)
+
+    # -- per-tenant accounting ---------------------------------------------
+
+    def _ledger_add(self, container):
+        if container.tenant is None:
+            return
+        tenant = container.tenant
+        self._tenant_used_mb[tenant] = (
+            self._tenant_used_mb.get(tenant, 0) + container.memory_mb
+        )
+        self._tenant_containers.setdefault(tenant, set()).add(
+            container.container_id
+        )
+
+    def _ledger_drop(self, container):
+        if container.tenant is None:
+            return
+        tenant = container.tenant
+        remaining = self._tenant_used_mb.get(tenant, 0) - container.memory_mb
+        ids = self._tenant_containers.get(tenant, set())
+        ids.discard(container.container_id)
+        if remaining <= 0 and not ids:
+            self._tenant_used_mb.pop(tenant, None)
+            self._tenant_containers.pop(tenant, None)
+        else:
+            self._tenant_used_mb[tenant] = remaining
+
+    def usage_by_tenant(self):
+        """tenant -> currently allocated MB (tenant-attributed grants)."""
+        return dict(self._tenant_used_mb)
+
+    def tenant_containers(self, tenant):
+        """Live container count held by one tenant."""
+        return len(self._tenant_containers.get(tenant, ()))
+
+    def tenant_share(self, tenant):
+        """Fraction of total cluster memory a tenant currently holds."""
+        total = self.cluster.total_memory_mb
+        if total <= 0:
+            return 0.0
+        return self._tenant_used_mb.get(tenant, 0) / total
 
     # -- node-manager faults -----------------------------------------------
 
@@ -167,6 +223,8 @@ class ResourceManager:
         """NODE_LOSS: the node manager dies; its containers are killed
         and returned (callers re-execute or release their handles)."""
         lost = self._node(node_id).fail()
+        for container in lost:
+            self._ledger_drop(container)
         tracer = get_tracer()
         tracer.incr("yarn.nodes_lost")
         if tracer.enabled and lost:

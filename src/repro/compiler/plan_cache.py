@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import itertools
 import math
+import threading
 from bisect import bisect_right
 
 from repro.compiler import hops as H
@@ -108,25 +109,52 @@ class PlanCache:
     backend ships one pickled program snapshot — cache included — to
     each worker at startup, and every worker then grows its own private
     copy.  Worker caches are folded back via :meth:`merge`.
+
+    All operations take an internal lock, so one instance can be shared
+    by concurrent threads — the serving layer attaches a single cache to
+    every deep copy of a cached master program, and cross-tenant merges
+    cannot observe (or produce) a torn state.  ``max_plans`` bounds the
+    cache with LRU eviction (None = unbounded, the single-program
+    optimizer default; long-lived cross-tenant caches should be
+    bounded).
     """
 
-    def __init__(self, thresholds=None):
+    def __init__(self, thresholds=None, max_plans=None):
         #: block_id -> (cp_thresholds, mr_thresholds)
         self.thresholds = dict(thresholds) if thresholds else {}
-        #: (block_id, cp_bucket, mr_bucket) -> BlockPlan
+        #: (block_id, cp_bucket, mr_bucket) -> BlockPlan, in LRU order
+        #: (least recently used first)
         self.plans = {}
+        self.max_plans = max_plans
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+        self.evictions = 0
+        self._lock = threading.Lock()
 
     def __deepcopy__(self, memo):
-        clone = PlanCache()
+        clone = PlanCache(max_plans=self.max_plans)
         clone.thresholds = self.thresholds  # shared, by design
         return clone
+
+    def __getstate__(self):
+        # locks do not pickle; the unpickling process gets a fresh one
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        # pre-LRU pickles (older snapshots) lack the bound/counter
+        self.__dict__.setdefault("max_plans", None)
+        self.__dict__.setdefault("evictions", 0)
+        self._lock = threading.Lock()
 
     # -- bucketing -----------------------------------------------------------
 
     def thresholds_for(self, block):
+        # lock-free on purpose (hot path): get/setitem are atomic, and a
+        # racing recomputation writes the identical tuple
         entry = self.thresholds.get(block.block_id)
         if entry is None:
             entry = self.thresholds[block.block_id] = block_thresholds(block)
@@ -154,17 +182,31 @@ class PlanCache:
     # -- cache operations ----------------------------------------------------
 
     def lookup(self, key):
-        plan = self.plans.get(key)
+        with self._lock:
+            plan = self.plans.get(key)
+            if plan is not None:
+                # LRU touch: re-insert at the back
+                self.plans[key] = self.plans.pop(key)
+                self.hits += 1
+            else:
+                self.misses += 1
         if plan is not None:
-            self.hits += 1
             get_tracer().incr("plancache.hits")
         else:
-            self.misses += 1
             get_tracer().incr("plancache.misses")
         return plan
 
     def store(self, key, plan):
-        self.plans[key] = plan
+        with self._lock:
+            self.plans[key] = plan
+            self._evict_locked()
+
+    def _evict_locked(self):
+        if self.max_plans is None:
+            return
+        while len(self.plans) > self.max_plans:
+            self.plans.pop(next(iter(self.plans)))
+            self.evictions += 1
 
     def merge(self, other):
         """Fold a worker's cache into this one (task-parallel optimizer
@@ -173,25 +215,39 @@ class PlanCache:
         because bucket keys identify *identical* generated plans — the
         worker's plan is exactly what a recompilation here would
         regenerate."""
-        self.hits += other.hits
-        self.misses += other.misses
-        self.invalidations += other.invalidations
-        for block_id, entry in other.thresholds.items():
-            self.thresholds.setdefault(block_id, entry)
-        for key, plan in other.plans.items():
-            self.plans.setdefault(key, plan)
+        if other is self:
+            return self
+        # snapshot under the source lock, apply under ours: lock
+        # ordering (other then self, never held together) cannot
+        # deadlock, and a concurrently mutated source cannot tear the
+        # iteration
+        with other._lock:
+            counters = (other.hits, other.misses, other.invalidations)
+            thresholds = list(other.thresholds.items())
+            plans = list(other.plans.items())
+        with self._lock:
+            self.hits += counters[0]
+            self.misses += counters[1]
+            self.invalidations += counters[2]
+            for block_id, entry in thresholds:
+                self.thresholds.setdefault(block_id, entry)
+            for key, plan in plans:
+                self.plans.setdefault(key, plan)
+            self._evict_locked()
         return self
 
     def invalidate_block(self, block_id):
         """Drop a block's plans *and* thresholds (dynamic recompilation
         updates size/memory estimates, which moves the thresholds)."""
-        stale = [key for key in self.plans if key[0] == block_id]
-        for key in stale:
-            del self.plans[key]
-        self.thresholds.pop(block_id, None)
-        self.invalidations += 1
+        with self._lock:
+            stale = [key for key in self.plans if key[0] == block_id]
+            for key in stale:
+                del self.plans[key]
+            self.thresholds.pop(block_id, None)
+            self.invalidations += 1
         get_tracer().incr("plancache.invalidations")
 
     def clear(self):
-        self.plans.clear()
-        self.thresholds.clear()
+        with self._lock:
+            self.plans.clear()
+            self.thresholds.clear()

@@ -25,6 +25,7 @@ any layer of the stack without cycles.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from collections import deque
 from contextlib import contextmanager
@@ -156,6 +157,23 @@ class Tracer:
         """Read one counter (0 when it never fired)."""
         return self.counters.get(name, default)
 
+    def absorb(self, other, spans=True):
+        """Fold another tracer's telemetry into this one.
+
+        Counters accumulate, gauges overwrite (last absorb wins), events
+        append, and (with ``spans``) the other tracer's root spans become
+        roots here.  The serving layer runs every submission under its
+        own tracer — concurrent tenants would otherwise interleave one
+        span stack — and absorbs each finished submission into the
+        server-level tracer."""
+        for name, value in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + value
+        self.gauges.update(other.gauges)
+        self.events.extend(other.events)
+        if spans:
+            self.roots.extend(other.roots)
+        return self
+
     # -- export --------------------------------------------------------------
 
     def to_dict(self):
@@ -217,27 +235,42 @@ class NullTracer(Tracer):
 
 NULL_TRACER = NullTracer()
 
-_active = NULL_TRACER
+#: process-wide default, overridable per thread (concurrent serving
+#: submissions each activate their own tracer without clobbering each
+#: other's span stacks or counters)
+_default = NULL_TRACER
+_active = threading.local()
 
 
 def get_tracer():
-    """The currently active tracer (:data:`NULL_TRACER` by default)."""
-    return _active
+    """The active tracer: this thread's override if one is installed
+    (:func:`use_tracer`), else the process-wide default
+    (:data:`NULL_TRACER` unless :func:`set_tracer` changed it)."""
+    tracer = getattr(_active, "tracer", None)
+    return tracer if tracer is not None else _default
 
 
 def set_tracer(tracer):
-    """Install ``tracer`` globally; ``None`` restores the null tracer."""
-    global _active
-    _active = tracer if tracer is not None else NULL_TRACER
-    return _active
+    """Install ``tracer`` as the process-wide default; ``None`` restores
+    the null tracer.  Threads with a :func:`use_tracer` override are
+    unaffected."""
+    global _default
+    _default = tracer if tracer is not None else NULL_TRACER
+    return _default
 
 
 @contextmanager
 def use_tracer(tracer):
-    """Activate ``tracer`` for the duration of a ``with`` block."""
-    previous = get_tracer()
-    set_tracer(tracer)
+    """Activate ``tracer`` on *this thread* for the ``with`` block.
+
+    Thread-local by design: each serving worker activates its
+    submission's tracer without disturbing other threads.  Helper
+    threads spawned inside the block (e.g. the thread-backend optimizer
+    workers) must re-enter ``use_tracer`` themselves — thread locals do
+    not inherit."""
+    previous = getattr(_active, "tracer", None)
+    _active.tracer = tracer if tracer is not None else NULL_TRACER
     try:
         yield get_tracer()
     finally:
-        set_tracer(previous)
+        _active.tracer = previous

@@ -28,12 +28,14 @@ from repro.optimizer.grids import (
 )
 from repro.optimizer.adaptation import ResourceAdapter
 from repro.optimizer.parallel import (
+    DEFAULT_AUTO_SERIAL_POINTS,
     ParallelOptimizerResult,
     ParallelResourceOptimizer,
 )
 from repro.optimizer.utilization import UtilizationAwareAdapter
 
 __all__ = [
+    "DEFAULT_AUTO_SERIAL_POINTS",
     "ResourceOptimizer",
     "OptimizerOptions",
     "OptimizerResult",

@@ -149,11 +149,18 @@ class OptimizerOptions:
     #: parallelism, the default) or ``"thread"`` (GIL-bound; kept for
     #: the paper's Appendix C task model and the makespan benchmark)
     backend: str = "process"
+    #: auto backend policy: when the enumeration work (CP points x MR
+    #: points x blocks) is below this threshold, the process backend
+    #: falls back to serial enumeration — pool startup and snapshot
+    #: pickling dominate tiny grids.  0 disables the fallback (always
+    #: honor ``backend``); the session default enables it
+    auto_serial_points: int = 0
 
     def decision_signature(self):
         """The subset of fields the optimization *decision* depends on.
 
-        Parallelism knobs are excluded: every backend chooses the
+        Parallelism knobs (including the auto-serial fallback, which
+        only swaps the backend) are excluded: every backend chooses the
         identical configuration (the parity regression test enforces
         this), so the cross-run result cache keys on this signature and
         serial/thread/process runs share entries.

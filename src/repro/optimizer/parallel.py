@@ -45,10 +45,11 @@ from repro.compiler.pipeline import recompile_block_plan
 from repro.compiler.plan_cache import PlanCache
 from repro.cost import CostModel
 from repro.errors import OptimizationError
-from repro.obs import get_tracer
+from repro.obs import get_tracer, use_tracer
 from repro.optimizer.enumerate import (
     OptimizerResult,
     OptimizerStats,
+    ResourceOptimizer,
     enumerate_block_mr,
     update_best,
 )
@@ -57,6 +58,13 @@ from repro.optimizer.pruning import prune_program_blocks
 
 #: recognised enumeration backends
 BACKENDS = ("process", "thread")
+
+#: default auto-backend threshold used by the session layer: below this
+#: many enumeration points (CP grid x MR grid x blocks) the process
+#: backend falls back to serial.  Calibrated on the Table-1 programs:
+#: MLogreg M (1440 points, 41 ms serial) loses badly to a 4-worker pool
+#: while GLM M (6192 points, ~700 ms serial) amortizes it
+DEFAULT_AUTO_SERIAL_POINTS = 4096
 
 
 @dataclass
@@ -85,13 +93,14 @@ class ParallelResourceOptimizer:
     def __init__(self, cluster, params=None, grid_cp="hybrid",
                  grid_mr="hybrid", m=15, w=2.0, num_workers=4,
                  enable_plan_cache=True, backend="process",
-                 batch_size=None, options=None):
+                 batch_size=None, auto_serial_points=0, options=None):
         if options is not None:
             grid_cp, grid_mr = options.grid_cp, options.grid_mr
             m, w = options.m, options.w
             enable_plan_cache = options.enable_plan_cache
             num_workers = options.num_workers
             backend = options.backend
+            auto_serial_points = options.auto_serial_points
         if backend not in BACKENDS:
             raise ValueError(
                 f"unknown enumeration backend {backend!r}; "
@@ -112,9 +121,52 @@ class ParallelResourceOptimizer:
         #: None picks one r_c per chunk — each chunk already batches all
         #: of that point's (r_c, block) enumeration work
         self.batch_size = batch_size
+        #: auto backend policy threshold (0 = off): see
+        #: :attr:`OptimizerOptions.auto_serial_points`
+        self.auto_serial_points = auto_serial_points
+
+    def _enumeration_work(self, compiled):
+        """Upper bound on enumeration points: CP grid x MR grid x
+        last-level blocks (the auto backend policy's work measure)."""
+        estimates = collect_memory_estimates_mb(compiled)
+        min_mb = self.cluster.min_heap_mb
+        max_mb = self.cluster.max_heap_mb
+        src = generate_grid(self.grid_cp, min_mb, max_mb, estimates,
+                            self.m, self.w)
+        srm = generate_grid(self.grid_mr, min_mb, max_mb, estimates,
+                            self.m, self.w)
+        blocks = len(list(compiled.last_level_blocks()))
+        return len(src) * len(srm) * max(1, blocks)
+
+    def _serial_fallback(self, compiled, work):
+        """Run the serial optimizer on a grid too small to amortize the
+        process pool (IPC + snapshot pickling dominate), repackaged so
+        callers still see a backend-annotated result."""
+        tracer = get_tracer()
+        tracer.incr("optpar.auto_serial")
+        tracer.event("optimizer.auto_serial", work=work,
+                     threshold=self.auto_serial_points)
+        serial = ResourceOptimizer(
+            self.cluster, self.params, grid_cp=self.grid_cp,
+            grid_mr=self.grid_mr, m=self.m, w=self.w,
+            enable_plan_cache=self.enable_plan_cache,
+        ).optimize(compiled)
+        return ParallelOptimizerResult(
+            resource=serial.resource,
+            cost=serial.cost,
+            stats=serial.stats,
+            cp_profile=serial.cp_profile,
+            num_workers=1,
+            backend="serial",
+            tasks_dispatched=0,
+        )
 
     def optimize(self, compiled):
         tracer = get_tracer()
+        if self.backend == "process" and self.auto_serial_points > 0:
+            work = self._enumeration_work(compiled)
+            if work < self.auto_serial_points:
+                return self._serial_fallback(compiled, work)
         with tracer.span(
             "optimizer.optimize", scope="program",
             backend=self.backend, workers=self.num_workers,
@@ -362,8 +414,17 @@ class ParallelResourceOptimizer:
         worker_cost_models = []
         worker_compilations = []
 
+        # workers inherit the master's tracer explicitly: the active
+        # tracer is thread-local, so a freshly spawned thread would
+        # otherwise record into the process default
+        master_tracer = get_tracer()
+
         # workers
         def worker():
+            with use_tracer(master_tracer):
+                _worker_loop()
+
+        def _worker_loop():
             try:
                 local = copy.deepcopy(compiled)
                 local_blocks = {

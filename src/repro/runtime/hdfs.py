@@ -91,10 +91,21 @@ class SimulatedHDFS:
 
     def input_meta(self):
         """Filename -> characteristics map for the compiler."""
-        return {path: f.mc.copy() for path, f in self.files.items()}
+        # snapshot: concurrent tenants may put() while another compiles
+        return {path: f.mc.copy() for path, f in list(self.files.items())}
 
     def total_bytes(self):
-        return sum(f.size_bytes for f in self.files.values())
+        return sum(f.size_bytes for f in list(self.files.values()))
+
+    def view(self, injector=None):
+        """A tenant view of this file system: same shared namespace
+        (``files`` dict by reference, so writes are visible everywhere),
+        but an independent fault-injector slot.  Concurrent submissions
+        each execute against their own view, so one tenant's injected
+        read faults never leak into another's schedule."""
+        return SimulatedHDFS(
+            files=self.files, sample_cap=self.sample_cap, injector=injector
+        )
 
     # -- convenience generators ------------------------------------------
 

@@ -1,0 +1,33 @@
+"""Multi-tenant serving (paper Section 5.3).
+
+:class:`ElasticMLServer` accepts concurrent tenant submissions against
+one simulated cluster: a bounded thread pool prepares them (compile +
+optimize through shared, locked cross-tenant caches), an
+:class:`~repro.serving.admission.AdmissionPolicy` gates execution on
+AM-container capacity under the paper's 1.5x-heap rule, and results are
+deterministic per submission regardless of interleaving.
+"""
+
+from repro.serving.admission import (
+    AdmissionPolicy,
+    HeapRulePolicy,
+    PackingPolicy,
+    PendingRequest,
+)
+from repro.serving.server import (
+    ElasticMLServer,
+    ProgramCache,
+    Submission,
+    SubmissionResult,
+)
+
+__all__ = [
+    "AdmissionPolicy",
+    "ElasticMLServer",
+    "HeapRulePolicy",
+    "PackingPolicy",
+    "PendingRequest",
+    "ProgramCache",
+    "Submission",
+    "SubmissionResult",
+]

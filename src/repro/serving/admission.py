@@ -1,0 +1,130 @@
+"""Admission control for the multi-tenant server (paper Section 5.3).
+
+Every submission ultimately needs one YARN application-master container
+sized by the paper's 1.5x-heap rule
+(:meth:`repro.cluster.resources.ResourceConfig.container_request_mb`);
+the admission policy decides *which* waiting submission gets the next
+grant.  Two policies are provided:
+
+* :class:`HeapRulePolicy` — the paper's own semantics: strict FIFO.
+  The oldest waiting submission is admitted iff its AM container
+  currently fits; nobody jumps the line.  Simple, starvation-free, and
+  what the Section 5.3 throughput experiments model.
+* :class:`PackingPolicy` — an Elasecutor-style alternative: among the
+  submissions that fit right now, pick the one that packs tightest
+  (smallest leftover on its best node, minimizing fragmentation),
+  with deficit-round-robin credits per tenant so a cheap-to-pack tenant
+  cannot starve the others.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PendingRequest:
+    """One submission waiting for its AM container."""
+
+    ticket: int
+    tenant: str
+    container_mb: int
+    #: arrival sequence number (FIFO order)
+    order: int
+
+
+class AdmissionPolicy:
+    """Strategy interface: pick the next waiting request to admit.
+
+    :meth:`select` is called under the server's admission lock with the
+    current waiting list (FIFO order) and the live
+    :class:`~repro.cluster.yarn.ResourceManager`; it returns one request
+    to grant now, or None if nothing should be admitted yet.  The server
+    calls it in a loop after every release, so returning one request at
+    a time is sufficient.
+    """
+
+    name = "base"
+
+    def select(self, waiting, rm):
+        raise NotImplementedError
+
+    def admitted(self, request):
+        """Hook invoked after ``request`` was granted its container."""
+
+
+class HeapRulePolicy(AdmissionPolicy):
+    """FIFO admission under the 1.5x-heap container rule.
+
+    Admits the head of the line iff the resource manager can place its
+    AM container right now.  A large head blocks younger submissions
+    even when they would fit — run-order fairness exactly as a FIFO
+    YARN queue behaves in the paper's throughput setup.
+    """
+
+    name = "heap-rule"
+
+    def select(self, waiting, rm):
+        if not waiting:
+            return None
+        head = min(waiting, key=lambda r: r.order)
+        if rm.can_fit(head.container_mb):
+            return head
+        return None
+
+
+class PackingPolicy(AdmissionPolicy):
+    """Best-fit packing with per-tenant DRR fairness credits.
+
+    Each selection pass credits every waiting tenant one ``quantum_mb``
+    deficit; an admission charges the grantee its container size.  Among
+    the requests that fit right now, the winner is chosen by (highest
+    tenant deficit, tightest fit, arrival order) — so tenants that have
+    been waiting (or were recently charged) accumulate priority, and
+    ties go to the request leaving the least fragmentation on its best
+    node.
+    """
+
+    name = "packing"
+
+    def __init__(self, quantum_mb=1024):
+        self.quantum_mb = quantum_mb
+        #: tenant -> accumulated deficit credit (MB)
+        self.deficits = {}
+
+    def _residual(self, request, rm):
+        """Leftover MB on the tightest node that fits the request."""
+        need = rm.normalize_request(request.container_mb)
+        fits = [
+            node.available_mb - need
+            for node in rm.nodes
+            if node.can_allocate(need)
+        ]
+        return min(fits) if fits else None
+
+    def select(self, waiting, rm):
+        if not waiting:
+            return None
+        for tenant in {r.tenant for r in waiting}:
+            self.deficits[tenant] = (
+                self.deficits.get(tenant, 0.0) + self.quantum_mb
+            )
+        scored = []
+        for request in waiting:
+            residual = self._residual(request, rm)
+            if residual is None:
+                continue
+            scored.append((
+                -self.deficits.get(request.tenant, 0.0),
+                residual,
+                request.order,
+                request,
+            ))
+        if not scored:
+            return None
+        return min(scored)[-1]
+
+    def admitted(self, request):
+        self.deficits[request.tenant] = (
+            self.deficits.get(request.tenant, 0.0) - request.container_mb
+        )

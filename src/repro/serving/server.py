@@ -1,0 +1,524 @@
+"""The multi-tenant serving layer: :class:`ElasticMLServer`.
+
+One server owns one simulated cluster and HDFS and accepts concurrent
+tenant :class:`Submission`\\ s.  Each submission flows through
+
+1. **prepare** — compile (through a shared :class:`ProgramCache` of
+   master programs, served as deep copies so block identities are
+   preserved across tenants) and optimize (through one shared, locked
+   :class:`~repro.api.OptimizerResultCache`);
+2. **admission** — block until the paper's 1.5x-heap AM container fits
+   under the active :class:`~repro.serving.admission.AdmissionPolicy`
+   (Section 5.3: allocated AM containers bound concurrency);
+3. **execute** — a private :class:`~repro.runtime.Interpreter` against a
+   per-submission HDFS view, so fault injection and adaptation never
+   leak between tenants.
+
+Simulated results are deterministic: they depend only on the program,
+the input metadata, the configuration, and the submission seed — never
+on admission interleaving — so a tenant's result is identical to the
+same run on a private :class:`~repro.api.ElasticMLSession`.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import itertools
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+
+from repro.api import OptimizerResultCache, RunOutcome, SessionConfig
+from repro.chaos import FaultInjector
+from repro.cluster.yarn import ResourceManager
+from repro.compiler.pipeline import compile_plans, compile_program
+from repro.compiler.plan_cache import PlanCache
+from repro.errors import ClusterError
+from repro.obs import NULL_TRACER, Tracer, use_tracer
+from repro.optimizer import (
+    ParallelResourceOptimizer,
+    ResourceAdapter,
+    ResourceOptimizer,
+)
+from repro.runtime import Interpreter, SimulatedHDFS
+from repro.runtime.matrix import DEFAULT_SAMPLE_CAP
+from repro.scripts import SCRIPTS, load_script
+
+_UNSET = object()
+
+
+@dataclass(frozen=True)
+class Submission:
+    """One tenant's unit of work: a script to compile/optimize/execute."""
+
+    #: owning tenant (admission fairness + accounting key)
+    tenant: str
+    #: bundled script name (see :data:`repro.scripts.SCRIPTS`) or DML text
+    script: str
+    #: $-argument bindings
+    args: dict = field(default_factory=dict)
+    #: explicit configuration (skips the resource optimizer)
+    resource: object = None
+    #: runtime resource adaptation (Section 4)
+    adapt: bool = True
+    #: fault plan (:class:`repro.chaos.FaultPlan`) for this submission
+    chaos: object = None
+    #: interpreter sampling seed
+    seed: int = 0
+
+    @property
+    def source(self):
+        return (
+            load_script(self.script)
+            if self.script in SCRIPTS
+            else self.script
+        )
+
+
+@dataclass(frozen=True)
+class SubmissionResult:
+    """Terminal record of one submission."""
+
+    ticket: int
+    tenant: str
+    #: "completed" | "failed" | "rejected"
+    status: str
+    outcome: RunOutcome | None = None
+    error: str | None = None
+    #: granted AM container size (0 if never admitted)
+    container_mb: int = 0
+    #: wall-clock seconds queued for admission
+    wait_s: float = 0.0
+    #: wall-clock seconds from submit to terminal state
+    latency_s: float = 0.0
+
+    @property
+    def ok(self):
+        return self.status == "completed"
+
+    @property
+    def total_time(self):
+        """Simulated execution seconds (None unless completed)."""
+        return self.outcome.total_time if self.outcome is not None else None
+
+
+class ProgramCache:
+    """Master compiled programs shared across tenants.
+
+    Keyed by (source, args) with a per-entry signature over the
+    shape/sparsity metadata of the files the program *reads* (outputs a
+    run writes back to HDFS never invalidate).  Hits are served as
+    ``copy.deepcopy`` of the pristine master: a deep copy preserves
+    block identities, which is what lets every tenant of the same
+    program share one :class:`~repro.compiler.plan_cache.PlanCache` and
+    one :class:`~repro.api.OptimizerResultCache` remap.
+    """
+
+    def __init__(self, max_programs=32):
+        self.max_programs = max_programs
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+        #: key -> (reads_sig, master CompiledProgram), LRU order
+        self._programs = {}
+
+    def __len__(self):
+        return len(self._programs)
+
+    @staticmethod
+    def _key(source, args):
+        text = repr((source, sorted((args or {}).items())))
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+    @staticmethod
+    def _reads_sig(read_set, input_meta):
+        sig = []
+        for path in sorted(read_set):
+            mc = input_meta.get(path)
+            if mc is None:
+                return None  # a read input disappeared: never matches
+            sig.append((path, mc.rows, mc.cols, mc.nnz))
+        return tuple(sig)
+
+    def get(self, source, args, input_meta):
+        """A private deep copy of the cached master, or None."""
+        key = self._key(source, args)
+        with self._lock:
+            entry = self._programs.get(key)
+            if entry is not None:
+                reads_sig, master = entry
+                if reads_sig == self._reads_sig(
+                    OptimizerResultCache.read_set(master), input_meta
+                ):
+                    self._programs[key] = self._programs.pop(key)
+                    self.hits += 1
+                    return copy.deepcopy(master)
+                del self._programs[key]  # stale metadata
+            self.misses += 1
+            return None
+
+    def put(self, source, args, input_meta, master):
+        """Store a pristine master; returns a private deep copy."""
+        key = self._key(source, args)
+        sig = self._reads_sig(
+            OptimizerResultCache.read_set(master), input_meta
+        )
+        with self._lock:
+            self._programs[key] = (sig, master)
+            while len(self._programs) > self.max_programs:
+                self._programs.pop(next(iter(self._programs)))
+            return copy.deepcopy(master)
+
+
+class ElasticMLServer:
+    """Multi-tenant serving front end over one simulated cluster.
+
+    ``submit()`` returns immediately with an integer ticket; a bounded
+    thread pool prepares submissions concurrently, the admission policy
+    gates execution on AM-container capacity, and ``poll()``/``drain()``
+    surface :class:`SubmissionResult` records.  All tenants share the
+    server's :class:`ProgramCache`, :class:`OptimizerResultCache`, and
+    runtime :class:`PlanCache` (each internally locked).
+    """
+
+    def __init__(self, cluster=None, params=None, hdfs=None,
+                 sample_cap=DEFAULT_SAMPLE_CAP, config=None,
+                 opt_cache=_UNSET, policy=None, max_workers=8,
+                 queue_limit=1024, retry_policy=None, trace=False,
+                 program_cache_entries=32, plan_cache_entries=4096):
+        from repro.cluster import paper_cluster
+        from repro.cost.constants import DEFAULT_PARAMETERS
+        from repro.serving.admission import HeapRulePolicy, PendingRequest
+
+        self._request_type = PendingRequest
+        self.config = config if config is not None else SessionConfig()
+        self.cluster = cluster if cluster is not None else paper_cluster()
+        self.params = params if params is not None else DEFAULT_PARAMETERS
+        self.sample_cap = sample_cap
+        self.hdfs = (
+            hdfs if hdfs is not None
+            else SimulatedHDFS(sample_cap=sample_cap)
+        )
+        self.rm = ResourceManager(self.cluster)
+        self.policy = policy if policy is not None else HeapRulePolicy()
+        self.queue_limit = queue_limit
+        self.retry_policy = retry_policy
+        #: shared cross-tenant decision cache (None disables)
+        self.opt_cache = (
+            self.config.build_opt_cache() if opt_cache is _UNSET
+            else opt_cache
+        )
+        self.program_cache = ProgramCache(max_programs=program_cache_entries)
+        #: shared runtime plan memo attached to every tenant's program
+        #: copy after optimization (runtime recompiles hit across
+        #: tenants because deep copies preserve block ids)
+        self.plan_cache = (
+            PlanCache(max_plans=plan_cache_entries)
+            if self.config.enable_plan_cache else None
+        )
+        self.trace = bool(trace)
+        #: server-wide telemetry; per-submission tracers are absorbed
+        #: here (serving.* counters, one ``tenant.<name>`` root span per
+        #: submission)
+        self.tracer = Tracer() if self.trace else NULL_TRACER
+
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-serve"
+        )
+        self._cond = threading.Condition()
+        self._tickets = itertools.count(1)
+        self._seq = itertools.count()
+        self._order = []
+        self._results = {}
+        self._waiting = {}
+        self._granted = {}
+        self._closed = False
+
+    # -- submission lifecycle ----------------------------------------------
+
+    def submit(self, submission):
+        """Queue a :class:`Submission`; returns its ticket.
+
+        Rejects immediately (a terminal ``"rejected"`` result, not an
+        exception) when the queue bound is reached.
+        """
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("ElasticMLServer is shut down")
+            ticket = next(self._tickets)
+            self._order.append(ticket)
+            backlog = len(self._order) - len(self._results)
+            if self.queue_limit and backlog > self.queue_limit:
+                result = SubmissionResult(
+                    ticket=ticket, tenant=submission.tenant,
+                    status="rejected",
+                    error=f"queue limit {self.queue_limit} reached",
+                )
+                self._results[ticket] = result
+                self.tracer.incr("serving.submitted")
+                self.tracer.incr("serving.rejected")
+                self._cond.notify_all()
+                return ticket
+        self.tracer.incr("serving.submitted")
+        self._executor.submit(self._process, ticket, submission)
+        return ticket
+
+    def poll(self, ticket, timeout=None):
+        """The ticket's :class:`SubmissionResult`, or None while it is
+        still queued/running (waits up to ``timeout`` seconds)."""
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        with self._cond:
+            while ticket not in self._results:
+                if deadline is None:
+                    return None
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return None
+                self._cond.wait(remaining)
+            return self._results[ticket]
+
+    def drain(self):
+        """Block until every accepted submission is terminal; returns
+        all results in submission order."""
+        with self._cond:
+            while len(self._results) < len(self._order):
+                self._cond.wait()
+            return [self._results[t] for t in self._order]
+
+    def shutdown(self, wait=True):
+        """Stop accepting submissions and (optionally) wait for the
+        in-flight ones."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+        self._executor.shutdown(wait=wait)
+
+    def results(self):
+        """Terminal results so far, in submission order."""
+        with self._cond:
+            return [
+                self._results[t] for t in self._order if t in self._results
+            ]
+
+    def stats(self):
+        """Serving counters + shared-cache effectiveness, one dict."""
+        counters = {
+            name: self.tracer.counter(name)
+            for name in (
+                "serving.submitted", "serving.admitted",
+                "serving.completed", "serving.failed", "serving.rejected",
+            )
+        }
+        counters.update({
+            "program_cache.hits": self.program_cache.hits,
+            "program_cache.misses": self.program_cache.misses,
+            "optcache.hits":
+                self.opt_cache.hits if self.opt_cache else 0,
+            "optcache.misses":
+                self.opt_cache.misses if self.opt_cache else 0,
+            "plan_cache.entries":
+                len(self.plan_cache.plans) if self.plan_cache else 0,
+        })
+        counters["tenant_usage_mb"] = self.rm.usage_by_tenant()
+        return counters
+
+    # -- per-submission pipeline -------------------------------------------
+
+    def _process(self, ticket, submission):
+        tracer = Tracer() if self.trace else NULL_TRACER
+        started = time.monotonic()
+        with use_tracer(tracer):
+            with tracer.span(f"tenant.{submission.tenant}", ticket=ticket):
+                try:
+                    result = self._serve(
+                        ticket, submission, tracer, started
+                    )
+                except Exception as exc:  # tenant isolation: never bring
+                    tracer.incr("serving.failed")  # the server down
+                    result = SubmissionResult(
+                        ticket=ticket, tenant=submission.tenant,
+                        status="failed",
+                        error=f"{type(exc).__name__}: {exc}",
+                        latency_s=time.monotonic() - started,
+                    )
+        self._finish(ticket, result, tracer)
+
+    def _serve(self, ticket, submission, tracer, started):
+        with tracer.span("serve.prepare"):
+            source = submission.source
+            compiled = self._compile(source, submission.args)
+            if submission.resource is not None:
+                optimizer_result = None
+                resource = submission.resource
+                compile_plans(compiled, resource)
+            else:
+                optimizer_result = self._optimize(
+                    source, submission.args, compiled
+                )
+                resource = optimizer_result.resource
+            if self.plan_cache is not None:
+                # swap in the shared cross-tenant memo (the optimizer
+                # attaches a private one during enumeration)
+                compiled.plan_cache = self.plan_cache
+            container_mb = resource.container_request_mb(self.cluster)
+
+        try:
+            impossible = self.rm.max_concurrent(container_mb) == 0
+        except ClusterError:
+            # above the max-allocation constraint: same verdict
+            impossible = True
+        if impossible:
+            tracer.incr("serving.rejected")
+            return SubmissionResult(
+                ticket=ticket, tenant=submission.tenant,
+                status="rejected",
+                error=(
+                    f"AM container of {container_mb} MB can never be "
+                    "placed on this cluster"
+                ),
+                container_mb=container_mb,
+                latency_s=time.monotonic() - started,
+            )
+
+        queued = time.monotonic()
+        container = self._acquire(ticket, submission.tenant, container_mb)
+        wait_s = time.monotonic() - queued
+        tracer.incr("serving.admitted")
+        if tracer.enabled:
+            tracer.gauge(
+                f"serving.tenant_share.{submission.tenant}",
+                self.rm.tenant_share(submission.tenant),
+            )
+        try:
+            with tracer.span("serve.execute"):
+                exec_result = self._execute(compiled, resource, submission)
+        finally:
+            self._release(container)
+        tracer.incr("serving.completed")
+        outcome = RunOutcome(
+            result=exec_result,
+            resource=exec_result.final_resource,
+            optimizer_result=optimizer_result,
+            compiled=compiled,
+            trace=tracer if tracer.enabled else None,
+        )
+        return SubmissionResult(
+            ticket=ticket, tenant=submission.tenant, status="completed",
+            outcome=outcome, container_mb=container.memory_mb,
+            wait_s=wait_s, latency_s=time.monotonic() - started,
+        )
+
+    def _compile(self, source, args):
+        input_meta = self.hdfs.input_meta()
+        compiled = self.program_cache.get(source, args, input_meta)
+        if compiled is not None:
+            return compiled
+        master = compile_program(source, args, input_meta)
+        return self.program_cache.put(source, args, input_meta, master)
+
+    def _make_optimizer(self):
+        options = self.config.optimizer_options()
+        if options.parallel and options.num_workers > 1:
+            return ParallelResourceOptimizer(
+                self.cluster, self.params, options=options
+            )
+        return ResourceOptimizer(self.cluster, self.params, options=options)
+
+    def _optimize(self, source, args, compiled):
+        cache = self.opt_cache
+        if cache is None:
+            return self._make_optimizer().optimize(compiled)
+        key = cache.signature(
+            source, args, self.hdfs.input_meta(), self.cluster,
+            self.params, self.config.optimizer_options(), compiled=compiled,
+        )
+        cached = cache.lookup(key, compiled)
+        if cached is not None:
+            compile_plans(compiled, cached.resource)
+            return cached
+        result = self._make_optimizer().optimize(compiled)
+        cache.store(key, compiled, result)
+        return result
+
+    def _execute(self, compiled, resource, submission):
+        injector = (
+            FaultInjector(submission.chaos, retry_policy=self.retry_policy)
+            if submission.chaos is not None else None
+        )
+        # a per-submission HDFS view isolates the injector slot; the
+        # file namespace itself stays shared
+        hdfs = (
+            self.hdfs.view(injector=injector)
+            if injector is not None else self.hdfs
+        )
+        adapter = (
+            # the adapter re-optimizes tiny block scopes: always serial
+            # (see ElasticMLSession.execute for the rationale)
+            ResourceAdapter(ResourceOptimizer(
+                self.cluster, self.params,
+                options=replace(
+                    self.config.optimizer_options(), parallel=False
+                ),
+            ))
+            if submission.adapt else None
+        )
+        interpreter = Interpreter(
+            self.cluster,
+            params=self.params,
+            hdfs=hdfs,
+            sample_cap=self.sample_cap,
+            adapter=adapter,
+            seed=submission.seed,
+            injector=injector,
+        )
+        return interpreter.run(compiled, resource)
+
+    # -- admission ----------------------------------------------------------
+
+    def _acquire(self, ticket, tenant, container_mb):
+        """Block until the admission policy grants this submission its
+        AM container."""
+        request = self._request_type(
+            ticket=ticket, tenant=tenant, container_mb=container_mb,
+            order=next(self._seq),
+        )
+        with self._cond:
+            self._waiting[ticket] = request
+            self._kick_locked()
+            while ticket not in self._granted:
+                self._cond.wait()
+            return self._granted.pop(ticket)
+
+    def _release(self, container):
+        with self._cond:
+            self.rm.release(container)
+            self._kick_locked()
+
+    def _kick_locked(self):
+        """Grant as many waiting requests as policy + capacity allow."""
+        while self._waiting:
+            request = self.policy.select(
+                list(self._waiting.values()), self.rm
+            )
+            if request is None:
+                break
+            container = self.rm.try_allocate(
+                request.container_mb, tenant=request.tenant
+            )
+            if container is None:
+                break
+            del self._waiting[request.ticket]
+            self.policy.admitted(request)
+            self._granted[request.ticket] = container
+            self._cond.notify_all()
+
+    def _finish(self, ticket, result, tracer):
+        with self._cond:
+            if self.tracer.enabled and tracer.enabled:
+                self.tracer.absorb(tracer)
+            self._results[ticket] = result
+            self._cond.notify_all()

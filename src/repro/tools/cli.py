@@ -10,6 +10,8 @@ Mirrors how SystemML's YARN client is driven from the shell:
     python -m repro scripts                     # list bundled ML programs
     python -m repro demo LinregCG --size M      # generate data + run
     python -m repro trace LinregCG M [--json]   # traced run: spans + counters
+    python -m repro serve --tenants 32 --mix LinregDS:XS,LinregCG:XS
+                                                # multi-tenant serving trace
 
 Input files referenced by ``-arg`` that do not yet exist on the
 session's simulated HDFS are materialized as random dense matrices with
@@ -94,12 +96,19 @@ def _add_opt_flags(parser):
                         choices=["serial", "thread", "process"],
                         help="enumeration backend; choosing thread/process "
                              "without --workers implies 4 workers")
+    parser.add_argument("--auto-serial-points", type=int, default=None,
+                        metavar="N",
+                        help="grid-work threshold below which the process "
+                             "backend falls back to serial (0 disables)")
 
 
 def _apply_opt_flags(session, args):
     """Translate --workers/--opt-backend into session optimizer knobs."""
     backend = getattr(args, "opt_backend", None)
     workers = getattr(args, "workers", None)
+    auto = getattr(args, "auto_serial_points", None)
+    if auto is not None:
+        session.auto_serial_points = auto
     if backend == "serial":
         session.opt_workers = 0
         return
@@ -216,6 +225,35 @@ def build_parser():
                       choices=["XS", "S", "M", "L", "XL"])
     demo.add_argument("--cols", type=int, default=1000)
     demo.add_argument("--sparse", action="store_true")
+
+    serve = sub.add_parser(
+        "serve",
+        help="drive a trace of concurrent tenant submissions through "
+             "the multi-tenant ElasticMLServer",
+    )
+    serve.add_argument("--tenants", type=int, default=32, metavar="N",
+                       help="number of submissions to drive (default 32)")
+    serve.add_argument("--tenant-pool", type=int, default=8, metavar="K",
+                       help="distinct tenant identities, assigned "
+                            "round-robin (default 8)")
+    serve.add_argument("--mix", default="LinregDS:XS",
+                       metavar="SCRIPT:SIZE[,SCRIPT:SIZE...]",
+                       help="submission mix, cycled in order "
+                            "(default LinregDS:XS)")
+    serve.add_argument("--cols", type=int, default=100,
+                       help="feature columns of generated inputs")
+    serve.add_argument("--policy", default="heap-rule",
+                       choices=["heap-rule", "packing"],
+                       help="admission policy (default heap-rule)")
+    serve.add_argument("--serve-workers", type=int, default=8, metavar="N",
+                       help="server thread-pool size (default 8)")
+    serve.add_argument("--queue-limit", type=int, default=1024, metavar="N",
+                       help="bounded submission queue (default 1024)")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="interpreter seed for every submission")
+    serve.add_argument("--json", action="store_true",
+                       help="dump serving stats as JSON instead of text")
+    _add_opt_flags(serve)
 
     trace = sub.add_parser(
         "trace",
@@ -341,6 +379,96 @@ def cmd_demo(args, session):
     return 0
 
 
+def cmd_serve(args, session):
+    import json
+    import statistics
+    import time as _time
+
+    from repro.serving import (
+        ElasticMLServer,
+        HeapRulePolicy,
+        PackingPolicy,
+        Submission,
+    )
+
+    _apply_opt_flags(session, args)
+    policy = (
+        PackingPolicy() if args.policy == "packing" else HeapRulePolicy()
+    )
+    server = ElasticMLServer(
+        config=session.config,
+        policy=policy,
+        max_workers=args.serve_workers,
+        queue_limit=args.queue_limit,
+        trace=True,
+    )
+    mix = []
+    for entry in args.mix.split(","):
+        if ":" not in entry:
+            raise SystemExit(f"--mix expects SCRIPT:SIZE, got {entry!r}")
+        name, size = entry.split(":", 1)
+        if name not in SCRIPTS:
+            raise SystemExit(f"unknown script {name!r} in --mix")
+        mix.append((name, scenario(size, cols=args.cols)))
+    prepared = {
+        (name, scn.label): prepare_inputs(server.hdfs, name, scn)
+        for name, scn in mix
+    }
+    started = _time.perf_counter()
+    for index in range(args.tenants):
+        name, scn = mix[index % len(mix)]
+        server.submit(Submission(
+            tenant=f"tenant-{index % args.tenant_pool:03d}",
+            script=name,
+            args=prepared[(name, scn.label)],
+            seed=args.seed,
+        ))
+    results = server.drain()
+    elapsed = _time.perf_counter() - started
+    server.shutdown()
+    stats = server.stats()
+    completed = [r for r in results if r.ok]
+    latencies = sorted(r.latency_s for r in completed)
+    stats.update({
+        "policy": policy.name,
+        "tenants": args.tenants,
+        "wall_s": elapsed,
+        "throughput_rps": len(completed) / elapsed if elapsed else 0.0,
+        "latency_p50_s": (
+            statistics.median(latencies) if latencies else None
+        ),
+        "latency_p95_s": (
+            latencies[int(0.95 * (len(latencies) - 1))]
+            if latencies else None
+        ),
+    })
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    print(f"policy: {policy.name}  submissions: {args.tenants}  "
+          f"tenant pool: {args.tenant_pool}")
+    by_status = {}
+    for r in results:
+        by_status[r.status] = by_status.get(r.status, 0) + 1
+    print("statuses: " + ", ".join(
+        f"{status}={count}" for status, count in sorted(by_status.items())
+    ))
+    print(f"wall clock: {elapsed:.2f}s  "
+          f"throughput: {stats['throughput_rps']:.1f} req/s  "
+          f"p50 latency: {stats['latency_p50_s']:.3f}s  "
+          f"p95: {stats['latency_p95_s']:.3f}s")
+    print(f"admitted: {stats['serving.admitted']}  "
+          f"optimizer cache: {stats['optcache.hits']} hits / "
+          f"{stats['optcache.misses']} misses  "
+          f"program cache: {stats['program_cache.hits']} hits")
+    times = {}
+    for r in completed:
+        times.setdefault((r.tenant, round(r.total_time, 6)), 0)
+    distinct = len({t for _, t in times})
+    print(f"distinct simulated times across completed runs: {distinct}")
+    return 0
+
+
 def cmd_trace(args, session):
     session.trace = True
     _apply_opt_flags(session, args)
@@ -384,6 +512,7 @@ def main(argv=None):
         "whatif": cmd_whatif,
         "scripts": cmd_scripts,
         "demo": cmd_demo,
+        "serve": cmd_serve,
         "trace": cmd_trace,
     }[args.command]
     return handler(args, session)

@@ -114,3 +114,42 @@ class TestNormalizeRequest:
         )
         rm = ResourceManager(cluster)
         assert rm.try_allocate(4097) is None
+
+
+class TestTenantLedger:
+    def test_allocations_attributed_to_tenants(self, rm):
+        a1 = rm.try_allocate(1024, tenant="alice")
+        rm.try_allocate(512, tenant="bob")
+        rm.try_allocate(512, tenant="alice")
+        assert rm.usage_by_tenant() == {"alice": 1536, "bob": 512}
+        assert rm.tenant_containers("alice") == 2
+        assert rm.tenant_containers("bob") == 1
+        rm.release(a1)
+        assert rm.usage_by_tenant() == {"alice": 512, "bob": 512}
+
+    def test_ledger_cleans_up_empty_tenants(self, rm):
+        container = rm.try_allocate(1024, tenant="alice")
+        rm.release(container)
+        assert rm.usage_by_tenant() == {}
+        assert rm.tenant_containers("alice") == 0
+
+    def test_untenanted_allocations_not_in_ledger(self, rm):
+        rm.try_allocate(1024)
+        assert rm.usage_by_tenant() == {}
+
+    def test_tenant_share_fraction(self, rm):
+        total = rm.cluster.total_memory_mb
+        rm.try_allocate(1024, tenant="alice")
+        assert rm.tenant_share("alice") == pytest.approx(1024 / total)
+        assert rm.tenant_share("nobody") == 0.0
+
+    def test_node_loss_drops_tenant_ledger(self, rm):
+        container = rm.try_allocate(1024, tenant="alice")
+        rm.fail_node(container.node_id)
+        assert rm.usage_by_tenant() == {}
+
+    def test_can_fit_tracks_capacity(self, rm):
+        assert rm.can_fit(4096)
+        rm.try_allocate(4096)
+        rm.try_allocate(4096)
+        assert not rm.can_fit(1024)

@@ -224,3 +224,103 @@ class TestRender:
         with tracer.span("only"):
             pass
         assert tracer.render() == render_trace(tracer)
+
+
+class TestThreadLocalTracer:
+    def test_use_tracer_is_thread_local(self):
+        """A use_tracer override in one thread must not leak into
+        another thread's active tracer (concurrent serving tenants)."""
+        import threading
+
+        main_tracer = Tracer()
+        seen = {}
+        barrier = threading.Barrier(2)
+
+        def worker(name):
+            tracer = Tracer()
+            with use_tracer(tracer):
+                barrier.wait()  # both overrides installed simultaneously
+                get_tracer().incr(f"count.{name}")
+                seen[name] = get_tracer()
+
+        with use_tracer(main_tracer):
+            threads = [
+                threading.Thread(target=worker, args=(f"w{i}",))
+                for i in range(2)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert get_tracer() is main_tracer
+        assert seen["w0"] is not seen["w1"]
+        assert seen["w0"].counter("count.w0") == 1
+        assert seen["w0"].counter("count.w1") == 0
+        assert main_tracer.counters == {}
+
+    def test_set_tracer_default_visible_in_threads(self):
+        """set_tracer installs the process default, which worker
+        threads without an override fall back to."""
+        import threading
+
+        shared = Tracer()
+        set_tracer(shared)
+        try:
+            found = []
+            thread = threading.Thread(
+                target=lambda: found.append(get_tracer())
+            )
+            thread.start()
+            thread.join()
+            assert found[0] is shared
+        finally:
+            set_tracer(None)
+
+    def test_thread_override_beats_process_default(self):
+        default = Tracer()
+        override = Tracer()
+        set_tracer(default)
+        try:
+            with use_tracer(override):
+                assert get_tracer() is override
+            assert get_tracer() is default
+        finally:
+            set_tracer(None)
+
+
+class TestAbsorb:
+    def test_absorb_accumulates_counters_and_gauges(self):
+        server = Tracer()
+        server.incr("serving.completed", 2)
+        sub = Tracer()
+        sub.incr("serving.completed")
+        sub.incr("serving.admitted")
+        sub.gauge("queue.depth", 7)
+        server.absorb(sub)
+        assert server.counter("serving.completed") == 3
+        assert server.counter("serving.admitted") == 1
+        assert server.gauges["queue.depth"] == 7
+
+    def test_absorb_adopts_root_spans(self):
+        server = Tracer()
+        sub = Tracer()
+        with sub.span("tenant.alice"):
+            pass
+        server.absorb(sub)
+        assert [span.name for span in server.roots] == ["tenant.alice"]
+
+    def test_absorb_without_spans(self):
+        server = Tracer()
+        sub = Tracer()
+        with sub.span("tenant.bob"):
+            sub.incr("x")
+        server.absorb(sub, spans=False)
+        assert server.roots == []
+        assert server.counter("x") == 1
+
+    def test_absorb_extends_events(self):
+        server = Tracer()
+        sub = Tracer()
+        sub.event("fault.injected", site="hdfs")
+        server.absorb(sub)
+        assert len(server.events) == 1

@@ -150,3 +150,56 @@ class TestMakespanModel:
         with_pipe = schedule_makespan(records, 1, include_pipelining=True)
         without = schedule_makespan(records, 1, include_pipelining=False)
         assert with_pipe <= without
+
+
+class TestAutoSerialPolicy:
+    """The process backend falls back to serial below the enumeration
+    work threshold (the auto backend policy)."""
+
+    def _optimizer(self, cluster, threshold):
+        return ParallelResourceOptimizer(
+            cluster, num_workers=2, backend="process",
+            auto_serial_points=threshold,
+        )
+
+    def test_small_grid_falls_back_to_serial(self, cluster):
+        compiled = compile_program(SOURCE, ARGS, BIG)
+        result = self._optimizer(cluster, 10**9).optimize(compiled)
+        assert result.backend == "serial"
+        assert result.num_workers == 1
+        assert result.tasks_dispatched == 0
+        assert result.resource is not None
+
+    def test_fallback_matches_forced_process_choice(self, cluster):
+        auto = self._optimizer(cluster, 10**9).optimize(
+            compile_program(SOURCE, ARGS, BIG)
+        )
+        forced = self._optimizer(cluster, 0).optimize(
+            compile_program(SOURCE, ARGS, BIG)
+        )
+        assert forced.backend == "process"
+        assert auto.resource.cp_heap_mb == forced.resource.cp_heap_mb
+        assert auto.cost == pytest.approx(forced.cost)
+
+    def test_zero_threshold_disables_fallback(self, cluster):
+        compiled = compile_program(SOURCE, ARGS, BIG)
+        result = self._optimizer(cluster, 0).optimize(compiled)
+        assert result.backend == "process"
+
+    def test_thread_backend_never_falls_back(self, cluster):
+        compiled = compile_program(SOURCE, ARGS, BIG)
+        result = ParallelResourceOptimizer(
+            cluster, num_workers=2, backend="thread",
+            auto_serial_points=10**9,
+        ).optimize(compiled)
+        assert result.backend == "thread"
+
+    def test_options_carry_the_threshold(self, cluster):
+        from repro.optimizer import OptimizerOptions
+
+        options = OptimizerOptions(
+            parallel=True, num_workers=2, backend="process",
+            auto_serial_points=123,
+        )
+        optimizer = ParallelResourceOptimizer(cluster, options=options)
+        assert optimizer.auto_serial_points == 123

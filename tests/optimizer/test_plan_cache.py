@@ -312,3 +312,103 @@ class TestPickleAndMerge:
             compiled, block, ResourceConfig(2048.0, 512.0), cache=master
         )
         assert master.hits == before + 1
+
+
+class TestSharedCacheConcurrency:
+    """The serving layer shares one PlanCache across tenant threads."""
+
+    def test_lru_bound_evicts_oldest(self):
+        cache = PlanCache(max_plans=2)
+        cache.store(("b", 0, 0), "p0")
+        cache.store(("b", 0, 1), "p1")
+        cache.store(("b", 0, 2), "p2")
+        assert len(cache.plans) == 2
+        assert ("b", 0, 0) not in cache.plans
+        assert cache.evictions == 1
+
+    def test_lookup_touches_lru_order(self):
+        cache = PlanCache(max_plans=2)
+        cache.store(("b", 0, 0), "p0")
+        cache.store(("b", 0, 1), "p1")
+        assert cache.lookup(("b", 0, 0)) == "p0"  # now most recent
+        cache.store(("b", 0, 2), "p2")
+        assert ("b", 0, 0) in cache.plans
+        assert ("b", 0, 1) not in cache.plans
+
+    def test_deepcopy_preserves_bound(self):
+        cache = PlanCache(max_plans=7)
+        clone = copy.deepcopy(cache)
+        assert clone.max_plans == 7
+        assert clone.plans == {}
+
+    def test_concurrent_store_lookup_merge_not_torn(self):
+        """Hammer one shared cache from many threads: every lookup
+        returns either None or a value stored under that exact key, the
+        bound holds, and counters stay consistent."""
+        import threading
+
+        shared = PlanCache(max_plans=64)
+        errors = []
+        barrier = threading.Barrier(4)
+
+        def tenant(tid):
+            try:
+                barrier.wait()
+                private = PlanCache()
+                for i in range(300):
+                    key = ("block", tid % 2, i % 40)
+                    value = f"plan-{tid % 2}-{i % 40}"
+                    private.store(key, value)
+                    shared.store(key, value)
+                    found = shared.lookup(key)
+                    if found is not None and found != value:
+                        errors.append((key, found))
+                    shared.merge(private)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=tenant, args=(tid,))
+            for tid in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert len(shared.plans) <= 64
+        for key, value in shared.plans.items():
+            assert value == f"plan-{key[1]}-{key[2]}"
+        assert shared.hits + shared.misses >= 1200
+
+    def test_concurrent_merge_into_master(self):
+        """Parallel merges of disjoint worker caches lose nothing."""
+        import threading
+
+        master = PlanCache()
+        workers = []
+        for w in range(8):
+            worker = PlanCache()
+            for i in range(50):
+                worker.store((f"b{w}", 0, i), f"plan-{w}-{i}")
+            workers.append(worker)
+        threads = [
+            threading.Thread(target=master.merge, args=(worker,))
+            for worker in workers
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(master.plans) == 8 * 50
+        assert master.merge(master) is master  # self-merge is a no-op
+
+    def test_pickle_roundtrip_restores_lock_and_bound(self):
+        import pickle
+
+        cache = PlanCache(max_plans=3)
+        cache.store(("b", 0, 0), "p0")
+        revived = pickle.loads(pickle.dumps(cache))
+        assert revived.max_plans == 3
+        revived.store(("b", 0, 1), "p1")  # lock works post-revive
+        assert len(revived.plans) == 2

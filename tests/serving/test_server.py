@@ -1,0 +1,285 @@
+"""ElasticMLServer end-to-end: concurrency, determinism, isolation."""
+
+import pytest
+
+from repro import (
+    ElasticMLSession,
+    ElasticMLServer,
+    FaultPlan,
+    SessionConfig,
+    Submission,
+)
+from repro.cluster import ResourceConfig
+from repro.serving import PackingPolicy
+from repro.workloads import prepare_inputs, scenario
+
+
+def _canonical(outcome):
+    """Identity of one simulated run, independent of block-id stamps
+    (per-block MR heaps compare by position)."""
+    result = outcome.result
+    resource = outcome.resource
+    return (
+        result.total_time,
+        result.mr_jobs,
+        tuple(result.prints),
+        resource.cp_heap_mb,
+        resource.mr_heap_mb,
+        tuple(sorted(resource.mr_heap_per_block.values())),
+    )
+
+
+@pytest.fixture
+def server():
+    srv = ElasticMLServer(sample_cap=64, trace=True, max_workers=4)
+    yield srv
+    srv.shutdown()
+
+
+class TestConcurrentDeterminism:
+    def test_concurrent_tenants_match_serial_session(self, server):
+        args = prepare_inputs(
+            server.hdfs, "LinregDS", scenario("XS", cols=100)
+        )
+        for i in range(8):
+            server.submit(Submission(
+                tenant=f"t{i % 3}", script="LinregDS", args=args, seed=0
+            ))
+        results = server.drain()
+        assert all(r.ok for r in results)
+
+        session = ElasticMLSession(sample_cap=64)
+        serial_args = prepare_inputs(
+            session.hdfs, "LinregDS", scenario("XS", cols=100)
+        )
+        serial = _canonical(session.run("LinregDS", serial_args))
+        for r in results:
+            assert _canonical(r.outcome) == serial
+
+    def test_mixed_scripts_each_match_their_serial_run(self, server):
+        ds_args = prepare_inputs(
+            server.hdfs, "LinregDS", scenario("XS", cols=100)
+        )
+        cg_args = prepare_inputs(
+            server.hdfs, "LinregCG", scenario("XS", cols=100)
+        )
+        for i in range(6):
+            name, args = (
+                ("LinregDS", ds_args) if i % 2 == 0
+                else ("LinregCG", cg_args)
+            )
+            server.submit(Submission(tenant=f"t{i}", script=name, args=args))
+        results = server.drain()
+        assert all(r.ok for r in results)
+
+        session = ElasticMLSession(sample_cap=64)
+        prepare_inputs(session.hdfs, "LinregDS", scenario("XS", cols=100))
+        prepare_inputs(session.hdfs, "LinregCG", scenario("XS", cols=100))
+        serial_ds = _canonical(session.run("LinregDS", ds_args))
+        serial_cg = _canonical(session.run("LinregCG", cg_args))
+        for index, r in enumerate(results):
+            expected = serial_ds if index % 2 == 0 else serial_cg
+            assert _canonical(r.outcome) == expected
+
+    def test_chaos_deterministic_across_concurrent_tenants(self, server):
+        """Fault schedules are per-submission (plan seed), so running
+        many chaos tenants concurrently reproduces the single-session
+        fault accounting exactly."""
+        args = prepare_inputs(
+            server.hdfs, "LinregCG", scenario("XS", cols=100)
+        )
+        plan = FaultPlan.from_rate(7, 0.1)
+        static = ResourceConfig(512, 512)
+        for i in range(4):
+            server.submit(Submission(
+                tenant=f"t{i}", script="LinregCG", args=args,
+                resource=static, adapt=False, chaos=plan,
+            ))
+        results = server.drain()
+        assert all(r.ok for r in results)
+
+        session = ElasticMLSession(sample_cap=64)
+        prepare_inputs(session.hdfs, "LinregCG", scenario("XS", cols=100))
+        serial = session.run(
+            "LinregCG", args, resource=static, adapt=False,
+            chaos=FaultPlan.from_rate(7, 0.1),
+        )
+        assert serial.chaos.total_injected > 0
+        for r in results:
+            chaos = r.outcome.chaos
+            assert chaos.total_injected == serial.chaos.total_injected
+            assert chaos.injected == serial.chaos.injected
+            assert r.outcome.total_time == serial.total_time
+
+
+class TestSharedCaches:
+    def test_repeat_submissions_hit_all_shared_caches(self, server):
+        args = prepare_inputs(
+            server.hdfs, "LinregDS", scenario("XS", cols=100)
+        )
+        for i in range(6):
+            server.submit(Submission(tenant="t", script="LinregDS",
+                                     args=args))
+            # serialize to make hit counts deterministic
+            server.drain()
+        stats = server.stats()
+        assert stats["program_cache.hits"] == 5
+        assert stats["optcache.hits"] == 5
+        assert stats["optcache.misses"] == 1
+
+    def test_opt_cache_disabled_via_config(self):
+        server = ElasticMLServer(
+            sample_cap=64,
+            config=SessionConfig(opt_cache=False, enable_plan_cache=False),
+        )
+        try:
+            assert server.opt_cache is None
+            assert server.plan_cache is None
+            args = prepare_inputs(
+                server.hdfs, "LinregDS", scenario("XS", cols=100)
+            )
+            server.submit(Submission(tenant="t", script="LinregDS",
+                                     args=args))
+            assert server.drain()[0].ok
+        finally:
+            server.shutdown()
+
+
+class TestLifecycleAndIsolation:
+    def test_failed_submission_isolated(self, server):
+        good_args = prepare_inputs(
+            server.hdfs, "LinregDS", scenario("XS", cols=100)
+        )
+        bad = server.submit(Submission(
+            tenant="bad", script="X = read($X)\nprint(sum(X))",
+            args={"X": "no-such-file"},
+        ))
+        good = server.submit(Submission(
+            tenant="good", script="LinregDS", args=good_args
+        ))
+        results = {r.ticket: r for r in server.drain()}
+        assert results[bad].status == "failed"
+        assert results[bad].error
+        assert results[good].ok
+        assert server.stats()["serving.failed"] == 1
+
+    def test_oversized_container_is_rejected_not_failed(self, server):
+        args = prepare_inputs(
+            server.hdfs, "LinregDS", scenario("XS", cols=100)
+        )
+        huge = ResourceConfig(
+            cp_heap_mb=10 * server.cluster.node_memory_mb,
+            mr_heap_mb=512,
+        )
+        ticket = server.submit(Submission(
+            tenant="t", script="LinregDS", args=args, resource=huge
+        ))
+        result = server.poll(ticket, timeout=60)
+        assert result.status == "rejected"
+        assert "never" in result.error
+
+    def test_queue_limit_rejects_overflow(self):
+        server = ElasticMLServer(sample_cap=64, queue_limit=1,
+                                 max_workers=1)
+        try:
+            args = prepare_inputs(
+                server.hdfs, "LinregDS", scenario("XS", cols=100)
+            )
+            tickets = [
+                server.submit(Submission(tenant="t", script="LinregDS",
+                                         args=args))
+                for _ in range(6)
+            ]
+            results = {r.ticket: r for r in server.drain()}
+            statuses = [results[t].status for t in tickets]
+            assert "rejected" in statuses
+            assert statuses.count("completed") >= 1
+        finally:
+            server.shutdown()
+
+    def test_poll_unknown_ticket_returns_none(self, server):
+        assert server.poll(999) is None
+
+    def test_drain_preserves_submission_order(self, server):
+        args = prepare_inputs(
+            server.hdfs, "LinregDS", scenario("XS", cols=100)
+        )
+        tickets = [
+            server.submit(Submission(tenant=f"t{i}", script="LinregDS",
+                                     args=args))
+            for i in range(5)
+        ]
+        results = server.drain()
+        assert [r.ticket for r in results] == tickets
+
+    def test_submit_after_shutdown_raises(self):
+        server = ElasticMLServer(sample_cap=64)
+        server.shutdown()
+        with pytest.raises(RuntimeError):
+            server.submit(Submission(tenant="t", script="LinregDS"))
+
+    def test_tenant_spans_and_counters_absorbed(self, server):
+        args = prepare_inputs(
+            server.hdfs, "LinregDS", scenario("XS", cols=100)
+        )
+        server.submit(Submission(tenant="alice", script="LinregDS",
+                                 args=args))
+        server.submit(Submission(tenant="bob", script="LinregDS",
+                                 args=args))
+        server.drain()
+        roots = {span.name for span in server.tracer.roots}
+        assert "tenant.alice" in roots
+        assert "tenant.bob" in roots
+        assert server.tracer.counter("serving.admitted") == 2
+        assert server.tracer.counter("serving.completed") == 2
+
+
+class TestSessionFacade:
+    def test_submit_poll_drain_roundtrip(self):
+        session = ElasticMLSession(sample_cap=64)
+        try:
+            args = prepare_inputs(
+                session.hdfs, "LinregDS", scenario("XS", cols=100)
+            )
+            ticket = session.submit(Submission(
+                tenant="t", script="LinregDS", args=args
+            ))
+            result = session.poll(ticket, timeout=60)
+            assert result.ok
+            assert session.drain()[0].ticket == ticket
+            serial = session.run("LinregDS", args)
+            assert _canonical(result.outcome) == _canonical(serial)
+        finally:
+            session.shutdown()
+
+    def test_facade_server_shares_session_state(self):
+        session = ElasticMLSession(sample_cap=64,
+                                   config=SessionConfig(grid_m=5))
+        try:
+            server = session._ensure_server()
+            assert server.hdfs is session.hdfs
+            assert server.cluster is session.cluster
+            assert server.opt_cache is session.opt_cache
+            assert server.config.grid_m == 5
+        finally:
+            session.shutdown()
+
+
+class TestPackingPolicyEndToEnd:
+    def test_serving_under_packing_policy_stays_deterministic(self):
+        server = ElasticMLServer(
+            sample_cap=64, policy=PackingPolicy(), max_workers=4
+        )
+        try:
+            args = prepare_inputs(
+                server.hdfs, "LinregDS", scenario("XS", cols=100)
+            )
+            for i in range(8):
+                server.submit(Submission(
+                    tenant=f"t{i % 4}", script="LinregDS", args=args
+                ))
+            results = server.drain()
+            assert all(r.ok for r in results)
+            assert len({_canonical(r.outcome) for r in results}) == 1
+        finally:
+            server.shutdown()

@@ -8,6 +8,7 @@ from repro import (
     ElasticMLSession,
     OptimizerOptions,
     ResourceConfig,
+    SessionConfig,
     small_cluster,
 )
 from repro.workloads import prepare_inputs, scenario
@@ -94,27 +95,70 @@ class TestRunOutcome:
         assert outcome.trace is None
 
 
-class TestDeprecatedWrappers:
-    def test_run_script_warns_and_delegates(self, session):
-        session.hdfs.create_dense_input("X", 1000, 10)
-        with pytest.deprecated_call():
-            outcome = session.run_script(
-                "X = read($X)\nprint(sum(X))", {"X": "X"}
-            )
-        assert len(outcome.prints) == 1
+class TestRemovedEntryPoints:
+    """run_script()/run_registered() (deprecated in 1.1) are gone."""
 
-    def test_run_registered_warns_and_delegates(self, session):
+    def test_run_script_removed(self, session):
+        assert not hasattr(session, "run_script")
+
+    def test_run_registered_removed(self, session):
+        assert not hasattr(session, "run_registered")
+
+    def test_run_subsumes_both(self, session):
+        session.hdfs.create_dense_input("X", 1000, 10)
+        inline = session.run("X = read($X)\nprint(sum(X))", {"X": "X"})
+        assert len(inline.prints) == 1
         args = prepare_inputs(
             session.hdfs, "LinregDS", scenario("XS", cols=100)
         )
-        with pytest.deprecated_call():
-            outcome = session.run_registered("LinregDS", args)
-        assert outcome.total_time > 0
+        registered = session.run("LinregDS", args)
+        assert registered.total_time > 0
 
-    def test_run_registered_rejects_unknown_name(self, session):
-        with pytest.deprecated_call():
-            with pytest.raises(KeyError):
-                session.run_registered("NoSuchScript", {})
+
+class TestSessionConfig:
+    def test_config_object_drives_knobs(self):
+        config = SessionConfig(grid_cp="equi", grid_m=5, opt_workers=2,
+                               opt_backend="thread")
+        session = ElasticMLSession(config=config, sample_cap=64)
+        assert session.grid_cp == "equi"
+        assert session.grid_m == 5
+        opts = session.optimizer_options
+        assert opts.parallel and opts.backend == "thread"
+
+    def test_legacy_kwargs_override_config(self):
+        session = ElasticMLSession(
+            config=SessionConfig(grid_m=5), grid_m=9, sample_cap=64
+        )
+        assert session.grid_m == 9
+        assert session.config.grid_m == 9
+
+    def test_knob_attribute_writes_update_config(self):
+        session = ElasticMLSession(sample_cap=64)
+        session.grid_m = 3
+        session.opt_workers = 2
+        assert session.config.grid_m == 3
+        assert session.optimizer_options.m == 3
+        assert session.optimizer_options.parallel
+
+    def test_config_is_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            SessionConfig().grid_m = 3
+
+    def test_unknown_kwargs_rejected(self):
+        with pytest.raises(TypeError):
+            ElasticMLSession(grid_q="nope")
+
+    def test_opt_cache_disabled_via_config(self):
+        session = ElasticMLSession(
+            config=SessionConfig(opt_cache=False), sample_cap=64
+        )
+        assert session.opt_cache is None
+
+    def test_opt_cache_entries_bound(self):
+        session = ElasticMLSession(
+            config=SessionConfig(opt_cache_entries=3), sample_cap=64
+        )
+        assert session.opt_cache.max_entries == 3
 
 
 class TestOptimizerOptions:

@@ -143,9 +143,32 @@ class TestMakeOptimizerDispatch:
 
     def test_parallel_session_run_populates_counters(self):
         session = _session(opt_workers=2, opt_backend="process",
-                           trace=True)
+                           auto_serial_points=0, trace=True)
         args = _linreg_args(session)
         outcome = session.run("LinregDS", args)
         assert outcome.optimizer_result.backend == "process"
         assert session.tracer.counter("optpar.tasks") > 0
         assert session.tracer.gauges["optpar.workers"] == 2
+
+    def test_small_grid_auto_falls_back_to_serial(self):
+        """Session default auto-serial policy: the XS LinregDS grid is
+        far below the threshold, so the process backend never spawns."""
+        session = _session(opt_workers=2, opt_backend="process",
+                           trace=True)
+        args = _linreg_args(session)
+        outcome = session.run("LinregDS", args)
+        assert outcome.optimizer_result.backend == "serial"
+        assert outcome.optimizer_result.tasks_dispatched == 0
+        assert session.tracer.counter("optpar.auto_serial") == 1
+        assert session.tracer.counter("optpar.tasks") == 0
+
+    def test_auto_serial_matches_process_decision(self):
+        serial = _session(opt_workers=2, opt_backend="process")
+        forced = _session(opt_workers=2, opt_backend="process",
+                          auto_serial_points=0)
+        a1 = _linreg_args(serial)
+        a2 = _linreg_args(forced)
+        r1 = serial.run("LinregDS", a1)
+        r2 = forced.run("LinregDS", a2)
+        assert r1.resource == r2.resource
+        assert r1.optimizer_result.cost == r2.optimizer_result.cost

@@ -96,12 +96,25 @@ class TestCLI:
             "opt", "LinregDS",
             "--gen", "gx=50000x100", "--gen", "gy=50000x1",
             "-arg", "X=gx", "-arg", "Y=gy", "-arg", "B=out",
-            "--workers", "2",
+            "--workers", "2", "--auto-serial-points", "0",
         ])
         assert code == 0
         out = capsys.readouterr().out
         assert "chosen configuration" in out
         assert "backend: process (2 workers" in out
+
+    def test_opt_small_grid_auto_falls_back_to_serial(self, capsys):
+        """Without --auto-serial-points 0, the XS-sized grid is below
+        the default threshold and enumeration stays serial."""
+        code = main([
+            "opt", "LinregDS",
+            "--gen", "gx=50000x100", "--gen", "gy=50000x1",
+            "-arg", "X=gx", "-arg", "Y=gy", "-arg", "B=out",
+            "--workers", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "backend: serial" in out
 
     def test_optimize_serial_backend_reported(self, capsys):
         code = main([
