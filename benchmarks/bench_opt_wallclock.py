@@ -178,15 +178,26 @@ def render(data):
 
 
 def check_speedup(data):
-    """>= 2x at 4 process workers — only meaningful with >= 4 CPUs."""
-    if data["cpu_count"] < 4 or data["max_workers"] < 4:
-        return False
+    """>= 2x at 4 process workers — only meaningful with >= 4 CPUs.
+
+    Returns ``(asserted, skipped_reason)`` so the report records *why*
+    the assertion did not run instead of a silent ``False``.
+    """
+    if data["cpu_count"] < 4:
+        return False, (
+            f"host has {data['cpu_count']} CPUs, need >= 4"
+        )
+    if data["max_workers"] < 4:
+        return False, (
+            f"measured up to {data['max_workers']} workers, need 4 "
+            f"(pass --workers 4)"
+        )
     for script, rec in data["scripts"].items():
         assert rec["speedup"][4] >= 2.0, (
             f"{script}: expected >= 2x at 4 workers, got "
             f"{rec['speedup'][4]:.2f}x"
         )
-    return True
+    return True, None
 
 
 def main(argv=None):
@@ -198,12 +209,13 @@ def main(argv=None):
     args = parser.parse_args(argv)
     data = run_experiment(args.workers)
     print(render(data))
-    checked = check_speedup(data)
+    checked, skipped_reason = check_speedup(data)
     data["speedup_asserted"] = checked
+    data["skipped_reason"] = skipped_reason
     args.out.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
     print(f"\nwrote {args.out}"
           + ("" if checked else
-             " (speedup not asserted: needs >= 4 CPUs and --workers 4)"))
+             f" (speedup not asserted: {skipped_reason})"))
     return 0
 
 
@@ -219,7 +231,9 @@ if pytest is not None:
         data = benchmark.pedantic(
             run_experiment, args=(4,), rounds=1, iterations=1
         )
-        data["speedup_asserted"] = check_speedup(data)
+        asserted, skipped_reason = check_speedup(data)
+        data["speedup_asserted"] = asserted
+        data["skipped_reason"] = skipped_reason
         report("optimizer_wallclock", render(data))
         DEFAULT_OUT.write_text(
             json.dumps(data, indent=2, sort_keys=True) + "\n"

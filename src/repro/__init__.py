@@ -35,6 +35,14 @@ from repro.chaos import (
 from repro.cluster import ClusterConfig, ResourceConfig, paper_cluster, small_cluster
 from repro.common import MatrixCharacteristics
 from repro.compiler import compile_program
+from repro.cost import (
+    CalibrationCollector,
+    CalibrationProfile,
+    CostModel,
+    CostParameters,
+    drifted_parameters,
+    fit_profile,
+)
 from repro.errors import ReproError
 from repro.obs import Tracer, get_tracer, use_tracer
 from repro.optimizer import (
@@ -55,7 +63,7 @@ from repro.serving import (
 )
 from repro.workloads import prepare_inputs, scenario
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "ElasticMLSession",
@@ -80,6 +88,12 @@ __all__ = [
     "small_cluster",
     "MatrixCharacteristics",
     "compile_program",
+    "CalibrationCollector",
+    "CalibrationProfile",
+    "CostModel",
+    "CostParameters",
+    "drifted_parameters",
+    "fit_profile",
     "ReproError",
     "ResourceOptimizer",
     "OptimizerOptions",

@@ -35,6 +35,13 @@ from repro.compiler.pipeline import (
     restore_plans,
 )
 from repro.cost import CostModel
+from repro.cost.calibrate import (
+    DEFAULT_MIN_SAMPLES,
+    CalibrationCollector,
+    fit_profile,
+    resolve_profile,
+    use_collector,
+)
 from repro.cost.constants import DEFAULT_PARAMETERS
 from repro.obs import NULL_TRACER, Tracer, get_tracer, use_tracer
 from repro.optimizer import (
@@ -126,6 +133,17 @@ class SessionConfig:
     opt_cache: bool = True
     #: LRU bound of the default cross-run cache
     opt_cache_entries: int = 64
+    # -- calibration (repro.cost.calibrate) --------------------------------
+    #: collect per-component (work, seconds) samples during execution,
+    #: fittable into a CalibrationProfile via ``fit_calibration()``
+    calibrate: bool = False
+    #: a :class:`~repro.cost.calibrate.CalibrationProfile` (or a path to
+    #: a saved one) whose fitted constants become the optimizer's and
+    #: cost model's *belief*; the simulated hardware truth (``params``)
+    #: is unaffected
+    calibration_profile: object = None
+    #: components with fewer samples than this keep their base constants
+    calibration_min_samples: int = DEFAULT_MIN_SAMPLES
 
     def optimizer_options(self):
         """This configuration as :class:`OptimizerOptions`."""
@@ -346,7 +364,7 @@ class ElasticMLSession:
                  sample_cap=DEFAULT_SAMPLE_CAP, seed=0, *,
                  config=None, opt_cache=_UNSET, trace=False,
                  tracer=None, chaos=None, retry_policy=None,
-                 **legacy_knobs):
+                 model_params=None, **legacy_knobs):
         config = config if config is not None else SessionConfig()
         overrides = {}
         for knob in list(legacy_knobs):
@@ -362,7 +380,25 @@ class ElasticMLSession:
         #: consolidated knobs (:class:`SessionConfig`)
         self.config = config
         self.cluster = cluster if cluster is not None else paper_cluster()
+        #: simulated hardware truth: the constants the runtime charges
         self.params = params if params is not None else DEFAULT_PARAMETERS
+        #: active calibration profile (from config or apply_calibration)
+        self.calibration_profile = resolve_profile(
+            config.calibration_profile, self.cluster
+        )
+        #: optimizer/cost-model belief: explicit ``model_params``, else
+        #: the calibration profile's fitted constants, else ``params``.
+        #: The truth/belief split is what calibration narrows.
+        if model_params is not None:
+            self.model_params = model_params
+        elif self.calibration_profile is not None:
+            self.model_params = self.calibration_profile.parameters()
+        else:
+            self.model_params = self.params
+        #: calibration sample sink (None unless ``config.calibrate``)
+        self.calibration = (
+            CalibrationCollector() if config.calibrate else None
+        )
         self.sample_cap = sample_cap
         self.hdfs = (
             hdfs if hdfs is not None
@@ -442,9 +478,11 @@ class ElasticMLSession:
             opts = replace(opts, **overrides)
         if opts.parallel and opts.num_workers > 1:
             return ParallelResourceOptimizer(
-                self.cluster, self.params, options=opts
+                self.cluster, self.model_params, options=opts
             )
-        return ResourceOptimizer(self.cluster, self.params, options=opts)
+        return ResourceOptimizer(
+            self.cluster, self.model_params, options=opts
+        )
 
     def optimize(self, compiled, options=None, **overrides):
         """Run initial resource optimization on a compiled program."""
@@ -463,7 +501,7 @@ class ElasticMLSession:
             return self.optimize(compiled)
         key = cache.signature(
             source, args, self.hdfs.input_meta(), self.cluster,
-            self.params, self.optimizer_options, compiled=compiled,
+            self.model_params, self.optimizer_options, compiled=compiled,
         )
         cached = cache.lookup(key, compiled)
         if cached is not None:
@@ -505,12 +543,18 @@ class ElasticMLSession:
             seed=self.seed,
             injector=injector,
         )
-        if injector is None:
+        def _run():
+            if self.calibration is not None:
+                with use_collector(self.calibration):
+                    return interpreter.run(compiled, resource)
             return interpreter.run(compiled, resource)
+
+        if injector is None:
+            return _run()
         previous = self.hdfs.injector
         self.hdfs.injector = injector
         try:
-            return interpreter.run(compiled, resource)
+            return _run()
         finally:
             self.hdfs.injector = previous
 
@@ -592,6 +636,8 @@ class ElasticMLSession:
                 opt_cache=self.opt_cache,
                 retry_policy=self.retry_policy,
                 trace=bool(self.trace),
+                model_params=self.model_params,
+                collector=self.calibration,
             )
         return self._server
 
@@ -632,8 +678,52 @@ class ElasticMLSession:
         snapshot = capture_plans(compiled)
         try:
             compile_plans(compiled, resource)
-            return CostModel(self.cluster, self.params).estimate_program(
-                compiled, resource
-            )
+            return CostModel(
+                self.cluster, self.model_params
+            ).estimate_program(compiled, resource)
         finally:
             restore_plans(compiled, snapshot)
+
+    # -- calibration -------------------------------------------------------
+
+    def fit_calibration(self, min_samples=None, apply=False):
+        """Fit a :class:`~repro.cost.calibrate.CalibrationProfile` from
+        the samples this session's executions collected.
+
+        Requires ``config.calibrate=True``.  The fit starts from the
+        current belief (``model_params``), so components below the
+        sample floor keep their present constants.  With ``apply`` the
+        fitted profile immediately becomes the session's belief for
+        subsequent optimizations.
+        """
+        if self.calibration is None:
+            raise RuntimeError(
+                "session does not collect calibration samples; construct "
+                "it with SessionConfig(calibrate=True)"
+            )
+        floor = (
+            min_samples if min_samples is not None
+            else self.config.calibration_min_samples
+        )
+        if isinstance(self.tracer, Tracer):
+            with use_tracer(self.tracer):
+                profile = fit_profile(
+                    self.calibration, self.cluster,
+                    base_params=self.model_params, min_samples=floor,
+                )
+        else:
+            profile = fit_profile(
+                self.calibration, self.cluster,
+                base_params=self.model_params, min_samples=floor,
+            )
+        if apply:
+            self.apply_calibration(profile)
+        return profile
+
+    def apply_calibration(self, profile):
+        """Adopt ``profile`` (a CalibrationProfile or a path to one) as
+        this session's cost-model belief; returns the resolved profile."""
+        profile = resolve_profile(profile, self.cluster)
+        self.calibration_profile = profile
+        self.model_params = profile.parameters()
+        return profile

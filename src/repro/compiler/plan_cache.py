@@ -222,13 +222,17 @@ class PlanCache:
         # deadlock, and a concurrently mutated source cannot tear the
         # iteration
         with other._lock:
-            counters = (other.hits, other.misses, other.invalidations)
+            counters = (
+                other.hits, other.misses, other.invalidations,
+                other.evictions,
+            )
             thresholds = list(other.thresholds.items())
             plans = list(other.plans.items())
         with self._lock:
             self.hits += counters[0]
             self.misses += counters[1]
             self.invalidations += counters[2]
+            self.evictions += counters[3]
             for block_id, entry in thresholds:
                 self.thresholds.setdefault(block_id, entry)
             for key, plan in plans:

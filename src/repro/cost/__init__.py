@@ -8,7 +8,28 @@ compilation decision (rewrites, operator selection, piggybacking) is
 automatically reflected.
 """
 
+from repro.cost.calibrate import (
+    CalibrationCollector,
+    CalibrationProfile,
+    NULL_COLLECTOR,
+    drifted_parameters,
+    fit_profile,
+    get_collector,
+    set_collector,
+    use_collector,
+)
 from repro.cost.constants import CostParameters
 from repro.cost.model import CostModel
 
-__all__ = ["CostModel", "CostParameters"]
+__all__ = [
+    "CostModel",
+    "CostParameters",
+    "CalibrationCollector",
+    "CalibrationProfile",
+    "NULL_COLLECTOR",
+    "drifted_parameters",
+    "fit_profile",
+    "get_collector",
+    "set_collector",
+    "use_collector",
+]

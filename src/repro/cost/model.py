@@ -94,6 +94,9 @@ class CostModel:
         self._plan_has_fcall = {}
         #: memo hits (returned without counting an invocation)
         self.memo_hits = 0
+        #: when set (a dict), the cost walk accumulates estimated seconds
+        #: per calibration component into it (see estimate_components)
+        self.component_totals = None
 
     # -- public API ----------------------------------------------------------
 
@@ -105,6 +108,22 @@ class CostModel:
         return self._cost_blocks(
             compiled.blocks, resource, state, compiled, set()
         )
+
+    def estimate_components(self, compiled, resource, initial_state=None):
+        """Per-component estimated seconds for the whole program.
+
+        The component names match :data:`repro.cost.calibrate.COMPONENTS`
+        (plus ``"total"``), so the result lines up one-to-one with the
+        runtime's calibration samples — the estimate side of the
+        estimate-vs-actual divergence the benchmarks report.
+        """
+        self.component_totals = {}
+        try:
+            total = self.estimate_program(compiled, resource, initial_state)
+        finally:
+            totals, self.component_totals = self.component_totals, None
+        totals["total"] = total
+        return totals
 
     def estimate_blocks(self, compiled, blocks, resource, initial_state=None):
         """Estimated time of a block subsequence (re-optimization scope)."""
@@ -155,11 +174,19 @@ class CostModel:
     def _block_memo_key(self, block, resource):
         """Memo key, or None when memoization would be unsound.
 
-        A block cost is a pure function of (plan, cp_heap, MR cost
-        signature) — except plans calling functions, whose cost also
-        depends on the callee blocks' current plans, so those are never
-        memoized.  CP-only plans drop the MR component entirely (their
-        cost is independent of the task heap)."""
+        A block cost is a pure function of (plan, cp_heap, budget
+        divisor, MR cost signature) — except plans calling functions,
+        whose cost also depends on the callee blocks' current plans, so
+        those are never memoized.  CP-only plans drop the MR component
+        entirely (their cost is independent of the task heap).
+
+        The budget divisor is defense-in-depth: plan signatures are
+        unique per generated plan and the cost walk itself uses the
+        undivided CP budget, so today two divisors can never share a
+        memo entry — but recompilation *selects operators* under
+        ``cp_budget_bytes / block.budget_divisor`` (parfor bodies), and
+        keying on the divisor keeps the memo sound if plan signatures
+        ever become content-based."""
         plan = block.plan
         if plan is None:
             return None
@@ -180,13 +207,23 @@ class CostModel:
             if plan.num_mr_jobs
             else None
         )
-        return (signature, resource.cp_heap_mb, mr_key)
+        return (
+            signature,
+            resource.cp_heap_mb,
+            getattr(block, "budget_divisor", 1),
+            mr_key,
+        )
 
     def clear_memo(self):
         """Drop all memoized block costs (plan signatures make stale
         entries unreachable anyway; this just frees memory)."""
         self._block_cost_memo.clear()
         self._plan_has_fcall.clear()
+
+    def _add_component(self, name, seconds):
+        totals = self.component_totals
+        if totals is not None and seconds:
+            totals[name] = totals.get(name, 0.0) + seconds
 
     # -- program aggregation -----------------------------------------------
 
@@ -346,7 +383,9 @@ class CostModel:
             write_mc = vstate.mc if vstate else mc
             if not write_mc.dims_known:
                 return 0.0  # unknown outputs cannot be costed
-            return io_model.hdfs_write_time(write_mc, params, fmt)
+            write_time = io_model.hdfs_write_time(write_mc, params, fmt)
+            self._add_component("hdfs_write", write_time)
+            return write_time
         if ins.opcode in _METADATA_OPS:
             return 0.0
 
@@ -386,6 +425,8 @@ class CostModel:
             state[ins.output] = vstate
             pinned.append(vstate)
         self._balance_pool(state, resource, pinned)
+        self._add_component("hdfs_read", io_time)
+        self._add_component("cp_compute", compute_time)
         return io_time + compute_time
 
     def _balance_pool(self, state, resource, pinned):
@@ -447,7 +488,9 @@ class CostModel:
                 vstate = VarCostState(mc, in_memory=True, dirty=True)
                 state[name] = vstate
             if vstate.dirty and vstate.mc.dims_known:
-                total += io_model.hdfs_write_time(vstate.mc, params)
+                export_time = io_model.hdfs_write_time(vstate.mc, params)
+                self._add_component("hdfs_write", export_time)
+                total += export_time
             vstate.dirty = False
 
         def mc_of(name):
@@ -460,6 +503,24 @@ class CostModel:
 
         timing = time_mr_job(job, mc_of, fmt_of, resource, self.cluster, params)
         total += timing.total
+        if self.component_totals is not None:
+            self._add_component("hdfs_read", timing.map_read)
+            self._add_component("local_disk", timing.broadcast_read)
+            self._add_component(
+                "mr_compute", timing.map_compute + timing.reduce_compute
+            )
+            self._add_component(
+                "hdfs_write", timing.map_write + timing.reduce_write
+            )
+            self._add_component("shuffle", timing.shuffle)
+            self._add_component(
+                "mr_job_latency",
+                params.mr_job_latency * timing.job_latency_units,
+            )
+            self._add_component(
+                "mr_task_latency",
+                params.mr_task_latency * timing.task_latency_units,
+            )
 
         # job outputs land on HDFS (clean, not in CP memory)
         for step in job.steps:

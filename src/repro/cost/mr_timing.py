@@ -44,6 +44,10 @@ class MRJobTiming:
     n_tasks: int = 1
     waves: int = 1
     dop: int = 1
+    #: multiples of ``params.mr_job_latency`` / ``params.mr_task_latency``
+    #: inside :attr:`latency` — the work units calibration fits against
+    job_latency_units: float = 0.0
+    task_latency_units: float = 0.0
 
     @property
     def total(self):
@@ -145,8 +149,10 @@ def time_mr_job(job, mc_of, fmt_of, resource, cluster, params):
         shuffle_bytes, params, min(cluster.num_nodes, reducers)
     )
 
-    timing.latency = params.mr_job_latency * (1 + job.extra_job_latency)
-    timing.latency += params.mr_task_latency * waves
+    timing.job_latency_units = 1 + job.extra_job_latency
+    timing.task_latency_units = float(waves)
     if shuffle_bytes > 0 or reduce_flops > 0:
-        timing.latency += params.mr_task_latency
+        timing.task_latency_units += 1
+    timing.latency = params.mr_job_latency * timing.job_latency_units
+    timing.latency += params.mr_task_latency * timing.task_latency_units
     return timing

@@ -41,6 +41,7 @@ from repro.obs.tracer import (
     Span,
     Tracer,
     get_tracer,
+    merge_gauge_values,
     set_tracer,
     use_tracer,
 )
@@ -57,6 +58,7 @@ __all__ = [
     "NULL_TRACER",
     "Span",
     "get_tracer",
+    "merge_gauge_values",
     "set_tracer",
     "use_tracer",
     "render_trace",

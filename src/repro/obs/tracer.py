@@ -100,6 +100,33 @@ class _NullSpan:
 _NULL_SPAN = _NullSpan()
 
 
+def _is_nan(value):
+    return isinstance(value, float) and value != value
+
+
+def merge_gauge_values(current, incoming):
+    """Deterministic, order-independent merge of two gauge values.
+
+    Comparable values keep the larger (for the usual numeric gauges this
+    is max, a commutative/associative fold); incomparable types fall
+    back to a total order over ``(type name, repr)``.  NaN always loses,
+    so it cannot poison the comparison asymmetrically.
+    """
+    if _is_nan(incoming):
+        return current
+    if _is_nan(current):
+        return incoming
+    try:
+        return current if current >= incoming else incoming
+    except TypeError:
+        pass
+
+    def order(value):
+        return (type(value).__name__, repr(value))
+
+    return current if order(current) >= order(incoming) else incoming
+
+
 class Tracer:
     """Collects spans, counters, gauges, and events for one run."""
 
@@ -160,15 +187,24 @@ class Tracer:
     def absorb(self, other, spans=True):
         """Fold another tracer's telemetry into this one.
 
-        Counters accumulate, gauges overwrite (last absorb wins), events
-        append, and (with ``spans``) the other tracer's root spans become
-        roots here.  The serving layer runs every submission under its
-        own tracer — concurrent tenants would otherwise interleave one
-        span stack — and absorbs each finished submission into the
-        server-level tracer."""
+        Counters accumulate, gauges merge deterministically (max for
+        numeric values — see :func:`merge_gauge_values` — so the result
+        is independent of absorb order), events append, and (with
+        ``spans``) the other tracer's root spans become roots here.  The
+        serving layer runs every submission under its own tracer —
+        concurrent tenants would otherwise interleave one span stack —
+        and absorbs each finished submission into the server-level
+        tracer; tenant completion order varies across runs, which is why
+        gauges must not merge last-write-wins."""
         for name, value in other.counters.items():
             self.counters[name] = self.counters.get(name, 0) + value
-        self.gauges.update(other.gauges)
+        for name, value in other.gauges.items():
+            if name in self.gauges:
+                self.gauges[name] = merge_gauge_values(
+                    self.gauges[name], value
+                )
+            else:
+                self.gauges[name] = value
         self.events.extend(other.events)
         if spans:
             self.roots.extend(other.roots)

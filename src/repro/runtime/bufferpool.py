@@ -13,6 +13,7 @@ from __future__ import annotations
 from collections import OrderedDict
 
 from repro.cost import io_model
+from repro.cost.calibrate import NULL_COLLECTOR
 from repro.obs import get_tracer
 
 
@@ -21,12 +22,15 @@ class BufferPool:
 
     ``charge`` is a callable(seconds, category) advancing the virtual
     clock; categories are "eviction", "restore", and "read".
+    ``collector`` is an optional calibration sample sink
+    (:class:`repro.cost.calibrate.CalibrationCollector`).
     """
 
-    def __init__(self, capacity_bytes, params, charge):
+    def __init__(self, capacity_bytes, params, charge, collector=None):
         self.capacity = float(capacity_bytes)
         self.params = params
         self.charge = charge
+        self.collector = collector if collector is not None else NULL_COLLECTOR
         self._entries = OrderedDict()  # id(obj) -> obj
         self.evictions = 0
         self.restores = 0
@@ -58,13 +62,17 @@ class BufferPool:
             tracer.incr("bufferpool.misses")
             size = obj.memory_size
             if obj.local_copy:
-                self.charge(io_model.local_read_time(size, self.params), "restore")
+                seconds = io_model.local_read_time(size, self.params)
+                self.charge(seconds, "restore")
+                self.collector.add("local_disk", size, seconds)
                 self.restores += 1
                 tracer.incr("bufferpool.restores")
             elif obj.hdfs_path is not None:
                 mc = obj.mc
-                self.charge(
-                    io_model.hdfs_read_time(mc, self.params, obj.fmt), "read"
+                seconds = io_model.hdfs_read_time(mc, self.params, obj.fmt)
+                self.charge(seconds, "read")
+                self.collector.add(
+                    "hdfs_read", seconds * self.params.hdfs_read_bw, seconds
                 )
                 if tracer.enabled:
                     tracer.incr(
@@ -126,9 +134,9 @@ class BufferPool:
             _, victim = self._entries.popitem(last=False)
             size = victim.memory_size
             if victim.dirty:
-                self.charge(
-                    io_model.local_write_time(size, self.params), "eviction"
-                )
+                seconds = io_model.local_write_time(size, self.params)
+                self.charge(seconds, "eviction")
+                self.collector.add("local_disk", size, seconds)
                 victim.local_copy = True
                 self.bytes_evicted += size
                 tracer.incr("bufferpool.writebacks")

@@ -22,6 +22,7 @@ from repro.compiler import statement_blocks as SB
 from repro.compiler.recompile import make_env_from_states, recompile_block
 from repro.compiler.runtime_prog import CPInstruction, MRJobInstruction
 from repro.cost import io_model
+from repro.cost.calibrate import NULL_COLLECTOR, get_collector
 from repro.cost.compute_model import operation_flops
 from repro.cost.constants import DEFAULT_PARAMETERS
 from repro.cost.mr_timing import time_mr_job
@@ -95,6 +96,8 @@ class Interpreter:
         self._lost_nodes = 0
         #: active frame stack (main frame + function-call frames)
         self._frames = []
+        #: calibration sample sink, resolved per run from the active slot
+        self._collector = NULL_COLLECTOR
 
     # -- time accounting -----------------------------------------------------
 
@@ -120,6 +123,7 @@ class Interpreter:
         from repro.compiler.pipeline import compile_plans
 
         tracer = get_tracer()
+        self._collector = get_collector()
         self.compiled = compiled
         self.resource = resource.copy()
         self.clock = 0.0
@@ -143,7 +147,8 @@ class Interpreter:
                 span.set("blocks", regenerated)
                 tracer.incr("recompile.dynamic", regenerated)
         self.pool = BufferPool(
-            self.resource.cp_budget_bytes, self.params, self.charge
+            self.resource.cp_budget_bytes, self.params, self.charge,
+            collector=self._collector,
         )
         # AM container allocation + startup
         self.charge(
@@ -501,8 +506,10 @@ class Interpreter:
                 else FileFormat.BINARY_BLOCK
             )
             self.pool.pin(value)
-            self.charge(
-                io_model.hdfs_write_time(value.mc, self.params, fmt), "write"
+            seconds = io_model.hdfs_write_time(value.mc, self.params, fmt)
+            self.charge(seconds, "write")
+            self._collector.add(
+                "hdfs_write", seconds * self.params.hdfs_write_bw, seconds
             )
             self.hdfs.write_matrix(ins.attrs["fname"], value, fmt)
             return
@@ -530,7 +537,9 @@ class Interpreter:
             opcode, mc if mc is not None else MatrixCharacteristics(0, 0, 0),
             in_mcs, ins.attrs,
         )
-        self.charge(flops / self.params.cp_flops, "cp_compute")
+        seconds = flops / self.params.cp_flops
+        self.charge(seconds, "cp_compute")
+        self._collector.add("cp_compute", flops, seconds)
         if kind == "matrix":
             obj = MatrixObject(payload, mc)
             self.pool.put(obj)
@@ -566,8 +575,10 @@ class Interpreter:
         for name in list(job.input_vars) + list(job.broadcast_vars):
             value = frame.get(name)
             if isinstance(value, MatrixObject) and value.dirty:
-                self.charge(
-                    io_model.hdfs_write_time(value.mc, self.params), "export"
+                seconds = io_model.hdfs_write_time(value.mc, self.params)
+                self.charge(seconds, "export")
+                self._collector.add(
+                    "hdfs_write", seconds * self.params.hdfs_write_bw, seconds
                 )
                 path = self._scratch_path(name)
                 self.hdfs.write_matrix(path, value)
@@ -629,6 +640,7 @@ class Interpreter:
             timing = self._charge_mr_job_with_faults(
                 job, timing, slowdown, mc_of, fmt_of
             )
+        self._emit_mr_samples(timing, slowdown)
         self.result.mr_jobs += 1 + job.extra_job_latency
         tracer = get_tracer()
         if tracer.enabled:
@@ -660,6 +672,43 @@ class Interpreter:
             value = scratch.get(step.output)
             if not isinstance(value, MatrixObject) and value is not None:
                 frame[step.output] = value
+
+    def _emit_mr_samples(self, timing, slowdown):
+        """Emit one calibration sample per MR phase of the job that
+        finally succeeded.
+
+        Work units are recovered algebraically from the modelled phase
+        times (``work = t_modeled * rate``), which makes them exact
+        byte/FLOP/latency-unit quantities independent of the constants
+        in ``self.params``; the observed seconds carry the cluster-load
+        slowdown, matching what the clock was actually charged.
+        """
+        collector = self._collector
+        if not collector.enabled:
+            return
+        p = self.params
+        read = timing.map_read
+        collector.add("hdfs_read", read * p.hdfs_read_bw, read * slowdown)
+        local = timing.broadcast_read
+        collector.add("local_disk", local * p.local_disk_bw, local * slowdown)
+        compute = timing.map_compute + timing.reduce_compute
+        collector.add(
+            "mr_compute", compute * p.mr_task_flops, compute * slowdown
+        )
+        write = timing.map_write + timing.reduce_write
+        collector.add("hdfs_write", write * p.hdfs_write_bw, write * slowdown)
+        collector.add(
+            "shuffle", timing.shuffle * p.shuffle_bw_per_node,
+            timing.shuffle * slowdown,
+        )
+        collector.add(
+            "mr_job_latency", timing.job_latency_units,
+            p.mr_job_latency * timing.job_latency_units * slowdown,
+        )
+        collector.add(
+            "mr_task_latency", timing.task_latency_units,
+            p.mr_task_latency * timing.task_latency_units * slowdown,
+        )
 
     def _charge_mr_job_with_faults(self, job, timing, slowdown, mc_of,
                                    fmt_of):

@@ -35,6 +35,12 @@ from repro.chaos import FaultInjector
 from repro.cluster.yarn import ResourceManager
 from repro.compiler.pipeline import compile_plans, compile_program
 from repro.compiler.plan_cache import PlanCache
+from repro.cost.calibrate import (
+    CalibrationCollector,
+    fit_profile,
+    resolve_profile,
+    use_collector,
+)
 from repro.errors import ClusterError
 from repro.obs import NULL_TRACER, Tracer, use_tracer
 from repro.optimizer import (
@@ -187,7 +193,8 @@ class ElasticMLServer:
                  sample_cap=DEFAULT_SAMPLE_CAP, config=None,
                  opt_cache=_UNSET, policy=None, max_workers=8,
                  queue_limit=1024, retry_policy=None, trace=False,
-                 program_cache_entries=32, plan_cache_entries=4096):
+                 program_cache_entries=32, plan_cache_entries=4096,
+                 model_params=None, collector=_UNSET):
         from repro.cluster import paper_cluster
         from repro.cost.constants import DEFAULT_PARAMETERS
         from repro.serving.admission import HeapRulePolicy, PendingRequest
@@ -195,7 +202,30 @@ class ElasticMLServer:
         self._request_type = PendingRequest
         self.config = config if config is not None else SessionConfig()
         self.cluster = cluster if cluster is not None else paper_cluster()
+        #: simulated hardware truth: the constants tenants' runtimes charge
         self.params = params if params is not None else DEFAULT_PARAMETERS
+        #: active cross-tenant calibration profile (config or fit_calibration)
+        self.calibration_profile = resolve_profile(
+            self.config.calibration_profile, self.cluster
+        )
+        #: optimizer/cost-model belief shared by every tenant
+        if model_params is not None:
+            self.model_params = model_params
+        elif self.calibration_profile is not None:
+            self.model_params = self.calibration_profile.parameters()
+        else:
+            self.model_params = self.params
+        #: shared cross-tenant calibration sample sink (internally
+        #: locked; every tenant execution feeds it when enabled)
+        if collector is _UNSET:
+            self.calibration = (
+                CalibrationCollector() if self.config.calibrate else None
+            )
+        else:
+            self.calibration = collector
+        #: serializes fit/apply so concurrent calibrations cannot
+        #: interleave belief updates
+        self._calib_lock = threading.Lock()
         self.sample_cap = sample_cap
         self.hdfs = (
             hdfs if hdfs is not None
@@ -324,7 +354,53 @@ class ElasticMLServer:
                 len(self.plan_cache.plans) if self.plan_cache else 0,
         })
         counters["tenant_usage_mb"] = self.rm.usage_by_tenant()
+        counters["calib.samples"] = (
+            self.calibration.total_samples
+            if self.calibration is not None else 0
+        )
+        counters["calib.fitted_params"] = (
+            len(self.calibration_profile.fitted)
+            if self.calibration_profile is not None else 0
+        )
         return counters
+
+    # -- cross-tenant calibration -------------------------------------------
+
+    def fit_calibration(self, min_samples=None, apply=True):
+        """Fit a :class:`~repro.cost.calibrate.CalibrationProfile` from
+        the samples every tenant execution fed the shared collector.
+
+        Requires ``config.calibrate=True`` (or an explicit ``collector``).
+        Serialized under a server-level lock so concurrent fits cannot
+        interleave; with ``apply`` (the default — the cross-tenant
+        sharing this server exists for) the fitted constants immediately
+        become the belief used to optimize subsequent submissions.
+        """
+        if self.calibration is None:
+            raise RuntimeError(
+                "server does not collect calibration samples; construct "
+                "it with SessionConfig(calibrate=True)"
+            )
+        floor = (
+            min_samples if min_samples is not None
+            else self.config.calibration_min_samples
+        )
+        with self._calib_lock:
+            if self.tracer.enabled:
+                with use_tracer(self.tracer):
+                    profile = fit_profile(
+                        self.calibration, self.cluster,
+                        base_params=self.model_params, min_samples=floor,
+                    )
+            else:
+                profile = fit_profile(
+                    self.calibration, self.cluster,
+                    base_params=self.model_params, min_samples=floor,
+                )
+            if apply:
+                self.calibration_profile = profile
+                self.model_params = profile.parameters()
+        return profile
 
     # -- per-submission pipeline -------------------------------------------
 
@@ -424,9 +500,11 @@ class ElasticMLServer:
         options = self.config.optimizer_options()
         if options.parallel and options.num_workers > 1:
             return ParallelResourceOptimizer(
-                self.cluster, self.params, options=options
+                self.cluster, self.model_params, options=options
             )
-        return ResourceOptimizer(self.cluster, self.params, options=options)
+        return ResourceOptimizer(
+            self.cluster, self.model_params, options=options
+        )
 
     def _optimize(self, source, args, compiled):
         cache = self.opt_cache
@@ -434,7 +512,8 @@ class ElasticMLServer:
             return self._make_optimizer().optimize(compiled)
         key = cache.signature(
             source, args, self.hdfs.input_meta(), self.cluster,
-            self.params, self.config.optimizer_options(), compiled=compiled,
+            self.model_params, self.config.optimizer_options(),
+            compiled=compiled,
         )
         cached = cache.lookup(key, compiled)
         if cached is not None:
@@ -459,7 +538,7 @@ class ElasticMLServer:
             # the adapter re-optimizes tiny block scopes: always serial
             # (see ElasticMLSession.execute for the rationale)
             ResourceAdapter(ResourceOptimizer(
-                self.cluster, self.params,
+                self.cluster, self.model_params,
                 options=replace(
                     self.config.optimizer_options(), parallel=False
                 ),
@@ -475,6 +554,9 @@ class ElasticMLServer:
             seed=submission.seed,
             injector=injector,
         )
+        if self.calibration is not None:
+            with use_collector(self.calibration):
+                return interpreter.run(compiled, resource)
         return interpreter.run(compiled, resource)
 
     # -- admission ----------------------------------------------------------

@@ -12,6 +12,12 @@ Mirrors how SystemML's YARN client is driven from the shell:
     python -m repro trace LinregCG M [--json]   # traced run: spans + counters
     python -m repro serve --tenants 32 --mix LinregDS:XS,LinregCG:XS
                                                 # multi-tenant serving trace
+    python -m repro calibrate LinregDS S --runs 3 --drift 42 --out prof.json
+                                                # fit cost constants from
+                                                # traced actuals
+    python -m repro run script.dml ... --calibration prof.json
+                                                # optimize under a fitted
+                                                # profile
 
 Input files referenced by ``-arg`` that do not yet exist on the
 session's simulated HDFS are materialized as random dense matrices with
@@ -86,6 +92,18 @@ def _add_common(parser):
                         metavar="NAME=VALUE", help="script argument")
     parser.add_argument("--gen", action="append", metavar="NAME=RxC[@SP]",
                         help="generate a random input matrix on HDFS")
+
+
+def _add_calibration_flag(parser):
+    parser.add_argument("--calibration", metavar="PROFILE", default=None,
+                        help="path to a saved CalibrationProfile whose "
+                             "fitted constants drive the optimizer")
+
+
+def _apply_calibration_flag(session, args):
+    profile = getattr(args, "calibration", None)
+    if profile is not None:
+        session.apply_calibration(profile)
 
 
 def _add_opt_flags(parser):
@@ -190,6 +208,7 @@ def build_parser():
                      help="disable runtime resource adaptation")
     _add_opt_flags(run)
     _add_chaos(run)
+    _add_calibration_flag(run)
 
     opt = sub.add_parser("optimize", aliases=["opt"],
                          help="run resource optimization only")
@@ -198,6 +217,7 @@ def build_parser():
                      choices=["equi", "exp", "mem", "hybrid"])
     opt.add_argument("-m", type=int, default=15, help="base grid points")
     _add_opt_flags(opt)
+    _add_calibration_flag(opt)
 
     explain = sub.add_parser("explain", help="print the compiled plan")
     _add_common(explain)
@@ -272,12 +292,42 @@ def build_parser():
                        help="dump the raw trace as JSON instead of text")
     _add_opt_flags(trace)
     _add_chaos(trace)
+
+    calibrate = sub.add_parser(
+        "calibrate",
+        help="run a bundled script with calibration sampling on, fit "
+             "cost-model constants from the traced actuals, and report "
+             "estimate-vs-actual divergence before/after",
+    )
+    calibrate.add_argument("script", choices=sorted(SCRIPTS))
+    calibrate.add_argument("scenario", choices=["XS", "S", "M", "L", "XL"])
+    calibrate.add_argument("--cols", type=int, default=1000)
+    calibrate.add_argument("--sparse", action="store_true")
+    calibrate.add_argument("--runs", type=int, default=3, metavar="N",
+                           help="traced runs to collect samples from "
+                                "(default 3)")
+    calibrate.add_argument("--drift", type=int, default=None, metavar="SEED",
+                           help="simulate a cluster whose hardware drifted "
+                                "from the defaults (deterministic "
+                                "perturbation by SEED); the optimizer's "
+                                "belief stays at the defaults until "
+                                "calibrated")
+    calibrate.add_argument("--min-samples", type=int, default=None,
+                           metavar="K",
+                           help="sample floor below which a component "
+                                "keeps its default constant")
+    calibrate.add_argument("--out", metavar="PATH", default=None,
+                           help="save the fitted CalibrationProfile as "
+                                "JSON")
+    calibrate.add_argument("--json", action="store_true",
+                           help="dump the calibration report as JSON")
     return parser
 
 
 def cmd_run(args, session):
     _parse_gen(session, args.gen)
     _apply_opt_flags(session, args)
+    _apply_calibration_flag(session, args)
     source = _load_source(args.script)
     script_args = _parse_args_list(args.args)
     resource = _static_resource(args.static) if args.static else None
@@ -306,6 +356,7 @@ def cmd_run(args, session):
 def cmd_optimize(args, session):
     _parse_gen(session, args.gen)
     _apply_opt_flags(session, args)
+    _apply_calibration_flag(session, args)
     source = _load_source(args.script)
     compiled = session.compile_script(source, _parse_args_list(args.args))
     result = session.optimize(compiled, grid_cp=args.grid, grid_mr=args.grid,
@@ -500,6 +551,93 @@ def cmd_trace(args, session):
     return 0
 
 
+def cmd_calibrate(args, session):
+    import json as _json
+    import statistics
+
+    from repro.api import SessionConfig
+    from repro.cost import CostModel
+    from repro.cost.calibrate import COMPONENTS, drifted_parameters
+    from repro.cost.constants import DEFAULT_PARAMETERS
+
+    truth = (
+        drifted_parameters(args.drift)
+        if args.drift is not None else session.params
+    )
+    sess = ElasticMLSession(
+        cluster=session.cluster,
+        params=truth,
+        model_params=DEFAULT_PARAMETERS,
+        trace=True,
+        config=SessionConfig(calibrate=True),
+    )
+    scn = scenario(args.scenario, cols=args.cols, sparse=args.sparse)
+    script_args = prepare_inputs(sess.hdfs, args.script, scn)
+    outcomes = []
+    for index in range(max(1, args.runs)):
+        sess.seed = index
+        outcomes.append(sess.run(args.script, script_args, adapt=False))
+    profile = sess.fit_calibration(min_samples=args.min_samples)
+
+    # divergence: per-component estimated seconds (under a belief)
+    # against the per-component actual seconds the collector observed —
+    # the granularity calibration operates at, so parameter error is not
+    # masked by structural model error cancelling across components
+    actual_by_comp = {
+        name: totals[2]
+        for name, totals in sess.calibration.totals().items()
+        if totals[2] > 0.0
+    }
+
+    def divergence(params):
+        model = CostModel(sess.cluster, params)
+        est = {}
+        for o in outcomes:
+            totals = model.estimate_components(o.compiled, o.resource)
+            for name, value in totals.items():
+                if name != "total":
+                    est[name] = est.get(name, 0.0) + value
+        return statistics.median(
+            abs(est.get(name, 0.0) - act) / act
+            for name, act in sorted(actual_by_comp.items())
+        )
+
+    before = divergence(sess.model_params)
+    after = divergence(profile.parameters())
+    report = {
+        "script": args.script,
+        "scenario": scn.label,
+        "runs": len(outcomes),
+        "samples": sess.calibration.counts(),
+        "fitted": dict(profile.fitted),
+        "median_divergence_uncalibrated": before,
+        "median_divergence_calibrated": after,
+    }
+    if args.out:
+        profile.save(args.out)
+        report["profile_path"] = args.out
+    if args.json:
+        print(_json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    print(f"collected {sess.calibration.total_samples} samples over "
+          f"{len(outcomes)} traced runs of {args.script} ({scn.label})")
+    print(f"fitted {len(profile.fitted)} of {len(COMPONENTS)} "
+          f"components (sample floor {profile.min_samples}):\n")
+    base = profile.base
+    print(f"  {'component':16} {'samples':>8} {'base':>12} {'fitted':>12}")
+    for component in COMPONENTS:
+        n = profile.sample_counts.get(component.name, 0)
+        value = profile.fitted.get(component.param)
+        shown = f"{value:.3g}" if value is not None else "(kept)"
+        print(f"  {component.name:16} {n:>8} "
+              f"{base[component.param]:>12.3g} {shown:>12}")
+    print(f"\nmedian estimate-vs-actual divergence: "
+          f"{before:.1%} uncalibrated -> {after:.1%} calibrated")
+    if args.out:
+        print(f"profile saved to {args.out}")
+    return 0
+
+
 def main(argv=None):
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -514,6 +652,7 @@ def main(argv=None):
         "demo": cmd_demo,
         "serve": cmd_serve,
         "trace": cmd_trace,
+        "calibrate": cmd_calibrate,
     }[args.command]
     return handler(args, session)
 

@@ -10,6 +10,7 @@ from repro.obs import (
     Span,
     Tracer,
     get_tracer,
+    merge_gauge_values,
     render_trace,
     set_tracer,
     use_tracer,
@@ -324,3 +325,52 @@ class TestAbsorb:
         sub.event("fault.injected", site="hdfs")
         server.absorb(sub)
         assert len(server.events) == 1
+
+
+class TestGaugeMerge:
+    """absorb() must merge gauges order-independently (regression:
+    last-write-wins made the fold depend on tenant drain order)."""
+
+    def test_absorb_keeps_larger_value(self):
+        server = Tracer()
+        a, b = Tracer(), Tracer()
+        a.gauge("queue.depth", 7)
+        b.gauge("queue.depth", 3)
+        server.absorb(a)
+        server.absorb(b)
+        assert server.gauges["queue.depth"] == 7
+
+    def test_absorb_order_independent_under_shuffle(self):
+        import random
+
+        values = [3, 41, 7, 0, 19, 5]
+        finals = set()
+        for seed in range(8):
+            subs = []
+            for value in values:
+                sub = Tracer()
+                sub.gauge("yarn.used_mb", value)
+                subs.append(sub)
+            random.Random(seed).shuffle(subs)
+            server = Tracer()
+            for sub in subs:
+                server.absorb(sub)
+            finals.add(server.gauges["yarn.used_mb"])
+        assert finals == {41}
+
+    def test_nan_never_wins(self):
+        nan = float("nan")
+        assert merge_gauge_values(nan, 5) == 5
+        assert merge_gauge_values(5, nan) == 5
+        merged = merge_gauge_values(nan, nan)
+        assert merged != merged  # both sides NaN: NaN is all there is
+
+    def test_incomparable_types_merge_symmetrically(self):
+        assert (merge_gauge_values("label", 3)
+                == merge_gauge_values(3, "label"))
+
+    def test_absorbing_fresh_tracer_keeps_gauges(self):
+        server = Tracer()
+        server.gauge("queue.depth", 9)
+        server.absorb(Tracer())
+        assert server.gauges["queue.depth"] == 9

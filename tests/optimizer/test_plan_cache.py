@@ -207,6 +207,24 @@ class TestCostMemo:
         assert second == first
         assert model.memo_hits == 1
 
+    def test_memo_key_separates_budget_divisors(self, cluster):
+        """Parfor bodies recompile under ``cp_budget / budget_divisor``,
+        so the divisor is part of the memo key: the same plan signature
+        under different divisors must not share a memo entry."""
+        compiled = compile_program(CG_STYLE, ARGS, BIG)
+        block = _mr_block(compiled)
+        resource = ResourceConfig(cp_heap_mb=512, mr_heap_mb=512)
+        recompile_block_plan(compiled, block, resource)
+        model = CostModel(cluster)
+        undivided = model._block_memo_key(block, resource)
+        assert undivided is not None
+        original = block.budget_divisor
+        try:
+            block.budget_divisor = original * 4
+            assert model._block_memo_key(block, resource) != undivided
+        finally:
+            block.budget_divisor = original
+
 
 class TestAcceptance:
     def _compiled_linregcg(self):
@@ -302,6 +320,21 @@ class TestPickleAndMerge:
         assert set(worker.plans) <= set(master.plans)
         for key, plan in master_plans_before.items():
             assert master.plans[key] is plan
+
+    def test_merge_accumulates_evictions_and_invalidations(self):
+        # regression: merge() used to drop the evictions counter, so a
+        # bounded worker cache's evictions vanished from the master
+        worker = PlanCache(max_plans=1)
+        worker.store((1, 0, 0), object())
+        worker.store((2, 0, 0), object())  # LRU bound: first key evicted
+        worker.invalidate_block(2)
+        assert (worker.evictions, worker.invalidations) == (1, 1)
+        master = PlanCache()
+        master.merge(worker)
+        assert master.evictions == 1
+        assert master.invalidations == 1
+        master.merge(worker)
+        assert master.evictions == 2
 
     def test_merge_is_usable_after_fold(self):
         compiled, block, worker = self._warm_cache()

@@ -283,3 +283,78 @@ class TestPackingPolicyEndToEnd:
             assert len({_canonical(r.outcome) for r in results}) == 1
         finally:
             server.shutdown()
+
+
+class TestCrossTenantCalibration:
+    """The shared collector: every tenant feeds one sample sink, and a
+    server-level fit updates the belief used for later submissions."""
+
+    def _calibrating_server(self):
+        from repro.cost.calibrate import drifted_parameters
+        from repro.cost.constants import DEFAULT_PARAMETERS
+
+        return ElasticMLServer(
+            sample_cap=64,
+            trace=True,
+            max_workers=4,
+            params=drifted_parameters(42),
+            model_params=DEFAULT_PARAMETERS,
+            config=SessionConfig(calibrate=True),
+        )
+
+    def test_tenants_feed_shared_collector(self):
+        server = self._calibrating_server()
+        try:
+            args = prepare_inputs(
+                server.hdfs, "LinregDS", scenario("XS", cols=100)
+            )
+            for i in range(4):
+                server.submit(Submission(
+                    tenant=f"t{i % 2}", script="LinregDS", args=args
+                ))
+            results = server.drain()
+            assert all(r.ok for r in results)
+            stats = server.stats()
+            assert stats["calib.samples"] > 0
+            assert stats["calib.fitted_params"] == 0  # nothing fitted yet
+        finally:
+            server.shutdown()
+
+    def test_fit_applies_to_subsequent_optimizations(self):
+        server = self._calibrating_server()
+        try:
+            args = prepare_inputs(
+                server.hdfs, "LinregDS", scenario("XS", cols=100)
+            )
+            for i in range(4):
+                server.submit(Submission(
+                    tenant=f"t{i}", script="LinregDS", args=args
+                ))
+            assert all(r.ok for r in server.drain())
+
+            belief_before = server.model_params
+            profile = server.fit_calibration(min_samples=1)
+            assert profile.fitted
+            assert server.model_params == profile.parameters()
+            assert server.model_params != belief_before
+            assert server.model_params.cp_flops == pytest.approx(
+                server.params.cp_flops, rel=1e-6
+            )
+            assert server.stats()["calib.fitted_params"] == len(
+                profile.fitted
+            )
+            # post-fit submissions run under the calibrated belief
+            server.submit(Submission(
+                tenant="after", script="LinregDS", args=args
+            ))
+            assert all(r.ok for r in server.drain())
+        finally:
+            server.shutdown()
+
+    def test_fit_requires_collector(self):
+        server = ElasticMLServer(sample_cap=64, max_workers=2)
+        try:
+            with pytest.raises(RuntimeError):
+                server.fit_calibration()
+        finally:
+            server.shutdown()

@@ -223,3 +223,91 @@ class TestEstimateCost:
         small = session.estimate_cost(compiled, ResourceConfig(512, 512))
         large = session.estimate_cost(compiled, ResourceConfig(8192, 2048))
         assert small != large
+
+
+class TestCalibration:
+    """Session-level calibration loop: collect -> fit -> apply."""
+
+    def _drifted_session(self):
+        from repro.cost.calibrate import drifted_parameters
+        from repro.cost.constants import DEFAULT_PARAMETERS
+
+        return ElasticMLSession(
+            params=drifted_parameters(42),
+            model_params=DEFAULT_PARAMETERS,
+            trace=True,
+            sample_cap=64,
+            config=SessionConfig(calibrate=True),
+        )
+
+    def test_belief_separates_from_truth(self):
+        session = self._drifted_session()
+        assert session.model_params != session.params
+        # without overrides, belief == truth (the pre-calibration repo)
+        plain = ElasticMLSession(sample_cap=64)
+        assert plain.model_params == plain.params
+        assert plain.calibration is None
+
+    def test_traced_run_collects_samples(self):
+        session = self._drifted_session()
+        args = prepare_inputs(
+            session.hdfs, "LinregDS", scenario("XS", cols=100)
+        )
+        outcome = session.run("LinregDS", args)
+        assert session.calibration.total_samples > 0
+        assert outcome.trace.counter("calib.samples") > 0
+
+    def test_fit_and_apply_updates_belief(self):
+        session = self._drifted_session()
+        args = prepare_inputs(
+            session.hdfs, "LinregDS", scenario("XS", cols=100)
+        )
+        session.run("LinregDS", args)
+        belief_before = session.model_params
+        profile = session.fit_calibration(min_samples=1, apply=True)
+        assert profile.fitted
+        assert session.model_params == profile.parameters()
+        assert session.model_params != belief_before
+        # the fit recovers the drifted truth for the heavily-sampled
+        # compute component
+        assert session.model_params.cp_flops == pytest.approx(
+            session.params.cp_flops, rel=1e-6
+        )
+        assert session.tracer.counter("calib.fit_runs") == 1
+
+    def test_fit_requires_calibrate(self):
+        session = ElasticMLSession(sample_cap=64)
+        with pytest.raises(RuntimeError):
+            session.fit_calibration()
+
+    def test_profile_roundtrips_through_config(self, tmp_path):
+        session = self._drifted_session()
+        args = prepare_inputs(
+            session.hdfs, "LinregDS", scenario("XS", cols=100)
+        )
+        session.run("LinregDS", args)
+        profile = session.fit_calibration(min_samples=1)
+        path = str(tmp_path / "profile.json")
+        profile.save(path)
+
+        loaded = ElasticMLSession(
+            sample_cap=64,
+            config=SessionConfig(calibration_profile=path),
+        )
+        assert loaded.model_params == profile.parameters()
+        assert loaded.calibration_profile == profile
+
+    def test_mismatched_profile_rejected(self, tmp_path):
+        session = self._drifted_session()
+        args = prepare_inputs(
+            session.hdfs, "LinregDS", scenario("XS", cols=100)
+        )
+        session.run("LinregDS", args)
+        profile = session.fit_calibration(min_samples=1)
+        path = str(tmp_path / "profile.json")
+        profile.save(path)
+        with pytest.raises(ValueError):
+            ElasticMLSession(
+                cluster=small_cluster(),
+                config=SessionConfig(calibration_profile=path),
+            )
