@@ -1,0 +1,200 @@
+"""Continuous-elasticity benchmark: autoscaling Brain vs static admission.
+
+Replays a bursty multi-tenant trace (three arrival bursts against a
+deliberately small one-node cluster, plus a background load spike) twice
+through the deterministic virtual-time :class:`repro.elastic
+.TraceSimulator` — once with plain static admission and once with the
+autoscaling Brain (memory-elastic admission ladder + mid-run rescaling)
+— and compares makespan, utilization, and admission wait.
+
+Invariants asserted on every run:
+
+* every trace entry completes in both arms (nothing rejected);
+* **byte-identical outputs** — every simulated run's prints and MR-job
+  count equal a private single-tenant serial session on the same
+  recipe, in both arms, and the written output matrices are
+  ``np.array_equal`` to the serial ones (elasticity perturbs time only,
+  never numerics);
+* **fidelity ablation** — with the Brain off, every run's simulated
+  duration is *exactly* the serial session's total time (the static arm
+  is plain v1.5 behavior);
+* the Brain arm beats the static arm on makespan or utilization, with
+  ``elastic.rescales > 0`` and at least one below-ideal elastic
+  admission.
+
+Writes ``BENCH_elastic.json`` (override with ``--out``).  Standalone:
+``python benchmarks/bench_elastic.py [--quick] [--out PATH]``.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+import numpy as np
+
+from repro.api import ElasticMLSession
+from repro.cluster import ClusterLoad, small_cluster
+from repro.elastic import TraceSimulator, bursty_trace
+from repro.workloads import prepare_inputs, scenario
+
+#: workload mix cycled across the trace (XS keeps runs CP-only, so the
+#: fidelity ablation below can demand *exact* duration equality)
+MIX = (("LinregDS", "XS", 100), ("LinregCG", "XS", 100))
+SEED = 11
+SAMPLE_CAP = 64
+DEFAULT_OUT = pathlib.Path(__file__).resolve().parent.parent / (
+    "BENCH_elastic.json"
+)
+
+
+def make_cluster():
+    """One node, 1 GB: two ideal AM containers fit; a third only fits
+    when the Brain admits below ideal."""
+    return small_cluster(num_nodes=1, node_memory_mb=1024)
+
+
+def make_background():
+    """Background load spike around the second burst — pressures
+    running Brains into mid-run shrinks."""
+    return ClusterLoad(schedule=[(0.0, 0.0), (150.0, 0.8), (185.0, 0.0)])
+
+
+def serial_references():
+    """Canonical single-tenant results per recipe: prints, MR jobs,
+    total time, and the written output matrix."""
+    refs = {}
+    for script, size, cols in MIX:
+        session = ElasticMLSession(
+            cluster=make_cluster(), sample_cap=SAMPLE_CAP
+        )
+        args = prepare_inputs(session.hdfs, script, scenario(size, cols=cols))
+        outcome = session.run(script, args, adapt=False)
+        out_path = args.get("B") or args.get("model") or args.get("C")
+        refs[script] = {
+            "prints": tuple(outcome.prints),
+            "mr_jobs": outcome.result.mr_jobs,
+            "total_time": outcome.total_time,
+            "out_path": out_path,
+            "matrix": np.array(session.hdfs.get(out_path).data),
+        }
+    return refs
+
+
+def check_arm(result, trace, refs, hdfs, *, fidelity):
+    """Assert completion + byte-identity (and, for the static arm,
+    exact duration fidelity) for every simulated run."""
+    assert not result.rejected, (
+        f"{result.label}: {len(result.rejected)} entries rejected"
+    )
+    assert len(result.runs) == len(trace.entries), (
+        f"{result.label}: {len(result.runs)} of {len(trace.entries)} "
+        "entries completed"
+    )
+    for run in result.runs:
+        ref = refs[run.entry.script]
+        got = run.outcome.result
+        assert tuple(got.prints) == ref["prints"], (
+            f"{result.label}: {run.entry.tenant}/{run.entry.script} "
+            "prints diverged from the serial session"
+        )
+        assert got.mr_jobs == ref["mr_jobs"], (
+            f"{result.label}: {run.entry.tenant} MR-job count diverged"
+        )
+        if fidelity:
+            assert got.total_time == ref["total_time"], (
+                f"{result.label}: {run.entry.tenant} simulated time "
+                f"{got.total_time} != serial {ref['total_time']} "
+                "(static arm must be exactly v1.5 behavior)"
+            )
+    for script, _, _ in MIX:
+        ref = refs[script]
+        written = np.array(hdfs.get(ref["out_path"]).data)
+        assert np.array_equal(written, ref["matrix"]), (
+            f"{result.label}: output matrix of {script} diverged"
+        )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small trace for CI smoke (10 tenants, "
+                             "2 bursts)")
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+
+    tenants, bursts = (10, 2) if args.quick else (24, 3)
+    trace = bursty_trace(
+        seed=SEED, tenants=tenants, bursts=bursts,
+        burst_gap_s=150.0, intra_gap_s=1.5, mix=MIX,
+    )
+    refs = serial_references()
+
+    arms = {}
+    hdfs_by_arm = {}
+    for elastic in (False, True):
+        sim = TraceSimulator(
+            trace, cluster=make_cluster(), elastic=elastic,
+            background=make_background(), sample_cap=SAMPLE_CAP,
+        )
+        result = sim.run()
+        arms[result.label] = result
+        hdfs_by_arm[result.label] = sim.session.hdfs
+    static, brain = arms["static"], arms["brain"]
+
+    check_arm(static, trace, refs, hdfs_by_arm["static"], fidelity=True)
+    check_arm(brain, trace, refs, hdfs_by_arm["brain"], fidelity=False)
+
+    assert (
+        brain.makespan_s < static.makespan_s
+        or brain.utilization > static.utilization
+    ), (
+        f"Brain arm won neither makespan ({brain.makespan_s} vs "
+        f"{static.makespan_s}) nor utilization ({brain.utilization} vs "
+        f"{static.utilization})"
+    )
+    brain_summary = brain.summary()
+    assert brain_summary["rescales"] > 0, "Brain never rescaled a run"
+    assert brain_summary["elastic_admissions"] > 0, (
+        "Brain never admitted below ideal"
+    )
+
+    speedup = static.makespan_s / brain.makespan_s
+    payload = {
+        "benchmark": "elastic",
+        "trace": {
+            "name": trace.name,
+            "entries": len(trace.entries),
+            "bursts": bursts,
+            "mix": [f"{s}:{size}" for s, size, _ in MIX],
+        },
+        "cluster": {"nodes": 1, "node_memory_mb": 1024},
+        "static": static.summary(),
+        "brain": brain_summary,
+        "makespan_speedup": round(speedup, 4),
+        "byte_identical_outputs": True,
+        "fidelity_ablation": (
+            "brain off: every run's duration exactly equals its serial "
+            "single-tenant session"
+        ),
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(f"trace {trace.name}: {len(trace.entries)} entries, "
+          f"{bursts} bursts, 1x1024MB cluster")
+    for label in ("static", "brain"):
+        s = arms[label].summary()
+        print(f"{label:8} makespan {s['makespan_s']:8.1f}s  "
+              f"util {s['utilization']:.3f}  "
+              f"mean wait {s['mean_wait_s']:6.1f}s  "
+              f"rescales {s['rescales']:3d}  "
+              f"elastic adm {s['elastic_admissions']}")
+    print(f"\nmakespan speedup: {speedup:.3f}x  "
+          f"(outputs byte-identical in both arms; static arm exactly "
+          f"serial)")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

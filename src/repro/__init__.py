@@ -32,7 +32,13 @@ from repro.chaos import (
     FaultSpec,
     RetryPolicy,
 )
-from repro.cluster import ClusterConfig, ResourceConfig, paper_cluster, small_cluster
+from repro.cluster import (
+    ClusterConfig,
+    GrantedResource,
+    ResourceConfig,
+    paper_cluster,
+    small_cluster,
+)
 from repro.common import MatrixCharacteristics
 from repro.compiler import compile_program
 from repro.cost import (
@@ -42,6 +48,16 @@ from repro.cost import (
     CostParameters,
     drifted_parameters,
     fit_profile,
+)
+from repro.elastic import (
+    BrainPolicy,
+    ElasticBrain,
+    ElasticTrace,
+    TraceEntry,
+    TraceRecorder,
+    TraceSimulator,
+    bursty_trace,
+    simulate_arms,
 )
 from repro.errors import ReproError
 from repro.obs import Tracer, get_tracer, use_tracer
@@ -63,7 +79,7 @@ from repro.serving import (
 )
 from repro.workloads import prepare_inputs, scenario
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "ElasticMLSession",
@@ -83,9 +99,18 @@ __all__ = [
     "RetryPolicy",
     "ExecutionResult",
     "ClusterConfig",
+    "GrantedResource",
     "ResourceConfig",
     "paper_cluster",
     "small_cluster",
+    "BrainPolicy",
+    "ElasticBrain",
+    "ElasticTrace",
+    "TraceEntry",
+    "TraceRecorder",
+    "TraceSimulator",
+    "bursty_trace",
+    "simulate_arms",
     "MatrixCharacteristics",
     "compile_program",
     "CalibrationCollector",

@@ -144,6 +144,17 @@ class SessionConfig:
     calibration_profile: object = None
     #: components with fewer samples than this keep their base constants
     calibration_min_samples: int = DEFAULT_MIN_SAMPLES
+    # -- continuous elasticity (repro.elastic) ------------------------------
+    #: attach an autoscaling Brain to every execution: mid-run
+    #: grow/shrink of the granted memory under load.  Time-only — plans
+    #: always compile against the ideal config, outputs stay
+    #: byte-identical (off reproduces pre-Brain behavior exactly)
+    elastic: bool = False
+    #: a :class:`~repro.elastic.BrainPolicy` (None = default policy)
+    elastic_policy: object = None
+    #: per-tenant memory quota as a fraction of total cluster memory,
+    #: enforced by the serving resource manager (None = no quotas)
+    tenant_quota_share: float | None = None
 
     def optimizer_options(self):
         """This configuration as :class:`OptimizerOptions`."""
@@ -364,7 +375,7 @@ class ElasticMLSession:
                  sample_cap=DEFAULT_SAMPLE_CAP, seed=0, *,
                  config=None, opt_cache=_UNSET, trace=False,
                  tracer=None, chaos=None, retry_policy=None,
-                 model_params=None, **legacy_knobs):
+                 model_params=None, load=None, **legacy_knobs):
         config = config if config is not None else SessionConfig()
         overrides = {}
         for knob in list(legacy_knobs):
@@ -421,6 +432,13 @@ class ElasticMLSession:
         #: retry/backoff policy for fault recovery
         #: (:class:`repro.chaos.RetryPolicy`); None = the default policy
         self.retry_policy = retry_policy
+        #: background cluster-load model (:class:`repro.cluster.load
+        #: .ClusterLoad`): slows MR phases and feeds the Brain's
+        #: utilization signal when ``config.elastic`` is set
+        self.load = load
+        #: the :class:`~repro.elastic.ElasticBrain` of the most recent
+        #: execution (None when ``config.elastic`` is off)
+        self.last_brain = None
         self._server = None
 
     # legacy knob attributes, backed by the config (compat shim)
@@ -534,6 +552,21 @@ class ElasticMLSession:
             ResourceAdapter(self.make_optimizer(parallel=False))
             if adapt else None
         )
+        brain = None
+        if self.config.elastic:
+            # local import: repro.elastic imports from this module's
+            # dependents (cluster/cost) only, but keep the subsystem
+            # optional at session-construction time
+            from repro.elastic import ElasticBrain
+
+            brain = ElasticBrain(
+                policy=self.config.elastic_policy,
+                cluster=self.cluster,
+                utilization=(
+                    self.load.utilization if self.load is not None else None
+                ),
+            )
+        self.last_brain = brain
         interpreter = Interpreter(
             self.cluster,
             params=self.params,
@@ -541,7 +574,9 @@ class ElasticMLSession:
             sample_cap=self.sample_cap,
             adapter=adapter,
             seed=self.seed,
+            cluster_load=self.load,
             injector=injector,
+            brain=brain,
         )
         def _run():
             if self.calibration is not None:

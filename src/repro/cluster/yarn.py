@@ -106,10 +106,21 @@ class ResourceManager:
         #: tenant -> (used_mb, containers) for multi-tenant serving
         self._tenant_used_mb = {}
         self._tenant_containers = {}
+        #: tenant -> hard memory quota in MB (absent = unlimited)
+        self._tenant_quota_mb = {}
 
     @property
     def available_mb(self):
         return sum(node.available_mb for node in self.nodes)
+
+    @property
+    def utilization(self):
+        """Fraction of total cluster memory currently allocated — the
+        load signal the elasticity Brain polls."""
+        total = self.cluster.total_memory_mb
+        if total <= 0:
+            return 0.0
+        return self.used_mb / total
 
     @property
     def used_mb(self):
@@ -136,20 +147,27 @@ class ResourceManager:
             )
         return request
 
-    def can_fit(self, memory_mb):
-        """Whether some node could grant the request right now."""
+    def can_fit(self, memory_mb, tenant=None):
+        """Whether some node could grant the request right now (and,
+        when ``tenant`` is quota-bound, whether the quota allows it)."""
         request = self.normalize_request(memory_mb)
+        if not self.quota_allows(tenant, request):
+            return False
         return any(node.can_allocate(request) for node in self.nodes)
 
     def try_allocate(self, memory_mb, tenant=None):
         """First-fit allocation; returns a Container or None if the
         cluster currently lacks capacity (or the fault injector denies
-        the request).  ``tenant`` attributes the grant in the per-tenant
-        ledger (serving-layer accounting)."""
+        the request, or the tenant's quota is exhausted).  ``tenant``
+        attributes the grant in the per-tenant ledger (serving-layer
+        accounting)."""
         request = self.normalize_request(memory_mb)
         tracer = get_tracer()
         if self.injector is not None and self.injector.deny_allocation("rm"):
             tracer.incr("yarn.allocation_failures")
+            return None
+        if not self.quota_allows(tenant, request):
+            tracer.incr("yarn.quota_denials")
             return None
         for node in self.nodes:
             if node.can_allocate(request):
@@ -211,6 +229,42 @@ class ResourceManager:
         if total <= 0:
             return 0.0
         return self._tenant_used_mb.get(tenant, 0) / total
+
+    # -- per-tenant quotas ---------------------------------------------------
+
+    def set_tenant_quota(self, tenant, quota_mb):
+        """Cap a tenant's aggregate allocations at ``quota_mb`` (None
+        removes the cap)."""
+        if quota_mb is None:
+            self._tenant_quota_mb.pop(tenant, None)
+            return
+        quota = int(quota_mb)
+        if quota <= 0:
+            raise ClusterError(
+                f"invalid tenant quota: {quota_mb!r} MB for {tenant!r}"
+            )
+        self._tenant_quota_mb[tenant] = quota
+
+    def tenant_quota_mb(self, tenant):
+        """The tenant's quota in MB, or None when unbounded."""
+        return self._tenant_quota_mb.get(tenant)
+
+    def tenant_quota_free_mb(self, tenant):
+        """Quota headroom in MB, or None when the tenant is unbounded."""
+        quota = self._tenant_quota_mb.get(tenant)
+        if quota is None:
+            return None
+        return max(0, quota - self._tenant_used_mb.get(tenant, 0))
+
+    def quota_allows(self, tenant, request_mb):
+        """Whether a request of ``request_mb`` stays within the tenant's
+        quota (always true for quota-less tenants)."""
+        if tenant is None:
+            return True
+        quota = self._tenant_quota_mb.get(tenant)
+        if quota is None:
+            return True
+        return self._tenant_used_mb.get(tenant, 0) + request_mb <= quota
 
     # -- node-manager faults -----------------------------------------------
 

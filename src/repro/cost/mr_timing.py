@@ -63,6 +63,33 @@ class MRJobTiming:
         )
 
 
+def job_input_bytes(job, mc_of, fmt_of):
+    """Total serialized bytes of a job's HDFS inputs (0.0 if unknown)."""
+    input_bytes = 0.0
+    for name in job.input_vars:
+        mc = mc_of(name)
+        if mc is not None and mc.dims_known:
+            input_bytes += io_model.serialized_bytes(mc, fmt_of(name))
+    if not math.isfinite(input_bytes):
+        return 0.0
+    return input_bytes
+
+
+def spill_penalty_time(input_bytes, ideal_heap_mb, granted_heap_mb, params):
+    """Memory-elastic spill penalty: seconds of extra local-disk traffic
+    for running a task below its ideal heap.
+
+    The fraction of per-task state that no longer fits in a
+    ``granted < ideal`` heap is spilled to local disk and re-read, so the
+    penalty scales with the input volume times the missing heap fraction.
+    Time-only by construction: it charges the clock, never the numerics.
+    """
+    if ideal_heap_mb <= 0 or granted_heap_mb >= ideal_heap_mb:
+        return 0.0
+    missing = 1.0 - granted_heap_mb / ideal_heap_mb
+    return params.spill_penalty_factor * input_bytes * missing / params.local_disk_bw
+
+
 def time_mr_job(job, mc_of, fmt_of, resource, cluster, params):
     """Estimate the execution time of one MR job.
 
@@ -76,13 +103,7 @@ def time_mr_job(job, mc_of, fmt_of, resource, cluster, params):
     cp_container = cluster.container_mb_for_heap(resource.cp_heap_mb)
 
     # task layout
-    input_bytes = 0.0
-    for name in job.input_vars:
-        mc = mc_of(name)
-        if mc is not None and mc.dims_known:
-            input_bytes += io_model.serialized_bytes(mc, fmt_of(name))
-    if not math.isfinite(input_bytes):
-        input_bytes = 0.0
+    input_bytes = job_input_bytes(job, mc_of, fmt_of)
     n_tasks = max(1, int(math.ceil(input_bytes / cluster.hdfs_block_size_bytes)))
     dop = max(1, cluster.map_task_parallelism(mr_heap, cp_container))
     dop = min(dop, n_tasks)

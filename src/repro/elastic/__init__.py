@@ -1,0 +1,41 @@
+"""Continuous resource elasticity: the autoscaling Brain.
+
+This package closes the monitor→decide→rescale loop over the paper's
+one-shot resource optimization: a deterministic controller
+(:class:`ElasticBrain`) polls a cluster-load signal at statement-block
+boundaries and grows/shrinks the *granted* fraction of a run's ideal
+resource configuration — memory-elastic execution with a cost-model
+spill penalty charged to time only, never to numerics.  The trace
+module records/generates multi-tenant load traces and the simulator
+replays them in deterministic virtual time (the substrate of
+``bench_elastic`` and the scenario/property test harness).
+"""
+
+from repro.cluster.resources import GrantedResource
+from repro.elastic.brain import BrainPolicy, ElasticBrain
+from repro.elastic.simulator import (
+    SimulatedRun,
+    SimulationResult,
+    TraceSimulator,
+    simulate_arms,
+)
+from repro.elastic.trace import (
+    ElasticTrace,
+    TraceEntry,
+    TraceRecorder,
+    bursty_trace,
+)
+
+__all__ = [
+    "BrainPolicy",
+    "ElasticBrain",
+    "GrantedResource",
+    "ElasticTrace",
+    "TraceEntry",
+    "TraceRecorder",
+    "bursty_trace",
+    "SimulatedRun",
+    "SimulationResult",
+    "TraceSimulator",
+    "simulate_arms",
+]

@@ -88,7 +88,11 @@ def enumerate_block_mr(compiled, block, rc, min_mb, srm, cost_model,
     seen = {}
     if use_memo:
         baseline = ResourceConfig(cp_heap_mb=rc, mr_heap_mb=min_mb)
-        dop, thrash = cost_model.mr_cost_signature(block.block_id, baseline)
+        # the trailing spill element is always None for the plain
+        # configs the optimizer enumerates (grants never reach here)
+        dop, thrash, _ = cost_model.mr_cost_signature(
+            block.block_id, baseline
+        )
         seen[(cache.mr_bucket(block, baseline), thrash)] = dop
     for ri in srm:
         if ri == min_mb:
@@ -102,7 +106,7 @@ def enumerate_block_mr(compiled, block, rc, min_mb, srm, cost_model,
         )
         if use_memo:
             bucket = cache.mr_bucket(block, candidate)
-            dop, thrash = cost_model.mr_cost_signature(
+            dop, thrash, _ = cost_model.mr_cost_signature(
                 block.block_id, candidate
             )
             prev_dop = seen.get((bucket, thrash))

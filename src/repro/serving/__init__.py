@@ -19,6 +19,7 @@ from repro.serving.server import (
     ProgramCache,
     Submission,
     SubmissionResult,
+    default_serving_workers,
 )
 
 __all__ = [
@@ -30,4 +31,5 @@ __all__ = [
     "ProgramCache",
     "Submission",
     "SubmissionResult",
+    "default_serving_workers",
 ]

@@ -68,7 +68,7 @@ class HeapRulePolicy(AdmissionPolicy):
         if not waiting:
             return None
         head = min(waiting, key=lambda r: r.order)
-        if rm.can_fit(head.container_mb):
+        if rm.can_fit(head.container_mb, tenant=head.tenant):
             return head
         return None
 
@@ -95,6 +95,8 @@ class PackingPolicy(AdmissionPolicy):
     def _residual(self, request, rm):
         """Leftover MB on the tightest node that fits the request."""
         need = rm.normalize_request(request.container_mb)
+        if not rm.quota_allows(request.tenant, need):
+            return None
         fits = [
             node.available_mb - need
             for node in rm.nodes

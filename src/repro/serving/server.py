@@ -55,6 +55,15 @@ from repro.scripts import SCRIPTS, load_script
 _UNSET = object()
 
 
+def default_serving_workers():
+    """Serving thread-pool size scaled to the host: one thread per CPU,
+    at least 2 (so admission never self-deadlocks behind one long run),
+    at most 8 (diminishing returns for the simulated runtime)."""
+    import os
+
+    return max(2, min(8, os.cpu_count() or 1))
+
+
 @dataclass(frozen=True)
 class Submission:
     """One tenant's unit of work: a script to compile/optimize/execute."""
@@ -191,10 +200,10 @@ class ElasticMLServer:
 
     def __init__(self, cluster=None, params=None, hdfs=None,
                  sample_cap=DEFAULT_SAMPLE_CAP, config=None,
-                 opt_cache=_UNSET, policy=None, max_workers=8,
+                 opt_cache=_UNSET, policy=None, max_workers=None,
                  queue_limit=1024, retry_policy=None, trace=False,
                  program_cache_entries=32, plan_cache_entries=4096,
-                 model_params=None, collector=_UNSET):
+                 model_params=None, collector=_UNSET, recorder=None):
         from repro.cluster import paper_cluster
         from repro.cost.constants import DEFAULT_PARAMETERS
         from repro.serving.admission import HeapRulePolicy, PendingRequest
@@ -253,9 +262,16 @@ class ElasticMLServer:
         #: here (serving.* counters, one ``tenant.<name>`` root span per
         #: submission)
         self.tracer = Tracer() if self.trace else NULL_TRACER
+        #: optional :class:`~repro.elastic.TraceRecorder` capturing every
+        #: accepted submission as a replayable trace entry
+        self.recorder = recorder
 
         self._executor = ThreadPoolExecutor(
-            max_workers=max_workers, thread_name_prefix="repro-serve"
+            max_workers=(
+                max_workers if max_workers is not None
+                else default_serving_workers()
+            ),
+            thread_name_prefix="repro-serve",
         )
         self._cond = threading.Condition()
         self._tickets = itertools.count(1)
@@ -292,6 +308,8 @@ class ElasticMLServer:
                 self._cond.notify_all()
                 return ticket
         self.tracer.incr("serving.submitted")
+        if self.recorder is not None:
+            self.recorder.record(submission)
         self._executor.submit(self._process, ticket, submission)
         return ticket
 
@@ -354,6 +372,13 @@ class ElasticMLServer:
                 len(self.plan_cache.plans) if self.plan_cache else 0,
         })
         counters["tenant_usage_mb"] = self.rm.usage_by_tenant()
+        for name in (
+            "elastic.polls", "elastic.rescales", "elastic.grows",
+            "elastic.shrinks", "elastic.spilled_jobs",
+            "yarn.quota_denials",
+        ):
+            counters[name] = self.tracer.counter(name)
+        counters["elastic.spill_s"] = self.tracer.counter("elastic.spill_s")
         counters["calib.samples"] = (
             self.calibration.total_samples
             if self.calibration is not None else 0
@@ -442,10 +467,14 @@ class ElasticMLServer:
                 compiled.plan_cache = self.plan_cache
             container_mb = resource.container_request_mb(self.cluster)
 
+        quota = self._ensure_quota(submission.tenant)
         try:
             impossible = self.rm.max_concurrent(container_mb) == 0
         except ClusterError:
             # above the max-allocation constraint: same verdict
+            impossible = True
+        if quota is not None and container_mb > quota:
+            # would wait on its own quota forever: reject up front
             impossible = True
         if impossible:
             tracer.incr("serving.rejected")
@@ -487,6 +516,22 @@ class ElasticMLServer:
             outcome=outcome, container_mb=container.memory_mb,
             wait_s=wait_s, latency_s=time.monotonic() - started,
         )
+
+    def _ensure_quota(self, tenant):
+        """Apply ``config.tenant_quota_share`` to this tenant (idempotent;
+        quotas are per-tenant so they can only be installed once the
+        tenant is seen).  Returns the tenant's quota in MB, or None."""
+        share = self.config.tenant_quota_share
+        if share is None:
+            return None
+        quota = self.rm.tenant_quota_mb(tenant)
+        if quota is None:
+            quota = max(
+                float(self.cluster.min_allocation_mb),
+                float(int(share * self.cluster.total_memory_mb)),
+            )
+            self.rm.set_tenant_quota(tenant, quota)
+        return quota
 
     def _compile(self, source, args):
         input_meta = self.hdfs.input_meta()
@@ -545,6 +590,20 @@ class ElasticMLServer:
             ))
             if submission.adapt else None
         )
+        brain = None
+        if self.config.elastic:
+            from repro.elastic import ElasticBrain
+
+            # live load signal: the RM's instantaneous utilization.  The
+            # poll times are wall-clock dependent, so the *decisions* are
+            # not reproducible across runs — but every decision is a
+            # time-only perturbation, so outputs stay byte-identical.
+            brain = ElasticBrain(
+                policy=self.config.elastic_policy,
+                cluster=self.cluster,
+                utilization=lambda _t: self.rm.utilization,
+                tenant=submission.tenant,
+            )
         interpreter = Interpreter(
             self.cluster,
             params=self.params,
@@ -553,6 +612,7 @@ class ElasticMLServer:
             adapter=adapter,
             seed=submission.seed,
             injector=injector,
+            brain=brain,
         )
         if self.calibration is not None:
             with use_collector(self.calibration):

@@ -12,6 +12,9 @@ Mirrors how SystemML's YARN client is driven from the shell:
     python -m repro trace LinregCG M [--json]   # traced run: spans + counters
     python -m repro serve --tenants 32 --mix LinregDS:XS,LinregCG:XS
                                                 # multi-tenant serving trace
+    python -m repro elastic --tenants 24 --bursts 3 [--json]
+                                                # bursty trace: static vs
+                                                # autoscaling-Brain arms
     python -m repro calibrate LinregDS S --runs 3 --drift 42 --out prof.json
                                                 # fit cost constants from
                                                 # traced actuals
@@ -265,8 +268,10 @@ def build_parser():
     serve.add_argument("--policy", default="heap-rule",
                        choices=["heap-rule", "packing"],
                        help="admission policy (default heap-rule)")
-    serve.add_argument("--serve-workers", type=int, default=8, metavar="N",
-                       help="server thread-pool size (default 8)")
+    serve.add_argument("--serve-workers", type=int, default=None,
+                       metavar="N",
+                       help="server thread-pool size (default: one per "
+                            "CPU, clamped to [2, 8])")
     serve.add_argument("--queue-limit", type=int, default=1024, metavar="N",
                        help="bounded submission queue (default 1024)")
     serve.add_argument("--seed", type=int, default=0,
@@ -274,6 +279,55 @@ def build_parser():
     serve.add_argument("--json", action="store_true",
                        help="dump serving stats as JSON instead of text")
     _add_opt_flags(serve)
+
+    elastic = sub.add_parser(
+        "elastic",
+        help="replay a bursty multi-tenant trace through the "
+             "deterministic virtual-time simulator, comparing a static "
+             "admission arm against the autoscaling Brain",
+    )
+    elastic.add_argument("--tenants", type=int, default=24, metavar="N",
+                         help="submissions in the generated trace "
+                              "(default 24)")
+    elastic.add_argument("--bursts", type=int, default=3,
+                         help="arrival bursts (default 3)")
+    elastic.add_argument("--burst-gap", type=float, default=150.0,
+                         metavar="S",
+                         help="seconds between bursts (default 150)")
+    elastic.add_argument("--intra-gap", type=float, default=1.5,
+                         metavar="S",
+                         help="mean arrival gap within a burst "
+                              "(default 1.5)")
+    elastic.add_argument("--tenant-pool", type=int, default=8, metavar="K",
+                         help="distinct tenant identities (default 8)")
+    elastic.add_argument("--mix", default="LinregDS:XS,LinregCG:XS",
+                         metavar="SCRIPT:SIZE[,SCRIPT:SIZE...]",
+                         help="workload mix cycled across the trace")
+    elastic.add_argument("--cols", type=int, default=100,
+                         help="feature columns of generated inputs")
+    elastic.add_argument("--seed", type=int, default=11,
+                         help="trace generation seed (default 11)")
+    elastic.add_argument("--nodes", type=int, default=1,
+                         help="simulated cluster nodes (default 1)")
+    elastic.add_argument("--node-mem", type=int, default=1024, metavar="MB",
+                         help="memory per node (default 1024)")
+    elastic.add_argument("--quota-share", type=float, default=None,
+                         metavar="F",
+                         help="per-tenant capacity quota as a fraction "
+                              "of total memory (default: no quotas)")
+    elastic.add_argument("--no-background", action="store_true",
+                         help="drop the background load spike that "
+                              "exercises mid-run shrinks")
+    elastic.add_argument("--record", metavar="PATH", default=None,
+                         help="save the generated trace as JSON")
+    elastic.add_argument("--replay", metavar="PATH", default=None,
+                         help="replay a recorded trace JSON instead of "
+                              "generating one")
+    elastic.add_argument("--quick", action="store_true",
+                         help="small trace for CI smoke (10 tenants, "
+                              "2 bursts)")
+    elastic.add_argument("--json", action="store_true",
+                         help="dump the comparison as JSON")
 
     trace = sub.add_parser(
         "trace",
@@ -520,6 +574,83 @@ def cmd_serve(args, session):
     return 0
 
 
+def cmd_elastic(args, session):
+    import json
+
+    from repro.cluster import ClusterLoad, small_cluster
+    from repro.elastic import ElasticTrace, bursty_trace, simulate_arms
+
+    tenants = 10 if args.quick else args.tenants
+    bursts = 2 if args.quick else args.bursts
+    mix = []
+    for entry in args.mix.split(","):
+        if ":" not in entry:
+            raise SystemExit(f"--mix expects SCRIPT:SIZE, got {entry!r}")
+        name, size = entry.split(":", 1)
+        if name not in SCRIPTS:
+            raise SystemExit(f"unknown script {name!r} in --mix")
+        mix.append((name, size, args.cols))
+    if args.replay:
+        trace = ElasticTrace.load(args.replay)
+    else:
+        trace = bursty_trace(
+            seed=args.seed, tenants=tenants, bursts=bursts,
+            burst_gap_s=args.burst_gap, intra_gap_s=args.intra_gap,
+            tenant_pool=args.tenant_pool, mix=tuple(mix),
+        )
+    if args.record:
+        trace.save(args.record)
+    cluster = small_cluster(
+        num_nodes=args.nodes, node_memory_mb=args.node_mem
+    )
+    background = None
+    if not args.no_background:
+        # load spike around the second burst: pressures running Brains
+        # into mid-run shrinks
+        spike_at = args.burst_gap
+        background = ClusterLoad(schedule=[
+            (0.0, 0.0), (spike_at, 0.8), (spike_at + 35.0, 0.0),
+        ])
+    static, brain = simulate_arms(
+        trace, cluster=cluster, background=background,
+        quota_share=args.quota_share,
+    )
+    speedup = (
+        static.makespan_s / brain.makespan_s if brain.makespan_s else 0.0
+    )
+    payload = {
+        "trace": {
+            "name": trace.name,
+            "entries": len(trace.entries),
+            "replayed": bool(args.replay),
+        },
+        "cluster": {
+            "nodes": args.nodes, "node_memory_mb": args.node_mem,
+        },
+        "static": static.summary(),
+        "brain": brain.summary(),
+        "makespan_speedup": round(speedup, 4),
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"trace: {trace.name}  entries: {len(trace.entries)}  "
+          f"cluster: {args.nodes}x{args.node_mem}MB")
+    for arm in (static, brain):
+        s = arm.summary()
+        print(f"\n[{arm.label}] completed={s['completed']} "
+              f"rejected={s['rejected']}")
+        print(f"  makespan: {s['makespan_s']:.1f}s  "
+              f"utilization: {s['utilization']:.3f}  "
+              f"mean wait: {s['mean_wait_s']:.1f}s")
+        if arm.elastic:
+            print(f"  rescales: {s['rescales']}  "
+                  f"elastic admissions: {s['elastic_admissions']}  "
+                  f"spill: {s['total_spill_s']:.1f}s")
+    print(f"\nmakespan speedup (brain vs static): {speedup:.3f}x")
+    return 0
+
+
 def cmd_trace(args, session):
     session.trace = True
     _apply_opt_flags(session, args)
@@ -651,6 +782,7 @@ def main(argv=None):
         "scripts": cmd_scripts,
         "demo": cmd_demo,
         "serve": cmd_serve,
+        "elastic": cmd_elastic,
         "trace": cmd_trace,
         "calibrate": cmd_calibrate,
     }[args.command]

@@ -1,0 +1,225 @@
+"""Unit tests for the autoscaling Brain: granted resources, the spill
+penalty, the control law, and byte-identity of rescaled runs."""
+
+import pytest
+
+from repro.api import ElasticMLSession, SessionConfig
+from repro.cluster import ClusterLoad, ResourceConfig, small_cluster
+from repro.cluster.resources import GrantedResource
+from repro.cost import CostModel
+from repro.cost.constants import DEFAULT_PARAMETERS
+from repro.cost.mr_timing import spill_penalty_time
+from repro.elastic import BrainPolicy, ElasticBrain
+from repro.runtime import Interpreter
+from repro.scripts import load_script
+from repro.workloads import prepare_inputs, scenario
+
+#: small CP heap forces an MR job; large MR heap sits above the grant
+#: floor so shrinking it actually charges spill
+SPILLY = ResourceConfig(128, 512)
+
+
+@pytest.fixture
+def session():
+    sess = ElasticMLSession(cluster=small_cluster(), sample_cap=64)
+    return sess
+
+
+@pytest.fixture
+def linreg_args(session):
+    return prepare_inputs(
+        session.hdfs, "LinregDS", scenario("XS", cols=100)
+    )
+
+
+class TestGrantedResource:
+    def test_scales_every_heap(self):
+        ideal = ResourceConfig(1000, 800, {3: 600})
+        granted = GrantedResource.of(ideal, 0.5)
+        assert granted.cp_heap_mb == 500
+        assert granted.mr_heap_mb == 400
+        assert granted.mr_heap_per_block == {3: 300}
+        assert granted.ideal is ideal
+        assert granted.fraction == 0.5
+
+    def test_fraction_clamped(self):
+        ideal = ResourceConfig(1000)
+        assert GrantedResource.of(ideal, 1.7).fraction == 1.0
+        assert GrantedResource.of(ideal, -0.3).fraction == 0.0
+
+    def test_cluster_floor(self):
+        cluster = small_cluster()
+        floor = cluster.heap_mb_for_container(cluster.min_allocation_mb)
+        granted = GrantedResource.of(
+            ResourceConfig(512, 512), 0.25, cluster
+        )
+        # 512 * 0.25 = 128 sits below the min-allocation heap floor
+        assert granted.cp_heap_mb == floor
+        assert granted.mr_heap_mb == floor
+
+    def test_describe_mentions_grant(self):
+        granted = GrantedResource.of(ResourceConfig(1024), 0.5)
+        assert "grant 50%" in granted.describe()
+
+
+class TestSpillPenalty:
+    def test_zero_at_or_above_ideal(self):
+        p = DEFAULT_PARAMETERS
+        assert spill_penalty_time(1e9, 512, 512, p) == 0.0
+        assert spill_penalty_time(1e9, 512, 1024, p) == 0.0
+        assert spill_penalty_time(1e9, 0, 0, p) == 0.0
+
+    def test_proportional_to_missing_fraction(self):
+        p = DEFAULT_PARAMETERS
+        half = spill_penalty_time(1e9, 512, 256, p)
+        quarter = spill_penalty_time(1e9, 512, 384, p)
+        assert half > quarter > 0
+        assert half == pytest.approx(2 * quarter)
+
+    def test_scales_with_input_bytes(self):
+        p = DEFAULT_PARAMETERS
+        assert spill_penalty_time(2e9, 512, 256, p) == pytest.approx(
+            2 * spill_penalty_time(1e9, 512, 256, p)
+        )
+
+
+class TestControlLaw:
+    def test_shrink_when_hot(self):
+        brain = ElasticBrain(BrainPolicy())
+        assert brain.next_fraction(1.0, 0.9) == 0.75
+        assert brain.next_fraction(0.75, 0.75) == pytest.approx(0.5625)
+
+    def test_grow_when_cool(self):
+        brain = ElasticBrain(BrainPolicy())
+        assert brain.next_fraction(0.75, 0.1) == 1.0
+        assert brain.next_fraction(0.5625, 0.45) == pytest.approx(0.75)
+
+    def test_hold_in_band(self):
+        brain = ElasticBrain(BrainPolicy())
+        assert brain.next_fraction(0.75, 0.6) == 0.75
+
+    def test_floor_and_cap(self):
+        policy = BrainPolicy(min_grant_fraction=0.25)
+        brain = ElasticBrain(policy)
+        frac = 1.0
+        for _ in range(20):
+            frac = brain.next_fraction(frac, 1.0)
+        assert frac >= policy.min_grant_fraction
+        for _ in range(20):
+            frac = brain.next_fraction(frac, 0.0)
+        assert frac == 1.0
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            BrainPolicy(shrink_step=1.0)
+        with pytest.raises(ValueError):
+            BrainPolicy(min_grant_fraction=0.0)
+        with pytest.raises(ValueError):
+            BrainPolicy(cool_utilization=0.9, hot_utilization=0.5)
+
+
+class TestCostModelSpill:
+    def test_spill_component_charged_for_grant(self, session, linreg_args):
+        cluster = session.cluster
+        src = load_script("LinregDS")
+        compiled = session.compile_script(src, linreg_args, resource=SPILLY)
+        model = CostModel(cluster)
+        ideal_cost = model.estimate_program(compiled, SPILLY)
+        granted = GrantedResource.of(SPILLY, 0.25, cluster)
+        components = model.estimate_components(compiled, granted)
+        assert components["total"] > ideal_cost
+        assert components.get("spill", 0.0) > 0.0
+
+    def test_full_grant_costs_like_ideal(self, session, linreg_args):
+        src = load_script("LinregDS")
+        compiled = session.compile_script(src, linreg_args, resource=SPILLY)
+        model = CostModel(session.cluster)
+        granted = GrantedResource.of(SPILLY, 1.0)
+        assert model.estimate_program(compiled, granted) == (
+            model.estimate_program(compiled, SPILLY)
+        )
+
+
+class TestByteIdentity:
+    def test_rescaled_run_same_outputs_more_time(self, session, linreg_args):
+        cluster = session.cluster
+        src = load_script("LinregDS")
+        c_plain = session.compile_script(src, linreg_args, resource=SPILLY)
+        plain = Interpreter(cluster, hdfs=session.hdfs, sample_cap=64).run(
+            c_plain, SPILLY
+        )
+        assert plain.mr_jobs > 0
+
+        c_brain = session.compile_script(src, linreg_args, resource=SPILLY)
+        brain = ElasticBrain(
+            BrainPolicy(), cluster, utilization=lambda _t: 1.0
+        )
+        shrunk = Interpreter(
+            cluster, hdfs=session.hdfs, sample_cap=64, brain=brain
+        ).run(c_brain, SPILLY)
+
+        assert shrunk.prints == plain.prints
+        assert shrunk.mr_jobs == plain.mr_jobs
+        assert brain.fraction < 1.0
+        assert shrunk.total_time > plain.total_time
+        assert shrunk.breakdown.get("spill", 0.0) > 0.0
+
+    def test_brain_decisions_recorded(self, session, linreg_args):
+        src = load_script("LinregDS")
+        compiled = session.compile_script(src, linreg_args, resource=SPILLY)
+        brain = ElasticBrain(
+            BrainPolicy(), session.cluster, utilization=lambda _t: 1.0
+        )
+        Interpreter(
+            session.cluster, hdfs=session.hdfs, sample_cap=64, brain=brain
+        ).run(compiled, SPILLY)
+        assert brain.polls > 0
+        assert len(brain.decisions) == brain.polls
+        fractions = [f for _, _, f in brain.decisions]
+        # hot signal all the way down: fractions never increase
+        assert fractions == sorted(fractions, reverse=True)
+
+
+class TestSessionFidelity:
+    def test_elastic_off_by_default(self):
+        assert SessionConfig().elastic is False
+
+    def test_idle_elastic_session_is_identical(self):
+        cluster = small_cluster()
+        plain = ElasticMLSession(cluster=cluster, sample_cap=64)
+        args = prepare_inputs(
+            plain.hdfs, "LinregDS", scenario("XS", cols=100)
+        )
+        ref = plain.run("LinregDS", args, adapt=False)
+
+        elastic = ElasticMLSession(
+            cluster=cluster, sample_cap=64,
+            config=SessionConfig(elastic=True),
+        )
+        prepare_inputs(elastic.hdfs, "LinregDS", scenario("XS", cols=100))
+        got = elastic.run("LinregDS", args, adapt=False)
+
+        assert got.prints == ref.prints
+        assert got.total_time == ref.total_time
+        assert elastic.last_brain is not None
+        assert elastic.last_brain.fraction == 1.0
+
+    def test_loaded_elastic_session_same_outputs(self):
+        cluster = small_cluster()
+        plain = ElasticMLSession(cluster=cluster, sample_cap=64)
+        args = prepare_inputs(
+            plain.hdfs, "LinregDS", scenario("XS", cols=100)
+        )
+        ref = plain.run("LinregDS", args, resource=SPILLY, adapt=False)
+
+        hot = ElasticMLSession(
+            cluster=cluster, sample_cap=64,
+            config=SessionConfig(elastic=True),
+            load=ClusterLoad.constant(0.9),
+        )
+        prepare_inputs(hot.hdfs, "LinregDS", scenario("XS", cols=100))
+        got = hot.run("LinregDS", args, resource=SPILLY, adapt=False)
+
+        assert got.prints == ref.prints
+        assert hot.last_brain.fraction < 1.0
+        assert got.total_time > ref.total_time

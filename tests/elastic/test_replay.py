@@ -1,0 +1,125 @@
+"""The trace-driven replay harness: record live server sessions to a
+JSON trace, then replay them as a deterministic simulator fixture."""
+
+import pytest
+
+from repro.api import ElasticMLSession, SessionConfig
+from repro.cluster import small_cluster
+from repro.elastic import (
+    ElasticTrace,
+    TraceRecorder,
+    TraceSimulator,
+)
+from repro.serving import ElasticMLServer, Submission
+from repro.workloads import prepare_inputs, scenario
+
+
+@pytest.fixture(scope="module")
+def recorded():
+    """Drive a live multi-tenant server with recording on; returns the
+    recorded trace plus the live results for comparison."""
+    cluster = small_cluster(num_nodes=2, node_memory_mb=2048)
+    recorder = TraceRecorder({"LinregDS": ("XS", 100)})
+    server = ElasticMLServer(
+        cluster=cluster, config=SessionConfig(elastic=True),
+        trace=True, recorder=recorder, sample_cap=64,
+    )
+    args = prepare_inputs(
+        server.hdfs, "LinregDS", scenario("XS", cols=100)
+    )
+    for index in range(4):
+        server.submit(Submission(
+            tenant=f"tenant-{index % 2}", script="LinregDS", args=args,
+            adapt=False,
+        ))
+    results = server.drain()
+    server.shutdown()
+    assert all(r.ok for r in results)
+    return recorder.trace(name="recorded"), results
+
+
+class TestRecorder:
+    def test_every_submission_recorded(self, recorded):
+        trace, results = recorded
+        assert len(trace.entries) == len(results)
+        assert {e.tenant for e in trace.entries} == {
+            "tenant-0", "tenant-1"
+        }
+        assert all(e.script == "LinregDS" for e in trace.entries)
+        assert all(e.size == "XS" and e.cols == 100
+                   for e in trace.entries)
+
+    def test_arrivals_monotone(self, recorded):
+        trace, _ = recorded
+        arrivals = [e.arrival_s for e in trace.entries]
+        assert arrivals == sorted(arrivals)
+        assert arrivals[0] == 0.0
+
+    def test_unregistered_script_raises(self):
+        recorder = TraceRecorder({"LinregDS": ("XS", 100)})
+        with pytest.raises(KeyError):
+            recorder.record(Submission(tenant="t", script="KMeans"))
+
+
+class TestJSONRoundtrip:
+    def test_save_load_roundtrip(self, recorded, tmp_path):
+        trace, _ = recorded
+        path = tmp_path / "trace.json"
+        trace.save(path)
+        loaded = ElasticTrace.load(path)
+        assert loaded.name == trace.name
+        assert loaded.entries == trace.entries
+
+
+class TestReplay:
+    def test_replay_is_deterministic(self, recorded, tmp_path):
+        trace, _ = recorded
+        path = tmp_path / "trace.json"
+        trace.save(path)
+        loaded = ElasticTrace.load(path)
+        cluster = small_cluster(num_nodes=2, node_memory_mb=2048)
+        first, second = [
+            TraceSimulator(loaded, cluster=cluster, elastic=True).run()
+            for _ in range(2)
+        ]
+        assert first.summary() == second.summary()
+        assert [
+            (r.entry.tenant, r.admitted_s, r.finish_s, r.fraction,
+             tuple(r.decisions))
+            for r in first.runs
+        ] == [
+            (r.entry.tenant, r.admitted_s, r.finish_s, r.fraction,
+             tuple(r.decisions))
+            for r in second.runs
+        ]
+
+    def test_replay_matches_live_outputs(self, recorded):
+        """Replayed runs produce the very prints the live server did —
+        elasticity and interleaving perturb time, never results."""
+        trace, live_results = recorded
+        cluster = small_cluster(num_nodes=2, node_memory_mb=2048)
+        replayed = TraceSimulator(
+            trace, cluster=cluster, elastic=True
+        ).run()
+        assert len(replayed.runs) == len(live_results)
+        live_prints = {
+            tuple(r.outcome.result.prints) for r in live_results
+        }
+        sim_prints = {
+            tuple(r.outcome.result.prints) for r in replayed.runs
+        }
+        assert sim_prints == live_prints
+
+    def test_replay_matches_serial_session(self, recorded):
+        trace, _ = recorded
+        cluster = small_cluster(num_nodes=2, node_memory_mb=2048)
+        session = ElasticMLSession(cluster=cluster, sample_cap=64)
+        args = prepare_inputs(
+            session.hdfs, "LinregDS", scenario("XS", cols=100)
+        )
+        ref = session.run("LinregDS", args, adapt=False)
+        replayed = TraceSimulator(
+            trace, cluster=cluster, elastic=True
+        ).run()
+        for run in replayed.runs:
+            assert run.outcome.result.prints == ref.prints
