@@ -1,0 +1,399 @@
+"""Microbenchmarks of the optimizer's hot kernels, regression-guarded.
+
+Tracks p50/p95 latency of the code the grid search spends its time in:
+
+* ``cost.estimate_block`` — one scalar block costing (the inner kernel
+  of the pre-vectorization optimizer);
+* ``cost.estimate_grid_512`` — one *batched* costing of 512 MR points
+  against the same plan, and the scalar 512-point loop it replaces (the
+  vectorization speedup is asserted >= 3x);
+* ``plancache.lookup`` — one bucketed plan-cache probe (key + hit);
+* ``bufferpool.account`` — one buffer-pool insert into a full pool
+  (accounting + LRU eviction, the `_make_room` hot path);
+* ``optimizer.serial.{S,M,XL}`` — whole enumerations at grid
+  resolutions m=5/15/31 (LinregCG, S-scenario data);
+* ``optimizer.process.M`` — the 2-worker process backend vs serial on
+  the M-scenario GLM enumeration (asserted >= 1.0x when the host has
+  >= 2 CPUs; an explicit ``skipped_reason`` otherwise).
+
+Every kernel carries a p95 budget (checked into the JSON); the bench
+fails when a measured p95 exceeds **2x** its budget, so CI catches
+order-of-magnitude regressions while tolerating runner noise.  Budgets
+are calibrated ~4x above a 1-CPU container's p95.
+
+Writes ``BENCH_microbench.json`` (override with ``--out``).  Runnable
+standalone: ``python benchmarks/bench_microbench.py [--quick]``.
+"""
+
+import argparse
+import json
+import math
+import os
+import pathlib
+import statistics
+import sys
+import time
+import types
+
+from _lib import format_table, fresh_compiled
+from repro.cluster import ResourceConfig, paper_cluster
+from repro.compiler import compile_program
+from repro.compiler.plan_cache import PlanCache
+from repro.cost import CostModel
+from repro.cost.constants import DEFAULT_PARAMETERS
+from repro.cost.mr_timing import grid_supported
+from repro.optimizer import ParallelResourceOptimizer, ResourceOptimizer
+from repro.runtime import SimulatedHDFS
+from repro.runtime.bufferpool import BufferPool
+from repro.workloads import scenario
+
+DEFAULT_OUT = pathlib.Path(__file__).resolve().parent.parent / (
+    "BENCH_microbench.json"
+)
+
+#: MR points in the batched-costing kernel (the "XL grid")
+GRID_POINTS = 512
+
+#: p95 budgets in microseconds — the regression contract.  A kernel
+#: fails the bench when its measured p95 exceeds 2x its budget.
+BUDGETS_P95_US = {
+    "cost.estimate_block": 4_000,
+    "cost.estimate_grid_512": 60_000,
+    "cost.estimate_block_loop512": 1_200_000,
+    "plancache.lookup": 60,
+    "bufferpool.account": 250,
+    "optimizer.serial.S": 400_000,
+    "optimizer.serial.M": 1_600_000,
+    "optimizer.serial.XL": 4_000_000,
+}
+
+#: grid resolutions of the enumeration kernels
+GRID_SIZES = {"S": 5, "M": 15, "XL": 31}
+
+_SRC = """
+X = read($X)
+s = sum(X)
+Y = X * 2 + s
+z = sum(t(Y) %*% Y)
+print(z)
+"""
+
+
+def _percentiles_us(samples_s):
+    ordered = sorted(samples_s)
+    p95 = ordered[min(len(ordered) - 1,
+                      max(0, math.ceil(0.95 * len(ordered)) - 1))]
+    return {
+        "p50_us": statistics.median(ordered) * 1e6,
+        "p95_us": p95 * 1e6,
+        "iterations": len(ordered),
+    }
+
+
+def _time_kernel(fn, iters):
+    fn()  # warmup: imports, allocator, caches
+    samples = []
+    for _ in range(iters):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return _percentiles_us(samples)
+
+
+# -- cost-model kernels -------------------------------------------------------
+
+def _cost_fixture():
+    """A compiled program whose plan contains MR jobs (tight CP heap)
+    plus a geometric 512-point MR-heap grid."""
+    cluster = paper_cluster()
+    hdfs = SimulatedHDFS(sample_cap=64)
+    hdfs.create_dense_input("data/X", 400000, 500)  # ~1.6 GB dense
+    compiled = compile_program(
+        _SRC, {"X": "data/X"}, hdfs.input_meta(), ResourceConfig(512, 1024)
+    )
+    block = next(
+        b for b in compiled.last_level_blocks()
+        if b.plan is not None and b.plan.num_mr_jobs
+    )
+    lo, hi = cluster.min_heap_mb, cluster.max_heap_mb
+    heaps = [
+        lo * (hi / lo) ** (i / (GRID_POINTS - 1))
+        for i in range(GRID_POINTS)
+    ]
+    resources = [
+        ResourceConfig(cp_heap_mb=512, mr_heap_mb=lo,
+                       mr_heap_per_block={block.block_id: ri})
+        for ri in heaps
+    ]
+    return cluster, compiled, block, resources
+
+
+def bench_cost_kernels(iters_block, iters_grid, iters_loop):
+    cluster, compiled, block, resources = _cost_fixture()
+    model = CostModel(cluster, DEFAULT_PARAMETERS)
+
+    kernels = {
+        "cost.estimate_block": _time_kernel(
+            lambda: model.estimate_block(compiled, block, resources[0]),
+            iters_block,
+        )
+    }
+
+    grid_speedup = {
+        "points": GRID_POINTS, "speedup": None,
+        "asserted": False, "skipped_reason": None,
+    }
+    if not grid_supported():
+        grid_speedup["skipped_reason"] = "numpy unavailable"
+    else:
+        kernels["cost.estimate_grid_512"] = _time_kernel(
+            lambda: model.estimate_grid(compiled, block, resources),
+            iters_grid,
+        )
+        kernels["cost.estimate_block_loop512"] = _time_kernel(
+            lambda: [
+                model.estimate_block(compiled, block, r)
+                for r in resources
+            ],
+            iters_loop,
+        )
+        # sanity: the batch must match the scalar loop bit-for-bit
+        grid = model.estimate_grid(compiled, block, resources)
+        loop = [
+            model.estimate_block(compiled, block, r) for r in resources
+        ]
+        assert grid == loop, "estimate_grid diverged from estimate_block"
+        speedup = (
+            kernels["cost.estimate_block_loop512"]["p50_us"]
+            / kernels["cost.estimate_grid_512"]["p50_us"]
+        )
+        grid_speedup["speedup"] = speedup
+        assert speedup >= 3.0, (
+            f"estimate_grid only {speedup:.2f}x faster than the scalar "
+            f"512-point loop; the vectorized path must be >= 3x"
+        )
+        grid_speedup["asserted"] = True
+    return kernels, grid_speedup
+
+
+# -- plan-cache kernel --------------------------------------------------------
+
+def bench_plancache_lookup(iters):
+    cluster, compiled, block, resources = _cost_fixture()
+    cache = PlanCache()
+    key = cache.key_for(block, resources[0])
+    cache.store(key, block.plan)
+
+    def probe():
+        hit = cache.lookup(cache.key_for(block, resources[0]))
+        assert hit is not None
+
+    return {"plancache.lookup": _time_kernel(probe, iters)}
+
+
+# -- buffer-pool kernel -------------------------------------------------------
+
+def _stub_matrix(size_bytes):
+    return types.SimpleNamespace(
+        memory_size=float(size_bytes), in_memory=False, dirty=False,
+        local_copy=False, hdfs_path=None, mc=None, fmt=None,
+    )
+
+
+def bench_bufferpool_account(iters):
+    mb = 1 << 20
+    pool = BufferPool(64 * mb, DEFAULT_PARAMETERS, lambda s, cat: None)
+    for _ in range(64):  # fill to capacity: every insert now evicts
+        pool.put(_stub_matrix(mb))
+
+    def insert():
+        pool.put(_stub_matrix(mb))
+
+    return {"bufferpool.account": _time_kernel(insert, iters)}
+
+
+# -- enumeration kernels ------------------------------------------------------
+
+def bench_serial_enumeration(iters):
+    cluster = paper_cluster()
+    scn = scenario("S")
+    # equi grids: m^2 enumeration points, so S/M/XL really are
+    # different grid sizes (the hybrid grid's point count is driven by
+    # the program's memory estimates, not m).  Compilation happens once,
+    # outside the timer — the kernel is the enumeration itself.
+    compiled, _, _ = fresh_compiled("LinregCG", scn)
+    kernels = {}
+    for size, m in GRID_SIZES.items():
+        def run(m=m):
+            ResourceOptimizer(
+                cluster, m=m, grid_cp="equi", grid_mr="equi"
+            ).optimize(compiled)
+
+        kernels[f"optimizer.serial.{size}"] = _time_kernel(run, iters)
+    return kernels
+
+
+def bench_process_vs_serial(iters):
+    """Serial vs 2-worker process backend, M-scenario GLM (m=15)."""
+    outcome = {
+        "speedup": None, "serial_s": None, "process_s": None,
+        "workers": 2, "asserted": False, "skipped_reason": None,
+    }
+    cpus = os.cpu_count() or 1
+    if cpus < 2:
+        outcome["skipped_reason"] = f"host has {cpus} CPU(s), need >= 2"
+        return {}, outcome
+    cluster = paper_cluster()
+    scn = scenario("M", cols=1000)
+
+    def serial():
+        compiled, _, _ = fresh_compiled("GLM", scn)
+        ResourceOptimizer(cluster, m=15).optimize(compiled)
+
+    def process():
+        compiled, _, _ = fresh_compiled("GLM", scn)
+        ParallelResourceOptimizer(
+            cluster, m=15, num_workers=2, backend="process"
+        ).optimize(compiled)
+
+    kernels = {
+        "optimizer.serial.GLM_M": _time_kernel(serial, iters),
+        "optimizer.process.GLM_M_x2": _time_kernel(process, iters),
+    }
+    outcome["serial_s"] = kernels["optimizer.serial.GLM_M"]["p50_us"] / 1e6
+    outcome["process_s"] = (
+        kernels["optimizer.process.GLM_M_x2"]["p50_us"] / 1e6
+    )
+    outcome["speedup"] = outcome["serial_s"] / outcome["process_s"]
+    assert outcome["speedup"] >= 1.0, (
+        f"process backend must not lose to serial at 2 workers on >= 2 "
+        f"CPUs: got {outcome['speedup']:.2f}x"
+    )
+    outcome["asserted"] = True
+    return kernels, outcome
+
+
+# -- harness ------------------------------------------------------------------
+
+def run_experiment(quick=False):
+    kernels = {}
+    cost_kernels, grid_speedup = bench_cost_kernels(
+        iters_block=50 if quick else 200,
+        iters_grid=3 if quick else 10,
+        iters_loop=2 if quick else 5,
+    )
+    kernels.update(cost_kernels)
+    kernels.update(bench_plancache_lookup(200 if quick else 1000))
+    kernels.update(bench_bufferpool_account(100 if quick else 500))
+    kernels.update(bench_serial_enumeration(1 if quick else 3))
+    process_kernels, process_vs_serial = bench_process_vs_serial(
+        1 if quick else 2
+    )
+    kernels.update(process_kernels)
+
+    for name, record in kernels.items():
+        record["budget_p95_us"] = BUDGETS_P95_US.get(name)
+    return {
+        "bench": "microbench",
+        "cpu_count": os.cpu_count(),
+        "quick": quick,
+        "kernels": kernels,
+        "grid_speedup": grid_speedup,
+        "process_vs_serial": process_vs_serial,
+    }
+
+
+def check_budgets(data):
+    """Kernels whose p95 exceeds 2x their checked-in budget."""
+    violations = []
+    for name, record in data["kernels"].items():
+        budget = record.get("budget_p95_us")
+        if budget is not None and record["p95_us"] > 2 * budget:
+            violations.append(
+                f"{name}: p95 {record['p95_us']:.0f}us > "
+                f"2 * budget {budget}us"
+            )
+    return violations
+
+
+def render(data):
+    rows = []
+    for name in sorted(data["kernels"]):
+        record = data["kernels"][name]
+        budget = record.get("budget_p95_us")
+        rows.append([
+            name,
+            f"{record['p50_us']:.1f}",
+            f"{record['p95_us']:.1f}",
+            str(budget) if budget is not None else "-",
+            str(record["iterations"]),
+        ])
+    grid = data["grid_speedup"]
+    proc = data["process_vs_serial"]
+    grid_line = (
+        f"estimate_grid speedup over scalar loop "
+        f"({grid['points']} pts): "
+        + (f"{grid['speedup']:.1f}x (asserted >= 3x)"
+           if grid["speedup"] is not None
+           else f"skipped: {grid['skipped_reason']}")
+    )
+    proc_line = (
+        "process x2 vs serial (GLM M): "
+        + (f"{proc['speedup']:.2f}x (asserted >= 1.0x)"
+           if proc["speedup"] is not None
+           else f"skipped: {proc['skipped_reason']}")
+    )
+    return format_table(
+        ["kernel", "p50 (us)", "p95 (us)", "budget p95", "iters"],
+        rows,
+        title=(
+            f"Hot-kernel microbenchmarks; host has {data['cpu_count']} "
+            f"CPUs{' (quick)' if data['quick'] else ''}\n"
+            f"{grid_line}\n{proc_line}"
+        ),
+    )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer iterations (CI smoke mode)")
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT,
+                        help="where to write BENCH_microbench.json")
+    args = parser.parse_args(argv)
+    data = run_experiment(quick=args.quick)
+    violations = check_budgets(data)
+    data["budget_violations"] = violations
+    print(render(data))
+    args.out.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {args.out}")
+    if violations:
+        print("BUDGET VIOLATIONS:\n  " + "\n  ".join(violations),
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+try:
+    import pytest
+except ImportError:  # standalone mode in minimal environments
+    pytest = None
+
+if pytest is not None:
+
+    @pytest.mark.repro
+    def test_microbench(benchmark, report):
+        data = benchmark.pedantic(
+            run_experiment, kwargs={"quick": True}, rounds=1, iterations=1
+        )
+        violations = check_budgets(data)
+        data["budget_violations"] = violations
+        report("microbench", render(data))
+        DEFAULT_OUT.write_text(
+            json.dumps(data, indent=2, sort_keys=True) + "\n"
+        )
+        assert not violations, violations
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -77,6 +77,8 @@ def measure_script(script, max_workers):
     golden = _normalized(compiled, serial)
 
     process_s = {}
+    phases = {}
+    start_method = None
     for workers in [w for w in WORKER_STEPS if w <= max_workers]:
         compiled_k, _, _ = fresh_compiled(script, scn)
         optimizer = ParallelResourceOptimizer(
@@ -90,10 +92,22 @@ def measure_script(script, max_workers):
             f"{script}: process x{workers} diverged from serial: "
             f"{got} != {golden}"
         )
+        start_method = result.start_method
+        phases[workers] = {
+            "snapshot_s": result.snapshot_s,
+            "snapshot_bytes": result.snapshot_bytes,
+            "dispatch_s": result.dispatch_s,
+            "enumerate_s": result.enumerate_s,
+            "fold_s": result.fold_s,
+            "chunk_points": result.chunk_points,
+            "chunks": result.tasks_dispatched,
+        }
     return {
         "serial_s": serial_s,
         "process_s": process_s,
         "speedup": {k: serial_s / v for k, v in process_s.items()},
+        "phases": phases,
+        "start_method": start_method,
         "cost_s": serial.cost,
         "resource": serial.resource.describe(),
     }
@@ -144,6 +158,9 @@ def run_experiment(max_workers=4):
         "scenario": "M dense1000 (Hybrid m=15)",
         "cpu_count": os.cpu_count(),
         "max_workers": max_workers,
+        "start_method": next(
+            iter(records.values())
+        )["start_method"],
         "scripts": records,
         "cache": cache,
     }
@@ -164,12 +181,24 @@ def render(data):
         row.append(rec["resource"])
         rows.append(row)
     cache = data["cache"]
+    for script, rec in data["scripts"].items():
+        for workers, phase in sorted(rec.get("phases", {}).items()):
+            rows.append([
+                f"{script} x{workers}",
+                f"snap {phase['snapshot_s'] * 1e3:.1f}ms"
+                f"/{phase['snapshot_bytes'] / 1024:.0f}KiB",
+                f"disp {phase['dispatch_s'] * 1e3:.1f}ms",
+                f"enum {phase['enumerate_s'] * 1e3:.1f}ms",
+                f"fold {phase['fold_s'] * 1e3:.1f}ms",
+                f"{phase['chunks']} chunks x{phase['chunk_points']}rc",
+            ])
     return format_table(
         ["Prog.", "serial", "proc x1", "proc x2", "proc x4", "chosen"],
         rows,
         title=(
             f"Optimizer wall clock, {data['scenario']}; host has "
-            f"{data['cpu_count']} CPUs\ncross-run cache: first run "
+            f"{data['cpu_count']} CPUs, start method "
+            f"{data['start_method']}\ncross-run cache: first run "
             f"{cache['first_run_s']:.3f}s -> cached run "
             f"{cache['second_run_s']:.3f}s "
             f"({cache['optcache_hits']} hit(s), enumeration skipped)"

@@ -126,9 +126,15 @@ class SessionConfig:
     #: auto backend policy: below this many enumeration points the
     #: process backend falls back to serial (0 disables)
     auto_serial_points: int = DEFAULT_AUTO_SERIAL_POINTS
+    #: r_c points per dispatched enumeration chunk (None = adaptive:
+    #: ``grid_points / (workers * target_chunks_per_worker)``)
+    chunk_points: int | None = None
     # -- caches -------------------------------------------------------------
     #: ablation switch: disable the memoizing plan/cost cache
     enable_plan_cache: bool = True
+    #: ablation switch: disable vectorized MR-grid batch costing
+    #: (chosen configurations are byte-identical either way)
+    enable_vector_costing: bool = True
     #: build a cross-run :class:`OptimizerResultCache` for the session
     opt_cache: bool = True
     #: LRU bound of the default cross-run cache
@@ -167,6 +173,8 @@ class SessionConfig:
             backend=self.opt_backend,
             enable_plan_cache=self.enable_plan_cache,
             auto_serial_points=self.auto_serial_points,
+            enable_vector_costing=self.enable_vector_costing,
+            chunk_points=self.chunk_points,
         )
 
     def build_opt_cache(self):
@@ -180,7 +188,8 @@ class SessionConfig:
 #: (the one-release compatibility shim)
 _LEGACY_CONFIG_KNOBS = (
     "grid_cp", "grid_mr", "grid_m", "opt_workers", "opt_backend",
-    "auto_serial_points", "enable_plan_cache",
+    "auto_serial_points", "enable_plan_cache", "enable_vector_costing",
+    "chunk_points",
 )
 
 
@@ -458,6 +467,14 @@ class ElasticMLSession:
     )
     enable_plan_cache = _config_knob(
         "enable_plan_cache", "Memoizing plan/cost cache ablation switch."
+    )
+    enable_vector_costing = _config_knob(
+        "enable_vector_costing",
+        "Vectorized MR-grid batch costing ablation switch.",
+    )
+    chunk_points = _config_knob(
+        "chunk_points",
+        "r_c points per parallel-enumeration chunk (None = adaptive).",
     )
 
     # -- compilation -----------------------------------------------------

@@ -33,6 +33,8 @@ Two backends share one public class, :class:`ParallelResourceOptimizer`:
 from __future__ import annotations
 
 import copy
+import math
+import multiprocessing as mp
 import pickle
 import queue
 import threading
@@ -58,6 +60,14 @@ from repro.optimizer.pruning import prune_program_blocks
 
 #: recognised enumeration backends
 BACKENDS = ("process", "thread")
+
+#: recognised worker snapshot transports (process backend)
+SNAPSHOT_MODES = ("auto", "fork", "pickle")
+
+#: adaptive chunk sizing targets this many chunks per worker: large
+#: enough chunks to amortize IPC, small enough that a straggler chunk
+#: cannot idle the rest of the pool for long
+TARGET_CHUNKS_PER_WORKER = 4
 
 #: default auto-backend threshold used by the session layer: below this
 #: many enumeration points (CP grid x MR grid x blocks) the process
@@ -85,6 +95,19 @@ class ParallelOptimizerResult(OptimizerResult):
     backend: str = "thread"
     #: task chunks dispatched to the pool (process backend)
     tasks_dispatched: int = 0
+    #: serialized snapshot size shipped to workers (0 under fork
+    #: inheritance — nothing is serialized)
+    snapshot_bytes: int = 0
+    #: r_c points per dispatched chunk (process backend)
+    chunk_points: int = 0
+    #: worker start method actually used: "fork" (copy-on-write
+    #: inheritance) or the multiprocessing default for pickle transport
+    start_method: str = ""
+    #: per-phase wall-clock breakdown of the process backend
+    snapshot_s: float = 0.0
+    dispatch_s: float = 0.0
+    enumerate_s: float = 0.0
+    fold_s: float = 0.0
 
 
 class ParallelResourceOptimizer:
@@ -93,7 +116,9 @@ class ParallelResourceOptimizer:
     def __init__(self, cluster, params=None, grid_cp="hybrid",
                  grid_mr="hybrid", m=15, w=2.0, num_workers=4,
                  enable_plan_cache=True, backend="process",
-                 batch_size=None, auto_serial_points=0, options=None):
+                 batch_size=None, auto_serial_points=0,
+                 enable_vector_costing=True, chunk_points=None,
+                 snapshot="auto", options=None):
         if options is not None:
             grid_cp, grid_mr = options.grid_cp, options.grid_mr
             m, w = options.m, options.w
@@ -101,11 +126,22 @@ class ParallelResourceOptimizer:
             num_workers = options.num_workers
             backend = options.backend
             auto_serial_points = options.auto_serial_points
+            enable_vector_costing = options.enable_vector_costing
+            chunk_points = options.chunk_points
+            snapshot = options.snapshot
         if backend not in BACKENDS:
             raise ValueError(
                 f"unknown enumeration backend {backend!r}; "
                 f"expected one of {BACKENDS}"
             )
+        if snapshot not in SNAPSHOT_MODES:
+            raise ValueError(
+                f"unknown snapshot mode {snapshot!r}; "
+                f"expected one of {SNAPSHOT_MODES}"
+            )
+        if chunk_points is None and batch_size is not None:
+            # deprecated alias from the first process-backend release
+            chunk_points = batch_size
         self.cluster = cluster
         self.params = params
         self.grid_cp = grid_cp
@@ -115,15 +151,44 @@ class ParallelResourceOptimizer:
         self.num_workers = max(1, num_workers)
         #: ablation switch: disable the memoizing plan/cost cache
         self.enable_plan_cache = enable_plan_cache
+        #: ablation switch: disable vectorized MR-grid batch costing
+        self.enable_vector_costing = enable_vector_costing
         #: "process" (wall-clock parallel) or "thread" (Appendix C model)
         self.backend = backend
         #: CP grid points per dispatched task chunk (process backend);
-        #: None picks one r_c per chunk — each chunk already batches all
-        #: of that point's (r_c, block) enumeration work
-        self.batch_size = batch_size
+        #: None sizes chunks adaptively — see :meth:`_resolve_chunk_points`
+        self.chunk_points = chunk_points
+        #: worker snapshot transport: "auto" picks fork inheritance when
+        #: the platform supports it, pickle otherwise
+        self.snapshot = snapshot
         #: auto backend policy threshold (0 = off): see
         #: :attr:`OptimizerOptions.auto_serial_points`
         self.auto_serial_points = auto_serial_points
+
+    @property
+    def batch_size(self):
+        """Deprecated alias of :attr:`chunk_points`."""
+        return self.chunk_points
+
+    def _resolve_chunk_points(self, n_src):
+        """r_c points per chunk: explicit knob, or adaptive sizing that
+        targets :data:`TARGET_CHUNKS_PER_WORKER` chunks per worker (the
+        old one-r_c-per-chunk default paid one IPC round trip per grid
+        point, which dominated small per-point work)."""
+        if self.chunk_points is not None:
+            return max(1, self.chunk_points)
+        return max(
+            1,
+            math.ceil(n_src / (self.num_workers * TARGET_CHUNKS_PER_WORKER)),
+        )
+
+    def _resolve_snapshot(self):
+        """The snapshot transport to use: "fork" or "pickle"."""
+        if self.snapshot != "auto":
+            return self.snapshot
+        return (
+            "fork" if "fork" in mp.get_all_start_methods() else "pickle"
+        )
 
     def _enumeration_work(self, compiled):
         """Upper bound on enumeration points: CP grid x MR grid x
@@ -150,6 +215,7 @@ class ParallelResourceOptimizer:
             self.cluster, self.params, grid_cp=self.grid_cp,
             grid_mr=self.grid_mr, m=self.m, w=self.w,
             enable_plan_cache=self.enable_plan_cache,
+            enable_vector_costing=self.enable_vector_costing,
         ).optimize(compiled)
         return ParallelOptimizerResult(
             resource=serial.resource,
@@ -190,6 +256,18 @@ class ParallelResourceOptimizer:
                 tracer.incr("optpar.enum_records",
                             len(result.task_records))
                 tracer.gauge("optpar.workers", result.num_workers)
+                if result.backend == "process":
+                    tracer.gauge("optpar.snapshot_bytes",
+                                 result.snapshot_bytes)
+                    tracer.gauge("optpar.chunk_points",
+                                 result.chunk_points)
+                    tracer.incr("optpar.phase.snapshot_s",
+                                result.snapshot_s)
+                    tracer.incr("optpar.phase.dispatch_s",
+                                result.dispatch_s)
+                    tracer.incr("optpar.phase.enumerate_s",
+                                result.enumerate_s)
+                    tracer.incr("optpar.phase.fold_s", result.fold_s)
                 if self.backend == "process":
                     # pool workers traced into the void (their processes
                     # hold no tracer): mirror the counters the serial
@@ -233,75 +311,116 @@ class ParallelResourceOptimizer:
         # message (None detaches any stale cache from a previous run)
         cache = PlanCache() if self.enable_plan_cache else None
         compiled.plan_cache = cache
-        payload = pickle.dumps(
-            {
-                "compiled": compiled,
-                "cluster": self.cluster,
-                "params": self.params,
-                "min_mb": min_mb,
-                "srm": srm,
-                "enable_plan_cache": self.enable_plan_cache,
-            },
-            protocol=pickle.HIGHEST_PROTOCOL,
-        )
+        state = {
+            "compiled": compiled,
+            "cluster": self.cluster,
+            "params": self.params,
+            "min_mb": min_mb,
+            "srm": srm,
+            "enable_plan_cache": self.enable_plan_cache,
+            "enable_vector_costing": self.enable_vector_costing,
+        }
+        mode = self._resolve_snapshot()
 
-        batch = self.batch_size or 1
+        batch = self._resolve_chunk_points(len(src))
         chunks = [src[i:i + batch] for i in range(0, len(src), batch)]
         result.tasks_dispatched = len(chunks)
+        result.chunk_points = batch
 
-        points = {}  # rc -> worker-reported point dict
-        totals = {"compilations": 0, "cost_invocations": 0,
-                  "cost_memo_hits": 0, "cache_hits": 0, "cache_misses": 0,
-                  "mr_points_skipped": 0}
-        with ProcessPoolExecutor(
-            max_workers=self.num_workers,
-            initializer=_process_worker_init,
-            initargs=(payload,),
-        ) as pool:
-            futures = [
-                pool.submit(_process_enumerate_chunk, chunk)
-                for chunk in chunks
-            ]
+        points = {}  # rc -> packed worker-reported point tuple
+        totals = [0] * 7  # counter deltas, see _process_enumerate_chunk
+        t0 = time.perf_counter()
+        if mode == "fork":
+            # zero-copy transport: the snapshot rides into the workers
+            # through fork's copy-on-write address space — nothing is
+            # serialized.  Workers mutate only their private COW pages.
+            ctx = mp.get_context("fork")
+            payload = None
+            result.snapshot_bytes = 0
+            result.start_method = "fork"
+            pool_kwargs = dict(
+                mp_context=ctx,
+                initializer=_fork_worker_init,
+                initargs=(),
+            )
+        else:
+            ctx = None
+            payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+            result.snapshot_bytes = len(payload)
+            result.start_method = mp.get_start_method()
+            pool_kwargs = dict(
+                initializer=_process_worker_init,
+                initargs=(payload,),
+            )
+        result.snapshot_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        try:
+            if mode == "fork":
+                # hold the lock across pool creation + submission: the
+                # executor forks workers lazily during submit, and every
+                # fork must see *this* optimizer's snapshot global
+                _FORK_LOCK.acquire()
+                _set_fork_snapshot(state)
+            pool = ProcessPoolExecutor(
+                max_workers=self.num_workers, **pool_kwargs
+            )
             try:
-                for future in as_completed(futures):
-                    out = future.result()
-                    for point in out["points"]:
-                        points[point["rc"]] = point
-                    for key in totals:
-                        totals[key] += out[key]
-            except BaseException:
-                pool.shutdown(wait=False, cancel_futures=True)
-                raise
+                futures = [
+                    pool.submit(_process_enumerate_chunk, chunk)
+                    for chunk in chunks
+                ]
+            finally:
+                if mode == "fork":
+                    _FORK_LOCK.release()
+            result.dispatch_s = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            with pool:
+                try:
+                    for future in as_completed(futures):
+                        chunk_points, *deltas = future.result()
+                        for point in chunk_points:
+                            points[point[0]] = point
+                        for i, delta in enumerate(deltas):
+                            totals[i] += delta
+                except BaseException:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    raise
+        finally:
+            if mode == "fork":
+                _set_fork_snapshot(None)  # unpin the snapshot's memory
+        result.enumerate_s = time.perf_counter() - t0
         if len(points) != len(src):
             raise OptimizationError(
                 "process enumeration lost grid points: "
                 f"expected {len(src)}, got {len(points)}"
             )
 
+        t0 = time.perf_counter()
         # pruning is reported at the first CP point, exactly like the
         # serial optimizer (MR usage is maximal at min heap)
-        first = points[src[0]]
-        result.stats.pruned_small = first["pruned_small"]
-        result.stats.pruned_unknown = first["pruned_unknown"]
-        result.stats.remaining_blocks = first["remaining"]
+        _, _, _, pruned_small, pruned_unknown, remaining, _ = points[src[0]]
+        result.stats.pruned_small = pruned_small
+        result.stats.pruned_unknown = pruned_unknown
+        result.stats.remaining_blocks = remaining
 
         # replay the serial selection rule over the CP grid in ascending
         # order: identical update_best sequence => identical choice
         best_resource = None
         best_cost = float("inf")
         for rc in src:
-            point = points[rc]
+            _, vector, cost, _, _, _, records = points[rc]
             chosen = ResourceConfig(
                 cp_heap_mb=rc,
                 mr_heap_mb=min_mb,
-                mr_heap_per_block=dict(point["vector"]),
+                mr_heap_per_block=dict(vector),
             )
-            result.cp_profile.append((rc, point["cost"]))
+            result.cp_profile.append((rc, cost))
             best_resource, best_cost = update_best(
-                best_resource, best_cost, chosen, point["cost"]
+                best_resource, best_cost, chosen, cost
             )
             result.task_records.extend(
-                TaskRecord(*record) for record in point["records"]
+                TaskRecord(*record) for record in records
             )
 
         # leave the master program compiled under the returned
@@ -309,21 +428,23 @@ class ParallelResourceOptimizer:
         for block in blocks:
             recompile_block_plan(compiled, block, best_resource, cache=cache)
         compiled.resource = best_resource
+        result.fold_s = time.perf_counter() - t0
 
         result.resource = best_resource
         result.cost = best_cost
         result.stats.optimization_time = time.perf_counter() - start
+        (compilations, cost_invocations, cost_memo_hits, cache_hits,
+         cache_misses, mr_points_skipped, mr_points_batched) = totals
         result.stats.block_compilations = (
-            compiled.stats.block_compilations + totals["compilations"]
+            compiled.stats.block_compilations + compilations
         )
-        result.stats.cost_invocations = totals["cost_invocations"]
-        result.stats.cost_memo_hits = totals["cost_memo_hits"]
-        result.stats.mr_points_skipped = totals["mr_points_skipped"]
+        result.stats.cost_invocations = cost_invocations
+        result.stats.cost_memo_hits = cost_memo_hits
+        result.stats.mr_points_skipped = mr_points_skipped
+        result.stats.mr_points_batched = mr_points_batched
         if cache is not None:
-            result.stats.plan_cache_hits = cache.hits + totals["cache_hits"]
-            result.stats.plan_cache_misses = (
-                cache.misses + totals["cache_misses"]
-            )
+            result.stats.plan_cache_hits = cache.hits + cache_hits
+            result.stats.plan_cache_misses = cache.misses + cache_misses
         return result
 
     # -- thread backend ------------------------------------------------------
@@ -467,6 +588,7 @@ class ParallelResourceOptimizer:
                             local, block, rc, min_mb, srm, cost_model,
                             baseline_costs[(rc, block_id)],
                             cache=local_cache,
+                            vectorize=self.enable_vector_costing,
                         )
                         memo[(rc, block_id)] = best  # lock-free update
                         record("enum", rc, block_id,
@@ -578,25 +700,56 @@ class ParallelResourceOptimizer:
 # -- process-pool worker side ------------------------------------------------
 #
 # Worker state lives in a module global set by the pool initializer: the
-# snapshot is unpickled once per worker process and reused for every
-# task chunk, so per-chunk IPC carries only grid points and results.
+# snapshot reaches each worker exactly once — unpickled from the
+# initializer payload under pickle transport, or inherited copy-on-write
+# under fork transport — and is reused for every task chunk, so
+# per-chunk IPC carries only grid points and packed result tuples.
 
 _WORKER_STATE = None
 
+#: fork-transport snapshot: the master parks the state dict here, holds
+#: :data:`_FORK_LOCK` across pool creation + submission (the executor
+#: forks workers lazily), and clears it once all chunks completed.  The
+#: children's :func:`_fork_worker_init` reads their inherited copy —
+#: mutations stay in private copy-on-write pages, so concurrent
+#: optimizers and later master work never observe worker state.
+_FORK_SNAPSHOT = None
+_FORK_LOCK = threading.Lock()
 
-def _process_worker_init(payload):
-    """Pool initializer: unpack the program snapshot into this process."""
-    global _WORKER_STATE
-    state = pickle.loads(payload)
+
+def _set_fork_snapshot(state):
+    global _FORK_SNAPSHOT
+    _FORK_SNAPSHOT = state
+
+
+def _build_worker_state(state):
+    """Materialize this process's private worker state from a snapshot
+    dict (shared by the pickle and fork initializers)."""
     compiled = state["compiled"]
-    _WORKER_STATE = {
+    return {
         "compiled": compiled,
         "blocks": list(compiled.last_level_blocks()),
         "cache": compiled.plan_cache if state["enable_plan_cache"] else None,
         "cost_model": CostModel(state["cluster"], state["params"]),
         "min_mb": state["min_mb"],
         "srm": state["srm"],
+        "vectorize": state.get("enable_vector_costing", False),
     }
+
+
+def _process_worker_init(payload):
+    """Pool initializer (pickle transport): unpack the snapshot."""
+    global _WORKER_STATE
+    _WORKER_STATE = _build_worker_state(pickle.loads(payload))
+
+
+def _fork_worker_init():
+    """Pool initializer (fork transport): adopt the snapshot this
+    process inherited copy-on-write at fork time."""
+    global _WORKER_STATE
+    if _FORK_SNAPSHOT is None:  # pragma: no cover - master bug
+        raise OptimizationError("fork snapshot missing in worker")
+    _WORKER_STATE = _build_worker_state(_FORK_SNAPSHOT)
 
 
 def _process_enumerate_chunk(rcs):
@@ -605,8 +758,9 @@ def _process_enumerate_chunk(rcs):
     Mirrors the serial optimizer's inner loop exactly (baseline compile,
     prune, baseline costing, per-block MR enumeration, whole-program
     aggregate costing) so the reported costs are the byte-identical
-    floats the serial optimizer computes.  Returns the per-point results
-    plus counter deltas for the master's stats merge.
+    floats the serial optimizer computes.  Returns a packed tuple
+    ``(points, *counter_deltas)`` — positional, not keyed, to keep the
+    per-chunk result payload small (the master unpacks by position).
     """
     st = _WORKER_STATE
     compiled = st["compiled"]
@@ -618,19 +772,24 @@ def _process_enumerate_chunk(rcs):
     miss0 = cache.misses if cache is not None else 0
     local_stats = OptimizerStats()
     points = [_enumerate_rc(st, rc, local_stats) for rc in rcs]
-    return {
-        "points": points,
-        "compilations": compiled.stats.block_compilations - comp0,
-        "cost_invocations": cost_model.invocations - inv0,
-        "cost_memo_hits": cost_model.memo_hits - memo0,
-        "cache_hits": (cache.hits - hits0) if cache is not None else 0,
-        "cache_misses": (cache.misses - miss0) if cache is not None else 0,
-        "mr_points_skipped": local_stats.mr_points_skipped,
-    }
+    return (
+        points,
+        compiled.stats.block_compilations - comp0,
+        cost_model.invocations - inv0,
+        cost_model.memo_hits - memo0,
+        (cache.hits - hits0) if cache is not None else 0,
+        (cache.misses - miss0) if cache is not None else 0,
+        local_stats.mr_points_skipped,
+        local_stats.mr_points_batched,
+    )
 
 
 def _enumerate_rc(st, rc, local_stats):
-    """One CP grid point, start to finish, on this worker's snapshot."""
+    """One CP grid point, start to finish, on this worker's snapshot.
+
+    Returns the packed tuple ``(rc, vector_items, cost, pruned_small,
+    pruned_unknown, remaining, records)``.
+    """
     compiled, blocks = st["compiled"], st["blocks"]
     cache, cost_model = st["cache"], st["cost_model"]
     min_mb, srm = st["min_mb"], st["srm"]
@@ -656,6 +815,7 @@ def _enumerate_rc(st, rc, local_stats):
         memo[block.block_id], _ = enumerate_block_mr(
             compiled, block, rc, min_mb, srm, cost_model,
             memo[block.block_id][1], cache=cache, stats=local_stats,
+            vectorize=st["vectorize"],
         )
         records.append(("enum", rc, block.block_id,
                         time.perf_counter() - t1))
@@ -671,15 +831,15 @@ def _enumerate_rc(st, rc, local_stats):
     cost = cost_model.estimate_program(compiled, chosen)
     records.append(("agg", rc, 0, time.perf_counter() - t2))
 
-    return {
-        "rc": rc,
-        "vector": dict(chosen.mr_heap_per_block),
-        "cost": cost,
-        "pruned_small": len(pruned_small),
-        "pruned_unknown": len(pruned_unknown),
-        "remaining": len(remaining),
-        "records": records,
-    }
+    return (
+        rc,
+        tuple(chosen.mr_heap_per_block.items()),
+        cost,
+        len(pruned_small),
+        len(pruned_unknown),
+        len(remaining),
+        records,
+    )
 
 
 def schedule_makespan(records, num_workers, include_pipelining=True):

@@ -130,9 +130,13 @@ class BufferPool:
 
     def _make_room(self, needed):
         tracer = get_tracer()
-        while self._entries and self.used_bytes + needed > self.capacity:
+        # track the occupancy incrementally: recomputing used_bytes per
+        # victim made eviction storms quadratic in the pool population
+        used = self.used_bytes
+        while self._entries and used + needed > self.capacity:
             _, victim = self._entries.popitem(last=False)
             size = victim.memory_size
+            used -= size
             if victim.dirty:
                 seconds = io_model.local_write_time(size, self.params)
                 self.charge(seconds, "eviction")

@@ -121,6 +121,13 @@ def _add_opt_flags(parser):
                         metavar="N",
                         help="grid-work threshold below which the process "
                              "backend falls back to serial (0 disables)")
+    parser.add_argument("--chunk-points", type=int, default=None,
+                        metavar="N",
+                        help="CP grid points per parallel-enumeration "
+                             "chunk (default: adaptive)")
+    parser.add_argument("--no-vector-costing", action="store_true",
+                        help="disable vectorized MR-grid batch costing "
+                             "(ablation; chosen configs are identical)")
 
 
 def _apply_opt_flags(session, args):
@@ -130,6 +137,11 @@ def _apply_opt_flags(session, args):
     auto = getattr(args, "auto_serial_points", None)
     if auto is not None:
         session.auto_serial_points = auto
+    chunk = getattr(args, "chunk_points", None)
+    if chunk is not None:
+        session.chunk_points = chunk
+    if getattr(args, "no_vector_costing", False):
+        session.enable_vector_costing = False
     if backend == "serial":
         session.opt_workers = 0
         return

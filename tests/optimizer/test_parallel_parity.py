@@ -9,6 +9,8 @@ for the same reason.  Block ids are stamped per compilation, so
 per-block MR vectors are compared by block *position*.
 """
 
+import multiprocessing as mp
+
 import pytest
 
 from repro.cluster import paper_cluster
@@ -118,3 +120,78 @@ class TestBackendParity:
         assert result.num_workers == 2
         assert result.tasks_dispatched > 0
         assert result.task_records
+
+
+def _run_snapshot(script, cluster, snapshot, **kwargs):
+    compiled = _fresh_compiled(script)
+    opt = ParallelResourceOptimizer(
+        cluster, m=M, num_workers=2, backend="process",
+        snapshot=snapshot, **kwargs,
+    )
+    return compiled, opt.optimize(compiled)
+
+
+_HAS_FORK = "fork" in mp.get_all_start_methods()
+
+
+class TestSnapshotParity:
+    """Fork (copy-on-write) vs pickle snapshot transport vs serial: the
+    transport moves program state between processes and must never move
+    the decision."""
+
+    @pytest.mark.parametrize("script", TABLE1_SCRIPTS)
+    def test_fork_and_pickle_match_serial(self, cluster, script):
+        compiled_s, serial = _run(script, cluster, "serial")
+        golden = _normalized(compiled_s, serial)
+        golden_stats = _stats_tuple(serial.stats)
+        golden_profile = tuple(serial.cp_profile)
+        modes = ["pickle"] + (["fork"] if _HAS_FORK else [])
+        for mode in modes:
+            compiled_b, result = _run_snapshot(script, cluster, mode)
+            assert _normalized(compiled_b, result) == golden, mode
+            assert _stats_tuple(result.stats) == golden_stats, mode
+            assert tuple(result.cp_profile) == golden_profile, mode
+
+    @pytest.mark.skipif(not _HAS_FORK, reason="platform cannot fork")
+    def test_fork_ships_zero_snapshot_bytes(self, cluster):
+        _, result = _run_snapshot("LinregDS", cluster, "fork")
+        assert result.start_method == "fork"
+        assert result.snapshot_bytes == 0
+
+    def test_pickle_reports_snapshot_size_and_start_method(self, cluster):
+        _, result = _run_snapshot("LinregDS", cluster, "pickle")
+        assert result.snapshot_bytes > 0
+        assert result.start_method == mp.get_start_method()
+
+    def test_phase_breakdown_reported(self, cluster):
+        _, result = _run_snapshot("GLM", cluster, "auto")
+        assert result.chunk_points >= 1
+        assert result.enumerate_s > 0
+        phases = (result.snapshot_s + result.dispatch_s
+                  + result.enumerate_s + result.fold_s)
+        assert phases <= result.stats.optimization_time
+
+    @pytest.mark.parametrize("chunk_points", [1, 3, 100])
+    def test_chunking_never_moves_the_decision(self, cluster, chunk_points):
+        compiled_s, serial = _run("LinregCG", cluster, "serial")
+        golden = _normalized(compiled_s, serial)
+        compiled_b, result = _run_snapshot(
+            "LinregCG", cluster, "auto", chunk_points=chunk_points,
+        )
+        assert _normalized(compiled_b, result) == golden
+        assert result.chunk_points == chunk_points
+
+    def test_vector_ablation_parity_through_process_backend(self, cluster):
+        compiled_on, on = _run_snapshot("MLogreg", cluster, "auto")
+        compiled_off, off = _run_snapshot(
+            "MLogreg", cluster, "auto", enable_vector_costing=False,
+        )
+        assert _normalized(compiled_on, on) == _normalized(
+            compiled_off, off
+        )
+        assert on.stats.mr_points_batched > 0
+        assert off.stats.mr_points_batched == 0
+
+    def test_unknown_snapshot_mode_rejected(self, cluster):
+        with pytest.raises(ValueError, match="snapshot"):
+            ParallelResourceOptimizer(cluster, snapshot="mmap")
