@@ -13,8 +13,16 @@ Invariants asserted on every run (CI-safe at any CPU count):
 * **byte-identical determinism** — every tenant's simulated result
   (total time, MR jobs, prints, chosen configuration) equals the same
   run on a private single-tenant ``ElasticMLSession`` with the same
-  seed, for both admission policies and with caches on or off;
+  seed, for both admission policies, with caches on or off, and at
+  every shard count of the multi-process front end;
 * cache sharing actually engages (hits > 0) in the shared arm.
+
+The sharded section queues ``--sharded-tenants`` (>= 1000 by default)
+submissions against a single-process server and against
+:class:`repro.serving.ShardedElasticMLServer` at each ``--shards``
+count.  Host-dependent claims are honest: ``cpu_count`` is recorded,
+and the 4-shard >= 1.5x throughput assertion only runs on hosts with
+>= 4 CPUs (a ``skipped_reason`` is written otherwise).
 
 Writes ``BENCH_serving.json`` (override with ``--out``).  Standalone:
 ``python benchmarks/bench_serving.py [--tenants N] [--out PATH]``.
@@ -33,6 +41,7 @@ from repro.serving import (
     ElasticMLServer,
     HeapRulePolicy,
     PackingPolicy,
+    ShardedElasticMLServer,
     Submission,
     default_serving_workers,
 )
@@ -149,10 +158,98 @@ def run_arm(label, tenants, policy, config, references, tenant_pool=16,
     }
 
 
+def run_sharded_arm(label, tenants, shards, config, references,
+                    tenant_pool=64, workers=None, policy="heap-rule"):
+    """One >=1000-tenant arm through the multi-process front end (or,
+    with ``shards=0``, the single-process baseline at the same scale).
+    Returns the arm record plus the canonical per-submission results so
+    the caller can assert identity across shard counts."""
+    if shards == 0:
+        server = ElasticMLServer(
+            sample_cap=SAMPLE_CAP, config=config, policy=policy,
+            max_workers=workers, queue_limit=max(tenants, 1024),
+            trace=True,
+        )
+    else:
+        server = ShardedElasticMLServer(
+            shards=shards, sample_cap=SAMPLE_CAP, config=config,
+            policy=policy, max_workers=workers,
+            queue_limit=max(tenants, 1024), trace=True,
+        )
+    prepared = {
+        name: prepare_inputs(server.hdfs, name, scenario(size, cols=COLS))
+        for name, size in MIX
+    }
+    submitted = []
+    started = time.perf_counter()
+    for index in range(tenants):
+        name, _ = MIX[index % len(MIX)]
+        server.submit(Submission(
+            tenant=f"tenant-{index % tenant_pool:03d}",
+            script=name,
+            args=prepared[name],
+            seed=0,
+        ))
+        submitted.append(name)
+    results = server.drain()
+    elapsed = time.perf_counter() - started
+    stats = server.stats()
+    server.shutdown()
+
+    failures = [r for r in results if not r.ok]
+    assert not failures, (
+        f"{label}: {len(failures)} submissions did not complete: "
+        f"{failures[:3]}"
+    )
+    canonicals = [_canonical(r.outcome) for r in results]
+    for name, canonical in zip(submitted, canonicals):
+        assert canonical == references[name], (
+            f"{label}: a {name} tenant diverged from its serial "
+            "single-session run"
+        )
+
+    latencies = sorted(r.latency_s for r in results)
+    arm = {
+        "label": label,
+        "policy": policy,
+        "shards": shards,
+        "tenants": tenants,
+        "workers": workers,
+        "wall_s": round(elapsed, 3),
+        "throughput_rps": round(tenants / elapsed, 2),
+        "latency_p50_s": round(statistics.median(latencies), 4),
+        "latency_p95_s": round(
+            latencies[int(0.95 * (len(latencies) - 1))], 4
+        ),
+        "latency_max_s": round(latencies[-1], 4),
+        "serving": {
+            key: stats[key]
+            for key in (
+                "serving.submitted", "serving.admitted",
+                "serving.completed", "serving.failed",
+                "serving.rejected",
+            )
+        },
+        "deterministic": True,
+    }
+    if shards > 0:
+        arm["start_method"] = server.start_method
+        arm["snapshot_bytes"] = server.snapshot_bytes
+        arm["rebalances"] = stats["shard.rebalances"]
+        arm["predictor_observations"] = stats["predictor.observations"]
+    return arm, canonicals
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--tenants", type=int, default=150,
                         help="queued submissions per arm (default 150)")
+    parser.add_argument("--sharded-tenants", type=int, default=1000,
+                        help="queued submissions per sharded arm "
+                             "(default 1000)")
+    parser.add_argument("--shards", default="1,4",
+                        help="comma-separated shard counts for the "
+                             "sharded arms (default 1,4)")
     parser.add_argument("--workers", type=int, default=None,
                         help="server thread-pool size (default: one per "
                              "CPU, clamped to [2, 8])")
@@ -160,6 +257,10 @@ def main(argv=None):
     args = parser.parse_args(argv)
     if args.tenants < 100:
         parser.error("--tenants must be >= 100 (acceptance floor)")
+    if args.sharded_tenants < 1000:
+        parser.error("--sharded-tenants must be >= 1000 "
+                     "(acceptance floor)")
+    shard_counts = [int(part) for part in args.shards.split(",")]
 
     shared_config = SessionConfig()
     unshared_config = SessionConfig(
@@ -190,14 +291,41 @@ def main(argv=None):
     )
     assert unshared["caches"]["optimizer_hits"] == 0
 
+    # -- sharded scale-out section (>= 1000 queued tenants) ----------------
+    baseline, baseline_canonicals = run_sharded_arm(
+        f"single-process/{args.sharded_tenants}",
+        args.sharded_tenants, 0, shared_config, references,
+        workers=args.workers,
+    )
+    sharded_arms = [baseline]
+    by_shards = {}
+    for shards in shard_counts:
+        arm, canonicals = run_sharded_arm(
+            f"sharded-{shards}/{args.sharded_tenants}",
+            args.sharded_tenants, shards, shared_config, references,
+            workers=args.workers,
+        )
+        assert canonicals == baseline_canonicals, (
+            f"{shards}-shard results diverged from the single-process "
+            "run at the same scale"
+        )
+        sharded_arms.append(arm)
+        by_shards[shards] = arm
+
     cpus = os.cpu_count() or 1
     speedup = round(unshared["wall_s"] / shared["wall_s"], 2)
     payload = {
         "benchmark": "serving",
         "mix": [f"{name}:{size}" for name, size in MIX],
         "host_cpus": cpus,
+        "cpu_count": cpus,
         "arms": arms,
         "cache_sharing_speedup": speedup,
+        "sharded": {
+            "tenants": args.sharded_tenants,
+            "shard_counts": shard_counts,
+            "arms": sharded_arms,
+        },
     }
     if cpus >= 2:
         assert speedup > 1.0, (
@@ -210,6 +338,30 @@ def main(argv=None):
             f"host has {cpus} CPU(s); wall-clock speedup assertion "
             "needs >= 2"
         )
+    four_shard = by_shards.get(4)
+    if four_shard is None:
+        payload["sharded"]["skipped_reason"] = (
+            "no 4-shard arm requested; scaling assertion needs one"
+        )
+    elif cpus >= 4:
+        scaling = round(
+            four_shard["throughput_rps"] / baseline["throughput_rps"], 2
+        )
+        payload["sharded"]["scaling_4shard"] = scaling
+        assert scaling >= 1.5, (
+            f"4-shard throughput only {scaling}x single-process "
+            f"(expected >= 1.5x on a {cpus}-CPU host)"
+        )
+    else:
+        # process-level parallelism cannot beat the GIL-free baseline
+        # without actual cores to run the shards on
+        payload["sharded"]["scaling_4shard"] = round(
+            four_shard["throughput_rps"] / baseline["throughput_rps"], 2
+        )
+        payload["sharded"]["skipped_reason"] = (
+            f"host has {cpus} CPU(s); 4-shard >= 1.5x throughput "
+            "assertion needs >= 4"
+        )
     args.out.write_text(json.dumps(payload, indent=2) + "\n")
 
     print(f"{'arm':28} {'req/s':>8} {'p50':>8} {'p95':>8} "
@@ -218,10 +370,22 @@ def main(argv=None):
         print(f"{arm['label']:28} {arm['throughput_rps']:8.1f} "
               f"{arm['latency_p50_s']:8.3f} {arm['latency_p95_s']:8.3f} "
               f"{arm['caches']['optimizer_hits']:9d}")
-    print(f"\nall {3 * args.tenants} tenant results byte-identical to "
+    for arm in sharded_arms:
+        print(f"{arm['label']:28} {arm['throughput_rps']:8.1f} "
+              f"{arm['latency_p50_s']:8.3f} {arm['latency_p95_s']:8.3f} "
+              f"{'':>9}")
+    total = 3 * args.tenants + (1 + len(shard_counts)) * (
+        args.sharded_tenants
+    )
+    print(f"\nall {total} tenant results byte-identical to "
           f"serial single-session runs")
     print(f"cache sharing speedup: {payload['cache_sharing_speedup']}x "
           f"wall clock")
+    if "skipped_reason" in payload["sharded"]:
+        print(f"sharded scaling: {payload['sharded']['skipped_reason']}")
+    else:
+        print(f"4-shard scaling: "
+              f"{payload['sharded']['scaling_4shard']}x single-process")
     print(f"wrote {args.out}")
     return 0
 

@@ -71,24 +71,32 @@ from repro.optimizer import (
 from repro.runtime import ExecutionResult, Interpreter, SimulatedHDFS
 from repro.scripts import SCRIPTS, load_script
 from repro.serving import (
+    ConsistentHashRouter,
+    DemandPredictor,
     ElasticMLServer,
     HeapRulePolicy,
     PackingPolicy,
+    PredictivePackingPolicy,
+    ShardedElasticMLServer,
     Submission,
     SubmissionResult,
 )
 from repro.workloads import prepare_inputs, scenario
 
-__version__ = "1.6.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "ElasticMLSession",
     "OptimizerResultCache",
     "RunOutcome",
     "SessionConfig",
+    "ConsistentHashRouter",
+    "DemandPredictor",
     "ElasticMLServer",
     "HeapRulePolicy",
     "PackingPolicy",
+    "PredictivePackingPolicy",
+    "ShardedElasticMLServer",
     "Submission",
     "SubmissionResult",
     "ChaosReport",

@@ -161,6 +161,26 @@ class SessionConfig:
     #: per-tenant memory quota as a fraction of total cluster memory,
     #: enforced by the serving resource manager (None = no quotas)
     tenant_quota_share: float | None = None
+    # -- serving thread pool -------------------------------------------------
+    #: clamp for :func:`~repro.serving.default_serving_workers`
+    #: (None = REPRO_SERVING_MIN/MAX_WORKERS env, then 2/8)
+    serving_min_workers: int | None = None
+    serving_max_workers: int | None = None
+    # -- sharded multi-process serving (repro.serving.shard) -----------------
+    #: >1 routes the serving facade to a
+    #: :class:`~repro.serving.shard.ShardedElasticMLServer` with this
+    #: many shard worker processes
+    serving_shards: int = 1
+    #: routing affinity: "tenant" (one tenant, one shard) or "program"
+    #: (all tenants of one script+args share a shard's caches)
+    shard_affinity: str = "tenant"
+    #: completed submissions between rebalancer passes (0 = off)
+    shard_rebalance_every: int = 64
+    #: EWMA smoothing factor of the per-tenant demand predictor
+    demand_alpha: float = 0.3
+    #: how shard workers receive their spec: "fork" (inherited
+    #: copy-on-write), "pickle" (spawn-safe), or "auto"
+    shard_start_method: str = "auto"
 
     def optimizer_options(self):
         """This configuration as :class:`OptimizerOptions`."""
@@ -677,20 +697,38 @@ class ElasticMLSession:
         if self._server is None:
             # local import: repro.serving imports SessionConfig and
             # OptimizerResultCache from this module
-            from repro.serving import ElasticMLServer
+            if self.config.serving_shards > 1:
+                from repro.serving.shard import ShardedElasticMLServer
 
-            self._server = ElasticMLServer(
-                cluster=self.cluster,
-                params=self.params,
-                hdfs=self.hdfs,
-                sample_cap=self.sample_cap,
-                config=self.config,
-                opt_cache=self.opt_cache,
-                retry_policy=self.retry_policy,
-                trace=bool(self.trace),
-                model_params=self.model_params,
-                collector=self.calibration,
-            )
+                # sharded: worker processes rebuild their own caches
+                # and collectors from the config, so the session's
+                # in-process instances are not shared with them
+                self._server = ShardedElasticMLServer(
+                    shards=self.config.serving_shards,
+                    cluster=self.cluster,
+                    params=self.params,
+                    hdfs=self.hdfs,
+                    sample_cap=self.sample_cap,
+                    config=self.config,
+                    retry_policy=self.retry_policy,
+                    trace=bool(self.trace),
+                    model_params=self.model_params,
+                )
+            else:
+                from repro.serving import ElasticMLServer
+
+                self._server = ElasticMLServer(
+                    cluster=self.cluster,
+                    params=self.params,
+                    hdfs=self.hdfs,
+                    sample_cap=self.sample_cap,
+                    config=self.config,
+                    opt_cache=self.opt_cache,
+                    retry_policy=self.retry_policy,
+                    trace=bool(self.trace),
+                    model_params=self.model_params,
+                    collector=self.calibration,
+                )
         return self._server
 
     def submit(self, submission):

@@ -10,7 +10,7 @@ JVM max heap (paper Section 5.1).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.common import MB
 from repro.errors import ClusterError
@@ -107,6 +107,39 @@ class ClusterConfig:
         """Concurrent map tasks for a given task heap size."""
         container = self.container_mb_for_heap(mr_heap_mb)
         return self.max_parallel_containers(container, reserved_mb)
+
+    # -- sharding ------------------------------------------------------------
+
+    def partition(self, shards):
+        """Split the cluster into ``shards`` node-disjoint sub-clusters.
+
+        Nodes are dealt out as evenly as possible (the first
+        ``num_nodes % shards`` partitions get one extra node); every
+        partition keeps the node size and the min/max allocation
+        constraints, so a container that can never be placed on the full
+        cluster can never be placed on any partition either — the
+        admission verdicts of a sharded server match the unsharded one.
+        Reducer counts scale proportionally (at least one).
+        """
+        if shards <= 0:
+            raise ClusterError("shards must be positive")
+        if shards > self.num_nodes:
+            raise ClusterError(
+                f"cannot partition {self.num_nodes} nodes into "
+                f"{shards} shards"
+            )
+        base, extra = divmod(self.num_nodes, shards)
+        parts = []
+        for index in range(shards):
+            nodes = base + (1 if index < extra else 0)
+            parts.append(replace(
+                self,
+                num_nodes=nodes,
+                num_reducers=max(
+                    1, round(self.num_reducers * nodes / self.num_nodes)
+                ),
+            ))
+        return parts
 
 
 def paper_cluster():

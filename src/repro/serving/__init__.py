@@ -10,26 +10,38 @@ deterministic per submission regardless of interleaving.
 
 from repro.serving.admission import (
     AdmissionPolicy,
+    ConsistentHashRouter,
+    DemandPredictor,
     HeapRulePolicy,
     PackingPolicy,
     PendingRequest,
+    PredictivePackingPolicy,
+    make_policy,
 )
 from repro.serving.server import (
+    AdmissionCancelled,
     ElasticMLServer,
     ProgramCache,
     Submission,
     SubmissionResult,
     default_serving_workers,
 )
+from repro.serving.shard import ShardedElasticMLServer
 
 __all__ = [
+    "AdmissionCancelled",
     "AdmissionPolicy",
+    "ConsistentHashRouter",
+    "DemandPredictor",
     "ElasticMLServer",
     "HeapRulePolicy",
     "PackingPolicy",
     "PendingRequest",
+    "PredictivePackingPolicy",
     "ProgramCache",
+    "ShardedElasticMLServer",
     "Submission",
     "SubmissionResult",
     "default_serving_workers",
+    "make_policy",
 ]

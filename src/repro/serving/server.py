@@ -54,14 +54,59 @@ from repro.scripts import SCRIPTS, load_script
 
 _UNSET = object()
 
+#: env overrides for the serving thread-pool clamp
+MIN_WORKERS_ENV = "REPRO_SERVING_MIN_WORKERS"
+MAX_WORKERS_ENV = "REPRO_SERVING_MAX_WORKERS"
+_DEFAULT_MIN_WORKERS = 2
+_DEFAULT_MAX_WORKERS = 8
 
-def default_serving_workers():
+
+class AdmissionCancelled(Exception):
+    """A submission parked in admission was aborted by shutdown()."""
+
+
+def default_serving_workers(min_workers=None, max_workers=None,
+                            config=None):
     """Serving thread-pool size scaled to the host: one thread per CPU,
-    at least 2 (so admission never self-deadlocks behind one long run),
-    at most 8 (diminishing returns for the simulated runtime)."""
+    clamped to ``[min_workers, max_workers]``.
+
+    The floor defaults to 2 (so admission never self-deadlocks behind
+    one long run) and the ceiling to 8 (diminishing returns for the
+    simulated runtime), but both are configurable: explicit arguments
+    win, then :class:`~repro.api.SessionConfig` fields
+    (``serving_min_workers``/``serving_max_workers``), then the
+    ``REPRO_SERVING_MIN_WORKERS``/``REPRO_SERVING_MAX_WORKERS``
+    environment variables, then the defaults.
+    """
     import os
 
-    return max(2, min(8, os.cpu_count() or 1))
+    def resolve(explicit, configured, env_name, fallback):
+        if explicit is not None:
+            return int(explicit)
+        if configured is not None:
+            return int(configured)
+        env = os.environ.get(env_name)
+        if env is not None:
+            return int(env)
+        return fallback
+
+    floor = resolve(
+        min_workers,
+        getattr(config, "serving_min_workers", None),
+        MIN_WORKERS_ENV, _DEFAULT_MIN_WORKERS,
+    )
+    ceiling = resolve(
+        max_workers,
+        getattr(config, "serving_max_workers", None),
+        MAX_WORKERS_ENV, _DEFAULT_MAX_WORKERS,
+    )
+    if floor < 1:
+        raise ValueError(f"serving worker floor must be >= 1, got {floor}")
+    if ceiling < floor:
+        raise ValueError(
+            f"serving worker ceiling {ceiling} below floor {floor}"
+        )
+    return max(floor, min(ceiling, os.cpu_count() or 1))
 
 
 @dataclass(frozen=True)
@@ -98,7 +143,7 @@ class SubmissionResult:
 
     ticket: int
     tenant: str
-    #: "completed" | "failed" | "rejected"
+    #: "completed" | "failed" | "rejected" | "cancelled"
     status: str
     outcome: RunOutcome | None = None
     error: str | None = None
@@ -135,6 +180,8 @@ class ProgramCache:
         self.max_programs = max_programs
         self.hits = 0
         self.misses = 0
+        #: masters dropped by the LRU bound (parity with PlanCache)
+        self.evictions = 0
         self._lock = threading.Lock()
         #: key -> (reads_sig, master CompiledProgram), LRU order
         self._programs = {}
@@ -184,6 +231,7 @@ class ProgramCache:
             self._programs[key] = (sig, master)
             while len(self._programs) > self.max_programs:
                 self._programs.pop(next(iter(self._programs)))
+                self.evictions += 1
             return copy.deepcopy(master)
 
 
@@ -203,10 +251,15 @@ class ElasticMLServer:
                  opt_cache=_UNSET, policy=None, max_workers=None,
                  queue_limit=1024, retry_policy=None, trace=False,
                  program_cache_entries=32, plan_cache_entries=4096,
-                 model_params=None, collector=_UNSET, recorder=None):
+                 model_params=None, collector=_UNSET, recorder=None,
+                 admission_cluster=None):
         from repro.cluster import paper_cluster
         from repro.cost.constants import DEFAULT_PARAMETERS
-        from repro.serving.admission import HeapRulePolicy, PendingRequest
+        from repro.serving.admission import (
+            HeapRulePolicy,
+            PendingRequest,
+            make_policy,
+        )
 
         self._request_type = PendingRequest
         self.config = config if config is not None else SessionConfig()
@@ -240,7 +293,20 @@ class ElasticMLServer:
             hdfs if hdfs is not None
             else SimulatedHDFS(sample_cap=sample_cap)
         )
-        self.rm = ResourceManager(self.cluster)
+        #: the capacity admission runs against.  Normally the full
+        #: cluster; a :class:`~repro.serving.shard.ShardedElasticMLServer`
+        #: passes its shard's node partition here so concurrency is
+        #: bounded shard-locally while optimizer/cost/quota computations
+        #: (everything result-affecting) still see ``self.cluster`` —
+        #: the partition keeps the node size, so reject-vs-wait verdicts
+        #: are identical to the unsharded server's.
+        self.admission_cluster = (
+            admission_cluster if admission_cluster is not None
+            else self.cluster
+        )
+        self.rm = ResourceManager(self.admission_cluster)
+        if isinstance(policy, str):
+            policy = make_policy(policy)
         self.policy = policy if policy is not None else HeapRulePolicy()
         self.queue_limit = queue_limit
         self.retry_policy = retry_policy
@@ -269,7 +335,7 @@ class ElasticMLServer:
         self._executor = ThreadPoolExecutor(
             max_workers=(
                 max_workers if max_workers is not None
-                else default_serving_workers()
+                else default_serving_workers(config=self.config)
             ),
             thread_name_prefix="repro-serve",
         )
@@ -339,7 +405,13 @@ class ElasticMLServer:
 
     def shutdown(self, wait=True):
         """Stop accepting submissions and (optionally) wait for the
-        in-flight ones."""
+        in-flight ones.
+
+        Submissions parked in admission are aborted with a terminal
+        ``"cancelled"`` result (they can never be granted once the
+        server stops releasing containers), so ``shutdown(wait=True)``
+        returns even with a backlog queued behind a full cluster.
+        """
         with self._cond:
             self._closed = True
             self._cond.notify_all()
@@ -359,11 +431,13 @@ class ElasticMLServer:
             for name in (
                 "serving.submitted", "serving.admitted",
                 "serving.completed", "serving.failed", "serving.rejected",
+                "serving.cancelled",
             )
         }
         counters.update({
             "program_cache.hits": self.program_cache.hits,
             "program_cache.misses": self.program_cache.misses,
+            "program_cache.evictions": self.program_cache.evictions,
             "optcache.hits":
                 self.opt_cache.hits if self.opt_cache else 0,
             "optcache.misses":
@@ -438,6 +512,14 @@ class ElasticMLServer:
                     result = self._serve(
                         ticket, submission, tracer, started
                     )
+                except AdmissionCancelled as exc:
+                    tracer.incr("serving.cancelled")
+                    result = SubmissionResult(
+                        ticket=ticket, tenant=submission.tenant,
+                        status="cancelled",
+                        error=str(exc),
+                        latency_s=time.monotonic() - started,
+                    )
                 except Exception as exc:  # tenant isolation: never bring
                     tracer.incr("serving.failed")  # the server down
                     result = SubmissionResult(
@@ -504,6 +586,12 @@ class ElasticMLServer:
         finally:
             self._release(container)
         tracer.incr("serving.completed")
+        with self._cond:
+            # demand feedback for predictive policies (no-op otherwise)
+            self.policy.observe(
+                submission.tenant, container.memory_mb,
+                exec_result.total_time,
+            )
         outcome = RunOutcome(
             result=exec_result,
             resource=exec_result.final_resource,
@@ -623,7 +711,8 @@ class ElasticMLServer:
 
     def _acquire(self, ticket, tenant, container_mb):
         """Block until the admission policy grants this submission its
-        AM container."""
+        AM container, or raise :class:`AdmissionCancelled` once
+        shutdown() makes a grant impossible."""
         request = self._request_type(
             ticket=ticket, tenant=tenant, container_mb=container_mb,
             order=next(self._seq),
@@ -632,6 +721,13 @@ class ElasticMLServer:
             self._waiting[ticket] = request
             self._kick_locked()
             while ticket not in self._granted:
+                # checked after _kick_locked: a grant that squeaked in
+                # before shutdown still runs to completion
+                if self._closed:
+                    self._waiting.pop(ticket, None)
+                    raise AdmissionCancelled(
+                        "server shut down while queued for admission"
+                    )
                 self._cond.wait()
             return self._granted.pop(ticket)
 

@@ -1,0 +1,644 @@
+"""Sharded multi-process serving: :class:`ShardedElasticMLServer`.
+
+The single-process :class:`~repro.serving.server.ElasticMLServer` is
+GIL-bound: its thread pool interleaves compile/optimize/execute on one
+core.  This front end partitions the simulated cluster into N
+node-disjoint shards (:meth:`~repro.cluster.config.ClusterConfig.partition`)
+and runs one full ``ElasticMLServer`` per shard in its own *process*,
+so shards prepare and execute truly in parallel.
+
+Architecture::
+
+    parent process                      shard worker process (xN)
+    ─────────────────────────          ──────────────────────────────
+    submit() ── route ──► cmd queue ─► main loop ─► ElasticMLServer
+    poll()/drain() ◄─ collector ◄── event queue ◄─ forwarder thread
+    stats()/shutdown()                  (results, stats, final+tracer)
+
+* **Routing** is deterministic: a :class:`ConsistentHashRouter` maps the
+  tenant (or the program, with ``affinity="program"``) to a shard, so a
+  tenant's repeat submissions always land where its
+  ``ProgramCache``/``OptimizerResultCache``/``PlanCache`` entries live.
+* **Determinism**: each shard server optimizes and executes against the
+  *full* cluster config — only its admission ``ResourceManager`` sees
+  the shard's node partition (``admission_cluster``).  Simulated
+  results depend only on (program, input metadata, config, seed), so
+  every tenant's result is byte-identical to its serial single-session
+  run regardless of shard count, and a 1-shard front end is
+  byte-identical to a plain ``ElasticMLServer``.
+* **Snapshots** reuse the PR 8 start-method machinery: under ``fork``
+  the worker spec (cluster, params, HDFS file metadata) is inherited
+  copy-on-write for free; ``pickle`` ships an explicit snapshot for
+  spawn-only platforms.  Workers start lazily on the first
+  ``submit()``, so all inputs must be prepared on ``hdfs`` before then.
+* **Prediction & rebalancing**: the parent feeds a per-tenant EWMA
+  :class:`~repro.serving.admission.DemandPredictor` from completed
+  results; every ``rebalance_every`` completions it compares predicted
+  outstanding seconds per shard and pins the hottest routing key of the
+  most loaded shard onto the least loaded one.  Shard-local
+  ``predictive`` admission policies keep their own predictors.
+* **Telemetry**: each shard runs its own tracer; at shutdown the final
+  per-shard tracer dicts are absorbed into the parent tracer via
+  :meth:`~repro.obs.Tracer.absorb`, whose counter/gauge merges are
+  order-independent.
+"""
+
+from __future__ import annotations
+
+import itertools
+import pickle
+import threading
+import time
+from dataclasses import replace
+
+from repro.api import SessionConfig
+from repro.obs import NULL_TRACER, Tracer
+from repro.runtime import SimulatedHDFS
+from repro.runtime.matrix import DEFAULT_SAMPLE_CAP
+from repro.serving.admission import ConsistentHashRouter, DemandPredictor
+from repro.serving.server import (
+    SubmissionResult,
+    default_serving_workers,
+)
+
+#: how the worker spec reaches a shard process (PR 8 vocabulary):
+#: "fork" inherits it copy-on-write, "pickle" ships explicit bytes,
+#: "auto" picks fork when the platform has it
+START_METHODS = ("auto", "fork", "pickle")
+
+#: default load-imbalance trigger: rebalance when the most loaded
+#: shard's predicted outstanding seconds exceed this multiple of the
+#: least loaded shard's
+REBALANCE_FACTOR = 1.5
+
+
+def _resolve_start_method(mode):
+    if mode not in START_METHODS:
+        raise ValueError(
+            f"unknown start method {mode!r}; expected one of {START_METHODS}"
+        )
+    if mode != "auto":
+        return mode
+    import multiprocessing as mp
+
+    return "fork" if "fork" in mp.get_all_start_methods() else "pickle"
+
+
+def plan_rebalance(shard_loads, key_loads, factor=REBALANCE_FACTOR):
+    """Pick one routing-key move that evens predicted load, or None.
+
+    ``shard_loads`` maps shard id -> predicted outstanding seconds;
+    ``key_loads`` maps shard id -> {routing key -> predicted seconds}.
+    Returns ``(key, src, dst)`` moving the hottest key of the most
+    loaded shard to the least loaded one, but only when the imbalance
+    exceeds ``factor`` — small skews are not worth breaking affinity
+    (a moved key restarts cold on the destination shard's caches).
+    Pure and deterministic (ties break on ids) so it unit-tests without
+    processes.
+    """
+    if len(shard_loads) < 2:
+        return None
+    src = max(sorted(shard_loads), key=lambda s: shard_loads[s])
+    dst = min(sorted(shard_loads), key=lambda s: shard_loads[s])
+    if src == dst or shard_loads[src] <= factor * shard_loads[dst] + 1e-9:
+        return None
+    candidates = key_loads.get(src)
+    if not candidates:
+        return None
+    key = max(sorted(candidates), key=lambda k: candidates[k])
+    return key, src, dst
+
+
+def _ship_result(result, global_ticket, detail):
+    """Rewrite a shard-local result for the parent: global ticket, and
+    (in the default "light" detail) without the compiled program and
+    per-submission tracer — the heavyweight fields nobody polls across
+    a process boundary.  The canonical identity fields
+    (``outcome.result``, ``outcome.resource``) always survive."""
+    result = replace(result, ticket=global_ticket)
+    if detail == "full" or result.outcome is None:
+        return result
+    outcome = replace(result.outcome, compiled=None, trace=None)
+    return replace(result, outcome=outcome)
+
+
+def _shard_worker_main(payload, cmd_queue, event_queue):
+    """Entry point of one shard process: run a private
+    ``ElasticMLServer`` over the shard's cluster partition, forwarding
+    terminal results (and, on shutdown, final stats + tracer) to the
+    parent through the shared event queue."""
+    from repro.serving.server import ElasticMLServer
+
+    spec = pickle.loads(payload) if isinstance(payload, bytes) else payload
+    shard_id = spec["shard_id"]
+    config = spec["config"]
+    if config.opt_workers > 1 and config.opt_backend == "process":
+        # shard workers are daemonic and cannot fork grandchildren;
+        # the thread backend chooses byte-identical configurations
+        config = replace(config, opt_backend="thread")
+    server = ElasticMLServer(
+        cluster=spec["cluster"],
+        params=spec["params"],
+        hdfs=spec["hdfs"],
+        sample_cap=spec["sample_cap"],
+        config=config,
+        policy=spec["policy"],
+        max_workers=spec["max_workers"],
+        queue_limit=0,  # the parent enforces the global queue bound
+        retry_policy=spec["retry_policy"],
+        trace=spec["trace"],
+        model_params=spec["model_params"],
+        admission_cluster=spec["admission_cluster"],
+    )
+    if server.tracer.enabled:
+        server.tracer.gauge("shard.id", shard_id)
+    detail = spec["result_detail"]
+    outstanding = {}  # local ticket -> global ticket, arrival order
+    lock = threading.Lock()
+    wake = threading.Event()
+    stop = threading.Event()
+
+    def forward():
+        while True:
+            with lock:
+                pending = list(outstanding.items())
+            if not pending:
+                if stop.is_set():
+                    return
+                wake.wait(0.1)
+                wake.clear()
+                continue
+            # park on the oldest outstanding ticket (any completion
+            # notifies the server condition), then sweep them all
+            server.poll(pending[0][0], timeout=0.2)
+            for local, global_ticket in pending:
+                result = server.poll(local)
+                if result is not None:
+                    with lock:
+                        outstanding.pop(local, None)
+                    event_queue.put((
+                        "result", shard_id,
+                        _ship_result(result, global_ticket, detail),
+                    ))
+
+    forwarder = threading.Thread(
+        target=forward, name=f"repro-shard-{shard_id}-fwd", daemon=True
+    )
+    forwarder.start()
+
+    while True:
+        cmd = cmd_queue.get()
+        kind = cmd[0]
+        if kind == "submit":
+            _, global_ticket, submission = cmd
+            try:
+                local = server.submit(submission)
+            except Exception as exc:
+                event_queue.put((
+                    "result", shard_id,
+                    SubmissionResult(
+                        ticket=global_ticket, tenant=submission.tenant,
+                        status="failed",
+                        error=f"{type(exc).__name__}: {exc}",
+                    ),
+                ))
+                continue
+            with lock:
+                outstanding[local] = global_ticket
+            wake.set()
+        elif kind == "stats":
+            _, req_id = cmd
+            event_queue.put(("stats", shard_id, req_id, server.stats()))
+        elif kind == "shutdown":
+            server.shutdown(wait=True)
+            stop.set()
+            wake.set()
+            forwarder.join()
+            event_queue.put((
+                "final", shard_id, server.stats(),
+                server.tracer.to_dict() if server.tracer.enabled else None,
+            ))
+            return
+
+
+class ShardedElasticMLServer:
+    """Multi-process serving front end over a partitioned cluster.
+
+    Drop-in for :class:`~repro.serving.server.ElasticMLServer`:
+    ``submit()`` returns a global ticket, ``poll()``/``drain()``/
+    ``results()``/``stats()``/``shutdown()`` behave identically.  See
+    the module docstring for the architecture.
+
+    Shard processes start lazily on the first ``submit()`` so that
+    inputs prepared on ``self.hdfs`` beforehand are visible to every
+    shard (fork inherits them; pickle snapshots them at start).
+    """
+
+    def __init__(self, shards=2, cluster=None, params=None, hdfs=None,
+                 sample_cap=DEFAULT_SAMPLE_CAP, config=None,
+                 policy="heap-rule", max_workers=None, queue_limit=1024,
+                 retry_policy=None, trace=False, model_params=None,
+                 recorder=None, affinity=None, rebalance_every=None,
+                 rebalance_factor=REBALANCE_FACTOR, start_method=None,
+                 result_detail="light"):
+        from repro.cluster import paper_cluster
+
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if result_detail not in ("light", "full"):
+            raise ValueError(
+                f"result_detail must be 'light' or 'full', "
+                f"got {result_detail!r}"
+            )
+        self.config = config if config is not None else SessionConfig()
+        self.cluster = cluster if cluster is not None else paper_cluster()
+        self.params = params
+        self.model_params = model_params
+        self.hdfs = (
+            hdfs if hdfs is not None
+            else SimulatedHDFS(sample_cap=sample_cap)
+        )
+        self.sample_cap = sample_cap
+        self.num_shards = shards
+        self.partitions = self.cluster.partition(shards)
+        self.policy = policy
+        self.max_workers = max_workers
+        self.queue_limit = queue_limit
+        self.retry_policy = retry_policy
+        self.recorder = recorder
+        self.result_detail = result_detail
+        self.trace = bool(trace)
+        self.tracer = Tracer() if self.trace else NULL_TRACER
+        self.start_method = _resolve_start_method(
+            start_method if start_method is not None
+            else self.config.shard_start_method
+        )
+        #: explicit spec bytes shipped to workers (0 under fork)
+        self.snapshot_bytes = 0
+        self.router = ConsistentHashRouter(
+            shards,
+            affinity=(
+                affinity if affinity is not None
+                else self.config.shard_affinity
+            ),
+        )
+        self.predictor = DemandPredictor(alpha=self.config.demand_alpha)
+        self.rebalance_every = (
+            rebalance_every if rebalance_every is not None
+            else self.config.shard_rebalance_every
+        )
+        self.rebalance_factor = rebalance_factor
+
+        self._cond = threading.Condition()
+        self._tickets = itertools.count(1)
+        self._order = []
+        self._results = {}
+        #: global ticket -> (shard, routing key, tenant) while in flight
+        self._inflight = {}
+        self._closed = False
+        self._started = False
+        self._procs = []
+        self._cmds = []
+        self._events = None
+        self._collector = None
+        self._stats_ids = itertools.count(1)
+        #: shard -> (req_id, stats dict) of the freshest reply
+        self._shard_stats = {}
+        self._final_stats = {}
+        self._finals = threading.Event()
+        self._joined = False
+        self._rebalances = 0
+        self._parent_submitted = 0
+        self._parent_rejected = 0
+        self._completed_since_rebalance = 0
+
+    # -- worker lifecycle ---------------------------------------------------
+
+    def _spec(self, shard_id):
+        return {
+            "shard_id": shard_id,
+            "cluster": self.cluster,
+            "admission_cluster": self.partitions[shard_id],
+            "params": self.params,
+            "model_params": self.model_params,
+            "hdfs": self.hdfs,
+            "sample_cap": self.sample_cap,
+            "config": self.config,
+            "policy": self.policy,
+            "max_workers": self.max_workers,
+            "retry_policy": self.retry_policy,
+            "trace": self.trace,
+            "result_detail": self.result_detail,
+        }
+
+    def _start_locked(self):
+        import multiprocessing as mp
+
+        ctx = mp.get_context(
+            "fork" if self.start_method == "fork" else None
+        )
+        self._events = ctx.Queue()
+        for shard_id in range(self.num_shards):
+            spec = self._spec(shard_id)
+            if self.start_method == "pickle":
+                payload = pickle.dumps(spec, pickle.HIGHEST_PROTOCOL)
+                self.snapshot_bytes += len(payload)
+            else:
+                payload = spec
+            cmd_queue = ctx.Queue()
+            proc = ctx.Process(
+                target=_shard_worker_main,
+                args=(payload, cmd_queue, self._events),
+                name=f"repro-shard-{shard_id}",
+                daemon=True,  # orphaned shards die with the parent
+            )
+            proc.start()
+            self._procs.append(proc)
+            self._cmds.append(cmd_queue)
+        self._collector = threading.Thread(
+            target=self._collect, name="repro-shard-collector", daemon=True
+        )
+        self._collector.start()
+        self._started = True
+        if self.tracer.enabled:
+            self.tracer.gauge("shard.count", self.num_shards)
+            self.tracer.event(
+                "shard.start",
+                shards=self.num_shards,
+                start_method=self.start_method,
+                snapshot_bytes=self.snapshot_bytes,
+            )
+
+    def _collect(self):
+        import queue as queue_mod
+
+        finals = 0
+        while finals < self.num_shards:
+            try:
+                event = self._events.get(timeout=0.5)
+            except queue_mod.Empty:
+                dead = self._reap_dead_locked()
+                finals += dead
+                continue
+            kind = event[0]
+            if kind == "result":
+                self._on_result(event[2])
+            elif kind == "stats":
+                _, shard_id, req_id, stats = event
+                with self._cond:
+                    self._shard_stats[shard_id] = (req_id, stats)
+                    self._cond.notify_all()
+            elif kind == "final":
+                _, shard_id, stats, tracer_dict = event
+                finals += 1
+                with self._cond:
+                    self._final_stats[shard_id] = stats
+                    if tracer_dict is not None and self.tracer.enabled:
+                        self.tracer.absorb(Tracer.from_dict(tracer_dict))
+                    self._cond.notify_all()
+        self._finals.set()
+        with self._cond:
+            self._cond.notify_all()
+
+    def _reap_dead_locked(self):
+        """Synthesize failures for shards that died without a final
+        (crash/kill), so drain() and shutdown() cannot hang."""
+        reaped = 0
+        with self._cond:
+            for shard_id, proc in enumerate(self._procs):
+                if proc.is_alive() or shard_id in self._final_stats:
+                    continue
+                self._final_stats[shard_id] = {}
+                reaped += 1
+                for ticket, (shard, _key, tenant) in list(
+                    self._inflight.items()
+                ):
+                    if shard != shard_id:
+                        continue
+                    del self._inflight[ticket]
+                    self._results[ticket] = SubmissionResult(
+                        ticket=ticket, tenant=tenant, status="failed",
+                        error=f"shard worker {shard_id} died",
+                    )
+                self._cond.notify_all()
+        return reaped
+
+    def _on_result(self, result):
+        with self._cond:
+            entry = self._inflight.pop(result.ticket, None)
+            self._results[result.ticket] = result
+            if result.status == "completed" and entry is not None:
+                self.predictor.observe(
+                    entry[2], result.container_mb, result.total_time or 0.0
+                )
+                self._completed_since_rebalance += 1
+                if (
+                    self.rebalance_every
+                    and self._completed_since_rebalance
+                    >= self.rebalance_every
+                ):
+                    self._completed_since_rebalance = 0
+                    self._rebalance_locked()
+            self._cond.notify_all()
+
+    def _rebalance_locked(self):
+        shard_loads = {shard: 0.0 for shard in range(self.num_shards)}
+        key_loads = {}
+        for _ticket, (shard, key, tenant) in self._inflight.items():
+            weight = max(
+                self.predictor.predicted_runtime_s(tenant, default=1.0),
+                1e-6,
+            )
+            shard_loads[shard] += weight
+            key_loads.setdefault(shard, {})
+            key_loads[shard][key] = key_loads[shard].get(key, 0.0) + weight
+        move = plan_rebalance(
+            shard_loads, key_loads, factor=self.rebalance_factor
+        )
+        if move is None:
+            return
+        key, src, dst = move
+        self.router.pin(key, dst)
+        self._rebalances += 1
+        if self.tracer.enabled:
+            self.tracer.incr("shard.rebalances")
+            self.tracer.event(
+                "shard.rebalance", key=key, source=src, destination=dst,
+                source_load_s=round(shard_loads[src], 3),
+                destination_load_s=round(shard_loads[dst], 3),
+            )
+
+    # -- submission lifecycle -----------------------------------------------
+
+    def submit(self, submission):
+        """Route a :class:`~repro.serving.Submission` to its shard;
+        returns a global ticket.  Rejects with a terminal ``"rejected"``
+        result when the global queue bound is reached."""
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("ShardedElasticMLServer is shut down")
+            if not self._started:
+                self._start_locked()
+            ticket = next(self._tickets)
+            self._order.append(ticket)
+            self._parent_submitted += 1
+            backlog = len(self._order) - len(self._results)
+            if self.queue_limit and backlog > self.queue_limit:
+                self._parent_rejected += 1
+                self._results[ticket] = SubmissionResult(
+                    ticket=ticket, tenant=submission.tenant,
+                    status="rejected",
+                    error=f"queue limit {self.queue_limit} reached",
+                )
+                self._cond.notify_all()
+                return ticket
+            key, shard = self.router.route(submission)
+            self._inflight[ticket] = (shard, key, submission.tenant)
+        if self.recorder is not None:
+            self.recorder.record(submission)
+        self._cmds[shard].put(("submit", ticket, submission))
+        return ticket
+
+    def poll(self, ticket, timeout=None):
+        """The ticket's :class:`~repro.serving.SubmissionResult`, or
+        None while it is still queued/running (waits up to ``timeout``
+        seconds)."""
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        with self._cond:
+            while ticket not in self._results:
+                if deadline is None:
+                    return None
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return None
+                self._cond.wait(remaining)
+            return self._results[ticket]
+
+    def drain(self):
+        """Block until every accepted submission is terminal; returns
+        all results in submission order."""
+        with self._cond:
+            while len(self._results) < len(self._order):
+                self._cond.wait()
+            return [self._results[t] for t in self._order]
+
+    def results(self):
+        """Terminal results so far, in submission order."""
+        with self._cond:
+            return [
+                self._results[t] for t in self._order if t in self._results
+            ]
+
+    def shutdown(self, wait=True):
+        """Stop accepting submissions, drain the shards, absorb their
+        tracers, and reap the worker processes.
+
+        With ``wait=False`` the teardown continues on a background
+        thread; ``drain()``/``poll()`` keep working meanwhile.
+        """
+        with self._cond:
+            already = self._closed
+            self._closed = True
+            self._cond.notify_all()
+        if not self._started:
+            self._finals.set()
+            return
+        if not already:
+            for cmd_queue in self._cmds:
+                cmd_queue.put(("shutdown",))
+        if wait:
+            self._join()
+        else:
+            threading.Thread(
+                target=self._join, name="repro-shard-reaper", daemon=True
+            ).start()
+
+    def _join(self):
+        self._finals.wait(timeout=300)
+        with self._cond:
+            if self._joined:
+                return
+            self._joined = True
+        for proc in self._procs:
+            proc.join(timeout=10)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5)
+        with self._cond:
+            # anything still unresolved after every shard finalized
+            # (worker died mid-flight) gets a terminal failure so
+            # drain() cannot hang
+            for ticket, (shard, _key, tenant) in list(
+                self._inflight.items()
+            ):
+                del self._inflight[ticket]
+                self._results[ticket] = SubmissionResult(
+                    ticket=ticket, tenant=tenant, status="failed",
+                    error=f"shard worker {shard} died",
+                )
+            self._cond.notify_all()
+
+    # -- stats --------------------------------------------------------------
+
+    def stats(self):
+        """Aggregated serving counters: the per-shard
+        ``ElasticMLServer.stats()`` dicts summed key-wise, plus the
+        front end's own routing/prediction/rebalancing counters and the
+        raw per-shard dicts under ``"per_shard"``."""
+        per_shard = self._snapshot_shard_stats()
+        merged = {}
+        for stats in per_shard.values():
+            for key, value in stats.items():
+                if isinstance(value, dict):
+                    bucket = merged.setdefault(key, {})
+                    for sub, amount in value.items():
+                        bucket[sub] = bucket.get(sub, 0) + amount
+                elif isinstance(value, (int, float)):
+                    merged[key] = merged.get(key, 0) + value
+        with self._cond:
+            merged["serving.submitted"] = (
+                merged.get("serving.submitted", 0) + self._parent_rejected
+            )
+            merged["serving.rejected"] = (
+                merged.get("serving.rejected", 0) + self._parent_rejected
+            )
+            merged["shard.count"] = self.num_shards
+            merged["shard.rebalances"] = self._rebalances
+            merged["shard.start_method"] = self.start_method
+            merged["shard.snapshot_bytes"] = self.snapshot_bytes
+            merged["router.pins"] = len(self.router.pins)
+            prediction = self.predictor.snapshot()
+            merged["predictor.tenants"] = prediction["tenants"]
+            merged["predictor.observations"] = prediction["observations"]
+            merged["per_shard"] = {
+                shard: dict(stats) for shard, stats in per_shard.items()
+            }
+        return merged
+
+    def _snapshot_shard_stats(self):
+        """Fresh per-shard stats: live shards are asked over their
+        command queues; shut-down (or dead) shards answer with their
+        final snapshot."""
+        with self._cond:
+            if not self._started:
+                return {}
+            finals = dict(self._final_stats)
+        if len(finals) >= self.num_shards:
+            return finals
+        req_id = next(self._stats_ids)
+        for shard_id, cmd_queue in enumerate(self._cmds):
+            if shard_id not in finals:
+                cmd_queue.put(("stats", req_id))
+        deadline = time.monotonic() + 30
+        with self._cond:
+            while time.monotonic() < deadline:
+                snapshot = dict(self._final_stats)
+                for shard_id, (seen, stats) in self._shard_stats.items():
+                    if shard_id not in snapshot and seen == req_id:
+                        snapshot[shard_id] = stats
+                if len(snapshot) >= self.num_shards:
+                    return snapshot
+                self._cond.wait(0.5)
+            return snapshot

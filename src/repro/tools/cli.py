@@ -278,12 +278,20 @@ def build_parser():
     serve.add_argument("--cols", type=int, default=100,
                        help="feature columns of generated inputs")
     serve.add_argument("--policy", default="heap-rule",
-                       choices=["heap-rule", "packing"],
+                       choices=["heap-rule", "packing", "predictive"],
                        help="admission policy (default heap-rule)")
+    serve.add_argument("--shards", type=int, default=1, metavar="N",
+                       help="shard the server across N worker processes "
+                            "(default 1 = single-process server)")
+    serve.add_argument("--affinity", default="tenant",
+                       choices=["tenant", "program"],
+                       help="shard routing affinity (default tenant)")
     serve.add_argument("--serve-workers", type=int, default=None,
                        metavar="N",
-                       help="server thread-pool size (default: one per "
-                            "CPU, clamped to [2, 8])")
+                       help="per-server thread-pool size (default: one "
+                            "per CPU, clamped to [2, 8]; override the "
+                            "clamp via SessionConfig or the "
+                            "REPRO_SERVING_MIN/MAX_WORKERS env vars)")
     serve.add_argument("--queue-limit", type=int, default=1024, metavar="N",
                        help="bounded submission queue (default 1024)")
     serve.add_argument("--seed", type=int, default=0,
@@ -503,22 +511,30 @@ def cmd_serve(args, session):
 
     from repro.serving import (
         ElasticMLServer,
-        HeapRulePolicy,
-        PackingPolicy,
+        ShardedElasticMLServer,
         Submission,
+        make_policy,
     )
 
     _apply_opt_flags(session, args)
-    policy = (
-        PackingPolicy() if args.policy == "packing" else HeapRulePolicy()
-    )
-    server = ElasticMLServer(
-        config=session.config,
-        policy=policy,
-        max_workers=args.serve_workers,
-        queue_limit=args.queue_limit,
-        trace=True,
-    )
+    if args.shards > 1:
+        server = ShardedElasticMLServer(
+            shards=args.shards,
+            config=session.config,
+            policy=args.policy,
+            affinity=args.affinity,
+            max_workers=args.serve_workers,
+            queue_limit=args.queue_limit,
+            trace=True,
+        )
+    else:
+        server = ElasticMLServer(
+            config=session.config,
+            policy=make_policy(args.policy),
+            max_workers=args.serve_workers,
+            queue_limit=args.queue_limit,
+            trace=True,
+        )
     mix = []
     for entry in args.mix.split(","):
         if ":" not in entry:
@@ -547,7 +563,8 @@ def cmd_serve(args, session):
     completed = [r for r in results if r.ok]
     latencies = sorted(r.latency_s for r in completed)
     stats.update({
-        "policy": policy.name,
+        "policy": args.policy,
+        "shards": args.shards,
         "tenants": args.tenants,
         "wall_s": elapsed,
         "throughput_rps": len(completed) / elapsed if elapsed else 0.0,
@@ -562,7 +579,8 @@ def cmd_serve(args, session):
     if args.json:
         print(json.dumps(stats, indent=2, sort_keys=True))
         return 0
-    print(f"policy: {policy.name}  submissions: {args.tenants}  "
+    print(f"policy: {args.policy}  shards: {args.shards}  "
+          f"submissions: {args.tenants}  "
           f"tenant pool: {args.tenant_pool}")
     by_status = {}
     for r in results:

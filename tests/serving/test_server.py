@@ -9,8 +9,8 @@ from repro import (
     SessionConfig,
     Submission,
 )
-from repro.cluster import ResourceConfig
-from repro.serving import PackingPolicy
+from repro.cluster import ResourceConfig, small_cluster
+from repro.serving import PackingPolicy, default_serving_workers
 from repro.workloads import prepare_inputs, scenario
 
 
@@ -218,6 +218,93 @@ class TestLifecycleAndIsolation:
         with pytest.raises(RuntimeError):
             server.submit(Submission(tenant="t", script="LinregDS"))
 
+    def test_poll_timeout_expires_to_none(self, server):
+        import time
+
+        started = time.monotonic()
+        assert server.poll(999, timeout=0.2) is None
+        assert time.monotonic() - started >= 0.15
+
+    def test_poll_timeout_on_inflight_submission_returns_none(self):
+        server = ElasticMLServer(
+            cluster=small_cluster(num_nodes=1, node_memory_mb=1024),
+            sample_cap=64, max_workers=2,
+        )
+        try:
+            args = prepare_inputs(
+                server.hdfs, "LinregDS", scenario("XS", cols=50)
+            )
+            # fill the only node so the submission parks in admission
+            # and can never turn terminal during the poll
+            hog = server.rm.try_allocate(1024, tenant="hog")
+            assert hog is not None
+            ticket = server.submit(Submission(
+                tenant="parked", script="LinregDS", args=args,
+                resource=ResourceConfig(300, 300), adapt=False,
+            ))
+            assert server.poll(ticket, timeout=0.3) is None
+            server.rm.release(hog)
+        finally:
+            server.shutdown()
+
+    def test_shutdown_cancels_submissions_parked_in_admission(self):
+        import time
+
+        server = ElasticMLServer(
+            cluster=small_cluster(num_nodes=1, node_memory_mb=1024),
+            sample_cap=64, max_workers=2, trace=True,
+        )
+        args = prepare_inputs(
+            server.hdfs, "LinregDS", scenario("XS", cols=50)
+        )
+        hog = server.rm.try_allocate(1024, tenant="hog")
+        ticket = server.submit(Submission(
+            tenant="parked", script="LinregDS", args=args,
+            resource=ResourceConfig(300, 300), adapt=False,
+        ))
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline and ticket not in server._waiting:
+            time.sleep(0.01)
+        assert ticket in server._waiting, "submission never parked"
+        # regression: this deadlocked while _acquire only watched
+        # _granted — shutdown(wait=True) never returned
+        server.shutdown(wait=True)
+        result = server.poll(ticket)
+        assert result is not None
+        assert result.status == "cancelled"
+        assert not result.ok
+        assert "shut down" in result.error
+        assert server.stats()["serving.cancelled"] == 1
+
+    def test_drain_after_shutdown_no_wait_returns_all_terminal(self):
+        import time
+
+        server = ElasticMLServer(
+            cluster=small_cluster(num_nodes=1, node_memory_mb=1024),
+            sample_cap=64, max_workers=3,
+        )
+        args = prepare_inputs(
+            server.hdfs, "LinregDS", scenario("XS", cols=50)
+        )
+        hog = server.rm.try_allocate(1024, tenant="hog")
+        tickets = [
+            server.submit(Submission(
+                tenant=f"t{i}", script="LinregDS", args=args,
+                resource=ResourceConfig(300, 300), adapt=False,
+            ))
+            for i in range(2)
+        ]
+        deadline = time.monotonic() + 10
+        while (
+            time.monotonic() < deadline
+            and len(server._waiting) < len(tickets)
+        ):
+            time.sleep(0.01)
+        server.shutdown(wait=False)
+        results = server.drain()
+        assert len(results) == len(tickets)
+        assert all(r.status == "cancelled" for r in results)
+
     def test_tenant_spans_and_counters_absorbed(self, server):
         args = prepare_inputs(
             server.hdfs, "LinregDS", scenario("XS", cols=100)
@@ -356,5 +443,92 @@ class TestCrossTenantCalibration:
         try:
             with pytest.raises(RuntimeError):
                 server.fit_calibration()
+        finally:
+            server.shutdown()
+
+
+class TestProgramCacheEvictions:
+    def test_lru_eviction_is_counted_and_surfaced_in_stats(self):
+        server = ElasticMLServer(
+            sample_cap=64, max_workers=2, program_cache_entries=1
+        )
+        try:
+            ds_args = prepare_inputs(
+                server.hdfs, "LinregDS", scenario("XS", cols=50)
+            )
+            cg_args = prepare_inputs(
+                server.hdfs, "LinregCG", scenario("XS", cols=50)
+            )
+            for script, args in (
+                ("LinregDS", ds_args), ("LinregCG", cg_args),
+                ("LinregDS", ds_args),
+            ):
+                server.submit(Submission(
+                    tenant="t", script=script, args=args
+                ))
+                server.drain()
+            assert server.program_cache.evictions >= 2
+            assert server.stats()["program_cache.evictions"] >= 2
+            # every distinct program was a miss: the 1-entry cache
+            # thrashed instead of serving the repeat
+            assert server.program_cache.hits == 0
+        finally:
+            server.shutdown()
+
+    def test_no_evictions_within_capacity(self):
+        server = ElasticMLServer(sample_cap=64, max_workers=2)
+        try:
+            args = prepare_inputs(
+                server.hdfs, "LinregDS", scenario("XS", cols=50)
+            )
+            for _ in range(2):
+                server.submit(Submission(
+                    tenant="t", script="LinregDS", args=args
+                ))
+                server.drain()
+            assert server.program_cache.evictions == 0
+            assert server.stats()["program_cache.evictions"] == 0
+        finally:
+            server.shutdown()
+
+
+class TestServingWorkerClamp:
+    def test_defaults_keep_the_historical_2_8_clamp(self):
+        import os
+
+        expected = max(2, min(8, os.cpu_count() or 1))
+        assert default_serving_workers() == expected
+
+    def test_explicit_arguments_override_everything(self):
+        assert default_serving_workers(min_workers=3, max_workers=3) == 3
+
+    def test_config_fields_override_env_and_defaults(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVING_MIN_WORKERS", "5")
+        monkeypatch.setenv("REPRO_SERVING_MAX_WORKERS", "5")
+        config = SessionConfig(
+            serving_min_workers=1, serving_max_workers=1
+        )
+        assert default_serving_workers(config=config) == 1
+
+    def test_env_overrides_defaults(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVING_MIN_WORKERS", "4")
+        monkeypatch.setenv("REPRO_SERVING_MAX_WORKERS", "4")
+        assert default_serving_workers() == 4
+
+    def test_invalid_clamp_rejected(self):
+        with pytest.raises(ValueError):
+            default_serving_workers(min_workers=0)
+        with pytest.raises(ValueError):
+            default_serving_workers(min_workers=4, max_workers=2)
+
+    def test_server_honors_config_clamp(self):
+        server = ElasticMLServer(
+            sample_cap=64,
+            config=SessionConfig(
+                serving_min_workers=1, serving_max_workers=1
+            ),
+        )
+        try:
+            assert server._executor._max_workers == 1
         finally:
             server.shutdown()

@@ -1,0 +1,323 @@
+"""Sharded multi-process serving: routing, partitioning, determinism.
+
+The expensive invariant here is the standing one: a tenant's simulated
+result is byte-identical whether it ran on a private session, the
+single-process server, or any shard count of the multi-process front
+end.  Process-spawning tests keep submission counts small (XS inputs)
+so the suite stays fast on one CPU.
+"""
+
+import pytest
+
+from repro import (
+    ElasticMLSession,
+    ElasticMLServer,
+    SessionConfig,
+    ShardedElasticMLServer,
+    Submission,
+    paper_cluster,
+)
+from repro.cluster import ResourceConfig
+from repro.errors import ClusterError
+from repro.serving import ConsistentHashRouter
+from repro.serving.shard import plan_rebalance
+from repro.workloads import prepare_inputs, scenario
+
+
+def _canonical(outcome):
+    result = outcome.result
+    resource = outcome.resource
+    return (
+        result.total_time,
+        result.mr_jobs,
+        tuple(result.prints),
+        resource.cp_heap_mb,
+        resource.mr_heap_mb,
+        tuple(sorted(resource.mr_heap_per_block.values())),
+    )
+
+
+class TestClusterPartition:
+    def test_nodes_are_dealt_out_evenly_and_exhaustively(self):
+        cluster = paper_cluster()
+        parts = cluster.partition(4)
+        assert [p.num_nodes for p in parts] == [2, 2, 1, 1]
+        assert sum(p.num_nodes for p in parts) == cluster.num_nodes
+
+    def test_partitions_preserve_node_size_and_allocation_bounds(self):
+        cluster = paper_cluster()
+        for part in cluster.partition(3):
+            assert part.node_memory_mb == cluster.node_memory_mb
+            assert part.min_allocation_mb == cluster.min_allocation_mb
+            assert part.max_allocation_mb == cluster.max_allocation_mb
+
+    def test_reducers_scale_proportionally_with_a_floor(self):
+        parts = paper_cluster().partition(6)
+        assert all(p.num_reducers >= 1 for p in parts)
+
+    def test_more_shards_than_nodes_rejected(self):
+        with pytest.raises(ClusterError):
+            paper_cluster().partition(7)
+        with pytest.raises(ClusterError):
+            paper_cluster().partition(0)
+
+
+class TestConsistentHashRouter:
+    def test_routing_is_deterministic_across_instances(self):
+        sub = Submission(tenant="alpha", script="LinregDS")
+        a = ConsistentHashRouter(4).route(sub)
+        b = ConsistentHashRouter(4).route(sub)
+        assert a == b
+
+    def test_tenant_affinity_keeps_a_tenant_on_one_shard(self):
+        router = ConsistentHashRouter(4, affinity="tenant")
+        shards = {
+            router.route(Submission(
+                tenant="alpha", script=name
+            ))[1]
+            for name in ("LinregDS", "LinregCG", "L2SVM")
+        }
+        assert len(shards) == 1
+
+    def test_program_affinity_groups_tenants_of_one_program(self):
+        router = ConsistentHashRouter(4, affinity="program")
+        shards = {
+            router.route(Submission(
+                tenant=f"t{i}", script="LinregDS", args={"cols": 10}
+            ))[1]
+            for i in range(8)
+        }
+        assert len(shards) == 1
+        other = router.route(
+            Submission(tenant="t0", script="LinregCG", args={"cols": 10})
+        )
+        assert other[0] != router.key_for(
+            Submission(tenant="t0", script="LinregDS", args={"cols": 10})
+        )
+
+    def test_keyspace_covers_every_shard(self):
+        router = ConsistentHashRouter(4)
+        used = {
+            router.shard_for(f"tenant:tenant-{i}") for i in range(200)
+        }
+        assert used == {0, 1, 2, 3}
+
+    def test_pin_overrides_the_ring_and_unpin_restores_it(self):
+        router = ConsistentHashRouter(4)
+        key = "tenant:alpha"
+        natural = router.shard_for(key)
+        target = (natural + 1) % 4
+        router.pin(key, target)
+        assert router.shard_for(key) == target
+        assert router.pins == {key: target}
+        router.unpin(key)
+        assert router.shard_for(key) == natural
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRouter(0)
+        with pytest.raises(ValueError):
+            ConsistentHashRouter(2, affinity="random")
+        with pytest.raises(ValueError):
+            ConsistentHashRouter(2).pin("k", 5)
+
+
+class TestPlanRebalance:
+    def test_no_move_when_balanced(self):
+        assert plan_rebalance(
+            {0: 10.0, 1: 9.0}, {0: {"a": 10.0}, 1: {"b": 9.0}}
+        ) is None
+
+    def test_moves_hottest_key_from_most_to_least_loaded(self):
+        move = plan_rebalance(
+            {0: 30.0, 1: 5.0},
+            {0: {"a": 10.0, "b": 20.0}, 1: {"c": 5.0}},
+        )
+        assert move == ("b", 0, 1)
+
+    def test_single_shard_never_moves(self):
+        assert plan_rebalance({0: 100.0}, {0: {"a": 100.0}}) is None
+
+    def test_no_move_without_candidate_keys(self):
+        assert plan_rebalance({0: 30.0, 1: 0.0}, {}) is None
+
+
+class TestShardedDeterminism:
+    def test_results_byte_identical_across_shard_counts_and_serial(self):
+        session = ElasticMLSession(sample_cap=64)
+        serial_args = {
+            name: prepare_inputs(
+                session.hdfs, name, scenario("XS", cols=50)
+            )
+            for name in ("LinregDS", "LinregCG")
+        }
+        references = {
+            name: _canonical(session.run(name, serial_args[name]))
+            for name in ("LinregDS", "LinregCG")
+        }
+
+        per_count = {}
+        for shards in (1, 2):
+            server = ShardedElasticMLServer(
+                shards=shards, sample_cap=64, trace=True
+            )
+            args = {
+                name: prepare_inputs(
+                    server.hdfs, name, scenario("XS", cols=50)
+                )
+                for name in ("LinregDS", "LinregCG")
+            }
+            names = []
+            for i in range(6):
+                name = "LinregDS" if i % 2 == 0 else "LinregCG"
+                server.submit(Submission(
+                    tenant=f"tenant-{i % 3}", script=name,
+                    args=args[name],
+                ))
+                names.append(name)
+            results = server.drain()
+            server.shutdown()
+            assert [r.status for r in results] == ["completed"] * 6
+            for name, r in zip(names, results):
+                assert _canonical(r.outcome) == references[name]
+            per_count[shards] = [_canonical(r.outcome) for r in results]
+        assert per_count[1] == per_count[2]
+
+    def test_predictive_policy_preserves_determinism(self):
+        server = ShardedElasticMLServer(
+            shards=2, sample_cap=64, policy="predictive",
+        )
+        args = prepare_inputs(
+            server.hdfs, "LinregDS", scenario("XS", cols=50)
+        )
+        for i in range(4):
+            server.submit(Submission(
+                tenant=f"t{i % 2}", script="LinregDS", args=args
+            ))
+        results = server.drain()
+        server.shutdown()
+        assert all(r.ok for r in results)
+        assert len({_canonical(r.outcome) for r in results}) == 1
+
+    def test_oversized_container_rejected_like_unsharded(self):
+        server = ShardedElasticMLServer(shards=2, sample_cap=64)
+        args = prepare_inputs(
+            server.hdfs, "LinregDS", scenario("XS", cols=50)
+        )
+        ticket = server.submit(Submission(
+            tenant="big", script="LinregDS", args=args,
+            resource=ResourceConfig(10 ** 6, 512), adapt=False,
+        ))
+        result = server.poll(ticket, timeout=120)
+        server.shutdown()
+        assert result is not None and result.status == "rejected"
+        assert "can never be placed" in result.error
+
+
+class TestShardedLifecycle:
+    def test_stats_aggregate_across_shards(self):
+        server = ShardedElasticMLServer(shards=2, sample_cap=64,
+                                        trace=True)
+        args = prepare_inputs(
+            server.hdfs, "LinregDS", scenario("XS", cols=50)
+        )
+        for i in range(6):
+            server.submit(Submission(
+                tenant=f"tenant-{i}", script="LinregDS", args=args
+            ))
+        server.drain()
+        live = server.stats()
+        server.shutdown()
+        final = server.stats()
+        for stats in (live, final):
+            assert stats["serving.submitted"] == 6
+            assert stats["serving.completed"] == 6
+            assert stats["shard.count"] == 2
+            assert len(stats["per_shard"]) == 2
+            assert stats["predictor.observations"] == 6
+        # per-shard tracers are absorbed into the parent at shutdown
+        assert server.tracer.counter("serving.completed") == 6
+
+    def test_queue_limit_rejects_at_the_front_end(self):
+        server = ShardedElasticMLServer(
+            shards=2, sample_cap=64, queue_limit=2
+        )
+        args = prepare_inputs(
+            server.hdfs, "LinregDS", scenario("XS", cols=50)
+        )
+        tickets = [
+            server.submit(Submission(
+                tenant=f"t{i}", script="LinregDS", args=args
+            ))
+            for i in range(6)
+        ]
+        results = server.drain()
+        server.shutdown()
+        rejected = [r for r in results if r.status == "rejected"]
+        assert rejected, "queue bound never rejected"
+        assert all(
+            "queue limit" in r.error for r in rejected
+        )
+        assert len(tickets) == 6
+
+    def test_submit_after_shutdown_raises(self):
+        server = ShardedElasticMLServer(shards=2, sample_cap=64)
+        server.shutdown()
+        with pytest.raises(RuntimeError):
+            server.submit(Submission(tenant="t", script="LinregDS"))
+
+    def test_shutdown_before_first_submit_is_clean(self):
+        server = ShardedElasticMLServer(shards=2, sample_cap=64)
+        server.shutdown()
+        assert server.results() == []
+        assert server.stats()["shard.count"] == 2
+
+    def test_pickle_start_method_records_snapshot_bytes(self):
+        server = ShardedElasticMLServer(
+            shards=2, sample_cap=64, start_method="pickle"
+        )
+        args = prepare_inputs(
+            server.hdfs, "LinregDS", scenario("XS", cols=50)
+        )
+        server.submit(Submission(
+            tenant="t", script="LinregDS", args=args
+        ))
+        results = server.drain()
+        server.shutdown()
+        assert results[0].ok
+        assert server.start_method == "pickle"
+        assert server.snapshot_bytes > 0
+
+    def test_light_detail_strips_heavy_fields_keeps_identity(self):
+        server = ShardedElasticMLServer(shards=1, sample_cap=64)
+        args = prepare_inputs(
+            server.hdfs, "LinregDS", scenario("XS", cols=50)
+        )
+        ticket = server.submit(Submission(
+            tenant="t", script="LinregDS", args=args
+        ))
+        result = server.poll(ticket, timeout=120)
+        server.shutdown()
+        assert result.ok
+        assert result.outcome.compiled is None
+        assert result.outcome.trace is None
+        assert result.outcome.result is not None
+        assert result.outcome.resource is not None
+
+
+class TestShardedFacade:
+    def test_session_config_routes_facade_to_sharded_server(self):
+        config = SessionConfig(serving_shards=2)
+        session = ElasticMLSession(sample_cap=64, config=config)
+        args = prepare_inputs(
+            session.hdfs, "LinregDS", scenario("XS", cols=50)
+        )
+        reference = _canonical(session.run("LinregDS", args))
+        ticket = session.submit(Submission(
+            tenant="t", script="LinregDS", args=args
+        ))
+        result = session.poll(ticket, timeout=120)
+        assert isinstance(session._server, ShardedElasticMLServer)
+        session.shutdown()
+        assert result is not None and result.ok
+        assert _canonical(result.outcome) == reference
